@@ -1,0 +1,160 @@
+//! One benchmark per paper table and figure: each measurement regenerates
+//! the artifact end-to-end (trace synthesis + protocol replay + pricing)
+//! at a reduced scale, so `cargo bench` demonstrably covers every
+//! experiment the paper reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dircc_bench::{BENCH_REFS, BENCH_SEED};
+use dircc_sim::experiments::{extensions, figures, network, studies, system, tables};
+use dircc_sim::Workbench;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fresh_workbench() -> Workbench {
+    Workbench::paper_scaled(BENCH_REFS, BENCH_SEED)
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1", |b| b.iter(|| black_box(tables::table1().to_string())));
+    g.bench_function("table2", |b| b.iter(|| black_box(tables::table2().to_string())));
+    g.bench_function("table3", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(tables::table3(&wb).to_string())
+        })
+    });
+    g.bench_function("table4", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(tables::table4(&wb).to_string())
+        })
+    });
+    g.bench_function("table5", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(tables::table5(&wb).to_string())
+        })
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("figure1", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(figures::figure1(&wb).at_most_one)
+        })
+    });
+    g.bench_function("figure2", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(figures::figure2(&wb).ranges.len())
+        })
+    });
+    g.bench_function("figure3", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(figures::figure3(&wb).per_trace.len())
+        })
+    });
+    g.bench_function("figure4", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(figures::figure4(&wb).schemes.len())
+        })
+    });
+    g.bench_function("figure5", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(figures::figure5(&wb).per_transaction.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_studies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("studies");
+    g.bench_function("sensitivity_5_1", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(studies::sensitivity(&wb).lines.len())
+        })
+    });
+    g.bench_function("spinlock_5_2", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(studies::spinlock(&wb).dir1nb_improvement())
+        })
+    });
+    g.bench_function("berkeley", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(studies::berkeley(&wb).estimate)
+        })
+    });
+    g.bench_function("scalability_6", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(studies::scalability(&wb).dirnnb)
+        })
+    });
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.bench_function("system_5", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(system::system(&wb).rows.len())
+        })
+    });
+    g.bench_function("finite_cache", |b| {
+        b.iter(|| {
+            let wb = fresh_workbench();
+            black_box(extensions::finite_cache(&wb).points.len())
+        })
+    });
+    g.bench_function("footnote2", |b| {
+        b.iter(|| {
+            let wb = Workbench::paper_scaled(10_000, BENCH_SEED);
+            black_box(extensions::footnote2(&wb).points.len())
+        })
+    });
+    g.bench_function("scaling", |b| {
+        b.iter(|| black_box(extensions::scaling(5_000, BENCH_SEED).rows.len()))
+    });
+    g.bench_function("block_size", |b| {
+        b.iter(|| black_box(extensions::block_size(BENCH_REFS, BENCH_SEED).points.len()))
+    });
+    g.bench_function("storage_table", |b| {
+        b.iter(|| black_box(network::storage_table().rows.len()))
+    });
+    g.bench_function("network_meshes", |b| {
+        b.iter(|| black_box(network::network_study(5_000, BENCH_SEED).rows.len()))
+    });
+    g.finish();
+}
+
+fn bench_bus_queue(c: &mut Criterion) {
+    use dircc_sim::busqueue::{simulate, BusLoad};
+    let mut g = c.benchmark_group("busqueue");
+    g.bench_function("simulate_16cpu", |b| {
+        let load = BusLoad::paper_platform(16);
+        b.iter(|| black_box(simulate(&load, BENCH_SEED).effective_processors))
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tables, bench_figures, bench_studies, bench_extensions, bench_bus_queue
+}
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Replay throughput of every coherence protocol on a fixed trace, plus
+//! ablations: verification overhead and finite-vs-infinite caches.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dircc_bench::{bench_trace, BENCH_REFS};
+use dircc_cache::{FiniteCacheConfig, SetAssocCache};
+use dircc_core::{build, ProtocolKind};
+use dircc_sim::engine::{run, RunConfig};
+use dircc_types::BlockGeometry;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn all_kinds() -> Vec<ProtocolKind> {
+    vec![
+        ProtocolKind::DirNb { pointers: 1 },
+        ProtocolKind::DirNb { pointers: 2 },
+        ProtocolKind::DirNb { pointers: 4 },
+        ProtocolKind::Dir0B,
+        ProtocolKind::DirB { pointers: 1 },
+        ProtocolKind::CodedSet,
+        ProtocolKind::Tang,
+        ProtocolKind::YenFu,
+        ProtocolKind::Wti,
+        ProtocolKind::Dragon,
+        ProtocolKind::Berkeley,
+    ]
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let trace = bench_trace(BENCH_REFS);
+    let mut g = c.benchmark_group("replay");
+    g.throughput(Throughput::Elements(BENCH_REFS));
+    for kind in all_kinds() {
+        g.bench_function(kind.display_name(4), |b| {
+            b.iter(|| {
+                let mut p = build(kind, 4);
+                let res =
+                    run(p.as_mut(), trace.iter().copied(), &RunConfig::default()).unwrap();
+                black_box(res.counters.total())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_verification_overhead(c: &mut Criterion) {
+    // Ablation: what the value-level verifier costs on top of plain replay.
+    let trace = bench_trace(BENCH_REFS);
+    let mut g = c.benchmark_group("verify_ablation");
+    g.throughput(Throughput::Elements(BENCH_REFS));
+    for (name, cfg) in [
+        ("dir0b_plain", RunConfig::default()),
+        ("dir0b_verified", RunConfig { verify: true, ..RunConfig::default() }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = build(ProtocolKind::Dir0B, 4);
+                let res = run(p.as_mut(), trace.iter().copied(), &cfg).unwrap();
+                black_box(res.violations.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_finite_cache_ablation(c: &mut Criterion) {
+    // Ablation for the paper's finite-cache extension: replay the trace
+    // through finite set-associative caches and count replacement misses —
+    // the "costs due to the finite cache size" the paper adds to first
+    // order.
+    let trace = bench_trace(BENCH_REFS);
+    let g_geom = BlockGeometry::PAPER;
+    let mut g = c.benchmark_group("finite_cache");
+    g.throughput(Throughput::Elements(BENCH_REFS));
+    for (name, capacity) in [("cap_256", 256usize), ("cap_1k", 1024), ("cap_4k", 4096)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut caches: Vec<SetAssocCache<()>> = (0..4)
+                    .map(|_| SetAssocCache::new(FiniteCacheConfig::with_capacity(capacity, 4)))
+                    .collect();
+                for r in &trace {
+                    if !r.is_data() {
+                        continue;
+                    }
+                    let cache = &mut caches[r.cpu.index()];
+                    let block = g_geom.block_of(r.addr);
+                    if cache.get(block).is_none() {
+                        cache.insert(block, ());
+                    }
+                }
+                let misses: u64 = caches.iter().map(|c| c.misses()).sum();
+                black_box(misses)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_replay, bench_verification_overhead, bench_finite_cache_ablation
+}
+criterion_main!(benches);

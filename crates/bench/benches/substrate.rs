@@ -1,0 +1,116 @@
+//! Micro-benchmarks of the substrates: workload generation, trace codecs
+//! and cache tag stores.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dircc_bench::{bench_trace, BENCH_REFS, BENCH_SEED};
+use dircc_cache::CacheArray;
+use dircc_trace::codec::{BinaryReader, BinaryWriter};
+use dircc_trace::gen::{Generator, Profile};
+use dircc_types::{BlockAddr, CacheId, CacheIdSet};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_generator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generator");
+    g.throughput(Throughput::Elements(BENCH_REFS));
+    for profile in [Profile::pops(), Profile::thor(), Profile::pero()] {
+        let name = profile.name.to_string();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let gen = Generator::new(profile.clone().with_total_refs(BENCH_REFS), BENCH_SEED);
+                black_box(gen.count())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let trace = bench_trace(BENCH_REFS);
+    let mut encoded = Vec::new();
+    let mut w = BinaryWriter::new(&mut encoded);
+    w.write_all(&trace).unwrap();
+    w.finish().unwrap();
+
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(BENCH_REFS));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            let mut w = BinaryWriter::new(&mut buf);
+            w.write_all(&trace).unwrap();
+            w.finish().unwrap();
+            black_box(buf.len())
+        })
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            let n = BinaryReader::new(&encoded[..]).unwrap().count();
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache_array(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_array");
+    g.bench_function("set_get_remove", |b| {
+        b.iter(|| {
+            let mut a: CacheArray<u8> = CacheArray::new(4);
+            for i in 0..1_000u64 {
+                let cache = CacheId::new((i % 4) as u16);
+                let block = BlockAddr::from_index(i % 64);
+                a.set(cache, block, (i % 251) as u8);
+                black_box(a.holders(block).len());
+                if i % 3 == 0 {
+                    a.remove(cache, block);
+                }
+            }
+            black_box(a.distinct_blocks())
+        })
+    });
+    g.bench_function("holders_query", |b| {
+        let mut a: CacheArray<()> = CacheArray::new(16);
+        for i in 0..64u64 {
+            for c in 0..16u16 {
+                if (i + u64::from(c)) % 3 == 0 {
+                    a.set(CacheId::new(c), BlockAddr::from_index(i), ());
+                }
+            }
+        }
+        b.iter(|| {
+            let mut total = 0;
+            for i in 0..64u64 {
+                total += a.holders(BlockAddr::from_index(i)).len();
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache_id_set(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_id_set");
+    g.bench_function("insert_iterate", |b| {
+        b.iter(|| {
+            let mut s = CacheIdSet::new();
+            for i in (0..64u16).step_by(3) {
+                s.insert(CacheId::new(i));
+            }
+            let sum: u32 = s.iter().map(|c| u32::from(c.raw())).sum();
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_generator, bench_codec, bench_cache_array, bench_cache_id_set
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! # dircc-bench
+//!
+//! Benchmark harness for the dircc workspace. The crate body only holds
+//! shared fixtures; the measurements live in the `benches/` targets:
+//!
+//! * `experiments` — one Criterion group per paper table and figure,
+//!   regenerating each artifact end-to-end at a reduced trace scale;
+//! * `protocols` — replay throughput of every coherence protocol;
+//! * `substrate` — micro-benchmarks of the generator, codecs and cache
+//!   tag stores.
+
+use dircc_trace::gen::{Generator, Profile};
+use dircc_trace::TraceRecord;
+
+/// References per trace used by the experiment benches (small enough to
+/// iterate, large enough to exercise steady-state behaviour).
+pub const BENCH_REFS: u64 = 30_000;
+
+/// Deterministic seed shared by all benches.
+pub const BENCH_SEED: u64 = 1988;
+
+/// Materializes a POPS-like benchmark trace.
+pub fn bench_trace(total_refs: u64) -> Vec<TraceRecord> {
+    Generator::new(Profile::pops().with_total_refs(total_refs), BENCH_SEED).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_trace_has_requested_length() {
+        assert_eq!(bench_trace(1_000).len(), 1_000);
+    }
+}

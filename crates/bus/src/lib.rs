@@ -1,0 +1,39 @@
+//! # dircc-bus
+//!
+//! Bus timing and cost models from *"An Evaluation of Directory Schemes
+//! for Cache Coherence"* (ISCA 1988), §4.3.
+//!
+//! The paper's performance metric is *bus cycles per memory reference*: a
+//! protocol's event frequencies (measured once by `dircc-sim`) weighted by
+//! per-event costs from a hardware model. This crate holds the hardware
+//! half:
+//!
+//! * [`BusTiming`] — Table 1's fundamental operation timings;
+//! * [`CostModel`] — Table 2's derived per-access costs for the
+//!   [`BusKind::Pipelined`] and [`BusKind::NonPipelined`] buses;
+//! * [`CostConfig`] — the `b` (broadcast cost, §6) and `q` (fixed
+//!   per-transaction overhead, §5.1) knobs;
+//! * [`price`] — the per-protocol cost schemas producing a Table 5
+//!   [`Breakdown`];
+//! * [`transactions`] — bus-transaction counting for Figure 5 and the
+//!   §5.1 sensitivity lines.
+//!
+//! # Examples
+//!
+//! ```
+//! use dircc_bus::{price, CostConfig, CostModel};
+//! use dircc_core::{EventCounters, Event, MissContext, Outcome, ProtocolKind};
+//!
+//! let mut c = EventCounters::new();
+//! c.observe(&Outcome::quiet(Event::ReadMiss(MissContext::MemoryOnly)));
+//! let b = price(ProtocolKind::Dir0B, 4, &c, &CostModel::pipelined(), &CostConfig::PAPER);
+//! assert_eq!(b.total(), 5.0); // one 5-cycle memory access
+//! ```
+
+pub mod network;
+mod price;
+mod timing;
+
+pub use network::{network_cost_per_ref, MeshModel};
+pub use price::{price, transactions, Breakdown, CostConfig};
+pub use timing::{BusKind, BusTiming, CostModel};

@@ -1,0 +1,183 @@
+//! A point-to-point interconnection-network cost model.
+//!
+//! The paper's scaling thesis: "Since these messages are directed (i.e.,
+//! not broadcast), they can be easily sent over any arbitrary
+//! interconnection network, as opposed to just a bus. The absence of
+//! broadcasts eliminates the major limitation on scaling." This module
+//! makes that argument quantitative: it prices the same measured event
+//! frequencies on a 2-D mesh, where a directed message costs hops but a
+//! broadcast must visit every node.
+//!
+//! Units are *flit-cycles of network capacity consumed per reference* —
+//! the network analogue of the paper's bus-cycles metric. Because a mesh's
+//! aggregate capacity grows with the node count while a bus's does not,
+//! comparing this number against the bisection capacity shows why
+//! directory schemes scale where snoopy schemes cannot.
+
+use crate::price::CostConfig;
+use dircc_core::{EventCounters, ProtocolKind};
+
+/// A square 2-D mesh of `side × side` nodes with memory and directory
+/// distributed per node (the organization §2 and §7 advocate:
+/// "memory is distributed together with individual processors").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshModel {
+    /// Nodes per side (total nodes = side²).
+    pub side: u32,
+    /// Flits per control message (request, invalidate, ack).
+    pub control_flits: u32,
+    /// Flits per data-block transfer (header + the paper's 4 words).
+    pub data_flits: u32,
+}
+
+impl MeshModel {
+    /// Creates a mesh for at least `nodes` processors (rounds the side up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    pub fn for_nodes(nodes: u32) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let mut side = 1;
+        while side * side < nodes {
+            side += 1;
+        }
+        MeshModel { side, control_flits: 1, data_flits: 5 }
+    }
+
+    /// Total nodes.
+    pub fn nodes(self) -> u32 {
+        self.side * self.side
+    }
+
+    /// Mean Manhattan distance between two uniformly random nodes on the
+    /// mesh: `2·(side² − 1) / (3·side)` hops (exact for a square mesh).
+    pub fn mean_hops(self) -> f64 {
+        let s = f64::from(self.side);
+        2.0 * (s * s - 1.0) / (3.0 * s)
+    }
+
+    /// Network capacity consumed by one directed control message
+    /// (flit-hops).
+    pub fn control_cost(self) -> f64 {
+        f64::from(self.control_flits) * self.mean_hops()
+    }
+
+    /// Capacity consumed by one block transfer.
+    pub fn data_cost(self) -> f64 {
+        f64::from(self.data_flits) * self.mean_hops()
+    }
+
+    /// Capacity consumed by a broadcast: the message must reach every
+    /// node — at least one flit crossing into each of them (a spanning
+    /// tree of `nodes − 1` links).
+    pub fn broadcast_cost(self) -> f64 {
+        f64::from(self.control_flits) * f64::from(self.nodes() - 1)
+    }
+}
+
+/// Prices one protocol's measured events on the mesh, in flit-hops per
+/// reference.
+///
+/// The mapping mirrors the bus schemas: block fetches and write-backs are
+/// data transfers, directed invalidations/flush requests are control
+/// messages, broadcasts span the machine, word updates are control-sized.
+/// First references are excluded unless `cfg.charge_first_ref` is set.
+pub fn network_cost_per_ref(
+    kind: ProtocolKind,
+    mesh: MeshModel,
+    c: &EventCounters,
+    cfg: &CostConfig,
+) -> f64 {
+    if c.total() == 0 {
+        return 0.0;
+    }
+    let misses = (c.rm() + c.wm()) as f64
+        + if cfg.charge_first_ref {
+            (c.rm_first_ref() + c.wm_first_ref()) as f64
+        } else {
+            0.0
+        };
+    let mut flit_hops = misses * mesh.data_cost();
+    flit_hops += c.write_backs() as f64 * mesh.data_cost();
+    flit_hops += c.control_messages() as f64 * mesh.control_cost();
+    flit_hops += c.aux_messages() as f64 * mesh.control_cost();
+    flit_hops += c.broadcasts() as f64 * mesh.broadcast_cost();
+    flit_hops += c.updates() as f64 * mesh.control_cost();
+    if kind == ProtocolKind::Wti {
+        flit_hops += c.writes() as f64 * mesh.control_cost();
+    }
+    flit_hops / c.total() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircc_core::{Event, MissContext, Outcome};
+
+    #[test]
+    fn mesh_geometry() {
+        let m = MeshModel::for_nodes(16);
+        assert_eq!(m.side, 4);
+        assert_eq!(m.nodes(), 16);
+        // 2(16-1)/(3*4) = 2.5 mean hops.
+        assert!((m.mean_hops() - 2.5).abs() < 1e-12);
+        let m = MeshModel::for_nodes(17);
+        assert_eq!(m.side, 5, "rounds up");
+    }
+
+    #[test]
+    fn broadcast_dwarfs_directed_messages_at_scale() {
+        let m = MeshModel::for_nodes(64);
+        assert!(m.broadcast_cost() > 10.0 * m.control_cost());
+        let small = MeshModel::for_nodes(4);
+        assert!(small.broadcast_cost() < 2.0 * small.data_cost());
+    }
+
+    #[test]
+    fn directed_schemes_beat_broadcast_schemes_on_big_meshes() {
+        // Same abstract workload: 100 invalidation situations, delivered
+        // as one broadcast each (Dir0B) vs 1.2 directed messages each
+        // (DirnNB, Figure 1's distribution).
+        let mut bcast = EventCounters::new();
+        let mut seq = EventCounters::new();
+        for _ in 0..100 {
+            let mut b = Outcome::quiet(Event::ReadMiss(MissContext::MemoryOnly));
+            b.used_broadcast = true;
+            bcast.observe(&b);
+            let s =
+                Outcome::quiet(Event::ReadMiss(MissContext::MemoryOnly)).with_control(1);
+            seq.observe(&s);
+        }
+        for nodes in [16u32, 64] {
+            let m = MeshModel::for_nodes(nodes);
+            let b = network_cost_per_ref(ProtocolKind::Dir0B, m, &bcast, &CostConfig::PAPER);
+            let s = network_cost_per_ref(
+                ProtocolKind::DirNb { pointers: nodes },
+                m,
+                &seq,
+                &CostConfig::PAPER,
+            );
+            assert!(s < b, "{nodes} nodes: directed {s} < broadcast {b}");
+        }
+    }
+
+    #[test]
+    fn empty_counters_cost_nothing() {
+        let m = MeshModel::for_nodes(4);
+        assert_eq!(
+            network_cost_per_ref(ProtocolKind::Dir0B, m, &EventCounters::new(), &CostConfig::PAPER),
+            0.0
+        );
+    }
+
+    #[test]
+    fn first_refs_excluded_by_default() {
+        let mut c = EventCounters::new();
+        c.observe(&Outcome::quiet(Event::ReadMiss(MissContext::FirstRef)));
+        let m = MeshModel::for_nodes(16);
+        assert_eq!(network_cost_per_ref(ProtocolKind::Dir0B, m, &c, &CostConfig::PAPER), 0.0);
+        let cfg = CostConfig { charge_first_ref: true, ..CostConfig::PAPER };
+        assert!(network_cost_per_ref(ProtocolKind::Dir0B, m, &c, &cfg) > 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Fundamental bus-operation timings (Table 1) and the derived
+//! per-operation cost models (Table 2).
+
+use core::fmt;
+
+/// Table 1: "Timing for fundamental bus operations", in bus cycles.
+///
+/// | Operation | Cycles |
+/// |---|---|
+/// | Transfer 1 data word | 1 |
+/// | Invalidate | 1 |
+/// | Wait for Directory | 2 |
+/// | Wait for Memory | 2 |
+/// | Wait for Cache | 1 |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BusTiming {
+    /// Cycles to transfer one data word.
+    pub transfer_word: u32,
+    /// Cycles for an invalidation message.
+    pub invalidate: u32,
+    /// Cycles waiting for a directory access.
+    pub wait_directory: u32,
+    /// Cycles waiting for a memory access.
+    pub wait_memory: u32,
+    /// Cycles waiting for a non-local cache access.
+    pub wait_cache: u32,
+    /// Words per block (the paper uses 4-word blocks throughout).
+    pub block_words: u32,
+}
+
+impl BusTiming {
+    /// The paper's Table 1 values.
+    pub const PAPER: BusTiming = BusTiming {
+        transfer_word: 1,
+        invalidate: 1,
+        wait_directory: 2,
+        wait_memory: 2,
+        wait_cache: 1,
+        block_words: 4,
+    };
+}
+
+impl Default for BusTiming {
+    fn default() -> Self {
+        BusTiming::PAPER
+    }
+}
+
+/// Which of the paper's two bus organizations is modelled (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusKind {
+    /// "A pipelined bus model that has separate data and address paths";
+    /// the bus is not held during memory access.
+    Pipelined,
+    /// "A non-pipelined bus that has to multiplex the address and data on
+    /// the same bus lines"; the bus is held during the access.
+    NonPipelined,
+}
+
+impl fmt::Display for BusKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusKind::Pipelined => f.write_str("pipelined"),
+            BusKind::NonPipelined => f.write_str("non-pipelined"),
+        }
+    }
+}
+
+/// Table 2: per-access-type bus-cycle costs, derived from a [`BusTiming`]
+/// and a [`BusKind`].
+///
+/// ```
+/// use dircc_bus::{BusKind, BusTiming, CostModel};
+///
+/// let p = CostModel::new(BusKind::Pipelined, BusTiming::PAPER);
+/// assert_eq!(p.mem_access, 5); // 1 addr + 4 data
+/// let np = CostModel::new(BusKind::NonPipelined, BusTiming::PAPER);
+/// assert_eq!(np.mem_access, 7); // addr + 2 wait + 4 data
+/// assert_eq!(np.cache_access, 6); // cache wait is one cycle shorter
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostModel {
+    /// Which bus this model describes.
+    pub kind: BusKind,
+    /// Memory access (read a block from main memory).
+    pub mem_access: u32,
+    /// Non-local cache access (read a block from another cache).
+    pub cache_access: u32,
+    /// Write-back of a dirty block ("the requesting cache also receives
+    /// it": data counted here, not under memory access).
+    pub write_back: u32,
+    /// One-word write-through or write-update.
+    pub write_word: u32,
+    /// A directory check that cannot be overlapped with a memory access.
+    pub dir_check: u32,
+    /// Sending an address alone (the miss request that precedes a
+    /// write-back when a directory finds the block dirty elsewhere).
+    pub addr_send: u32,
+    /// One invalidation message.
+    pub invalidate: u32,
+}
+
+impl CostModel {
+    /// Derives the Table 2 cost model for `kind` from fundamental timings.
+    pub fn new(kind: BusKind, t: BusTiming) -> Self {
+        let data = t.block_words * t.transfer_word;
+        match kind {
+            BusKind::Pipelined => CostModel {
+                kind,
+                // 1 cycle to send the address, block_words to get the data;
+                // the bus is not held during the access.
+                mem_access: t.transfer_word + data,
+                cache_access: t.transfer_word + data,
+                // First cycle sends address + first word; the rest follow.
+                write_back: data,
+                write_word: t.transfer_word,
+                dir_check: t.transfer_word,
+                addr_send: t.transfer_word,
+                invalidate: t.invalidate,
+            },
+            BusKind::NonPipelined => CostModel {
+                kind,
+                // The bus is held during the access.
+                mem_access: t.transfer_word + t.wait_memory + data,
+                cache_access: t.transfer_word + t.wait_cache + data,
+                write_back: data,
+                // 1 cycle address + 1 cycle data word.
+                write_word: 2 * t.transfer_word,
+                // 1 cycle address + directory wait.
+                dir_check: t.transfer_word + t.wait_directory,
+                addr_send: t.transfer_word,
+                invalidate: t.invalidate,
+            },
+        }
+    }
+
+    /// The paper's pipelined bus (Table 2 left column).
+    pub fn pipelined() -> Self {
+        Self::new(BusKind::Pipelined, BusTiming::PAPER)
+    }
+
+    /// The paper's non-pipelined bus (Table 2 right column).
+    pub fn non_pipelined() -> Self {
+        Self::new(BusKind::NonPipelined, BusTiming::PAPER)
+    }
+
+    /// Both paper bus models, pipelined first (the order of Figures 2-3's
+    /// bar endpoints).
+    pub fn paper_pair() -> [CostModel; 2] {
+        [Self::pipelined(), Self::non_pipelined()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_pipelined_column() {
+        let m = CostModel::pipelined();
+        assert_eq!(m.mem_access, 5);
+        assert_eq!(m.cache_access, 5);
+        assert_eq!(m.write_back, 4);
+        assert_eq!(m.write_word, 1);
+        assert_eq!(m.dir_check, 1);
+        assert_eq!(m.addr_send, 1);
+        assert_eq!(m.invalidate, 1);
+    }
+
+    #[test]
+    fn table2_non_pipelined_column() {
+        let m = CostModel::non_pipelined();
+        assert_eq!(m.mem_access, 7);
+        assert_eq!(m.cache_access, 6);
+        assert_eq!(m.write_back, 4);
+        assert_eq!(m.write_word, 2);
+        assert_eq!(m.dir_check, 3);
+        assert_eq!(m.invalidate, 1);
+    }
+
+    #[test]
+    fn wider_blocks_raise_transfer_costs() {
+        let t = BusTiming { block_words: 8, ..BusTiming::PAPER };
+        let m = CostModel::new(BusKind::Pipelined, t);
+        assert_eq!(m.mem_access, 9);
+        assert_eq!(m.write_back, 8);
+    }
+
+    #[test]
+    fn paper_pair_order() {
+        let [p, np] = CostModel::paper_pair();
+        assert_eq!(p.kind, BusKind::Pipelined);
+        assert_eq!(np.kind, BusKind::NonPipelined);
+        assert!(p.mem_access < np.mem_access);
+    }
+
+    #[test]
+    fn bus_kind_display() {
+        assert_eq!(BusKind::Pipelined.to_string(), "pipelined");
+        assert_eq!(BusKind::NonPipelined.to_string(), "non-pipelined");
+    }
+}

@@ -1,0 +1,277 @@
+//! The infinite-cache array with residency oracle.
+
+use dircc_types::{BlockAddr, CacheId, CacheIdSet};
+use std::collections::HashMap;
+
+/// An array of infinite caches, one per [`CacheId`], each mapping blocks to
+/// a protocol-defined state `S`, plus a residency oracle.
+///
+/// Invariant: `holders(b)` contains exactly the caches for which
+/// `state(c, b)` is `Some`. The oracle is maintained internally and is what
+/// makes O(1) "who has this block" queries possible for snoopy protocols,
+/// verification, and statistics.
+#[derive(Debug, Clone)]
+pub struct CacheArray<S> {
+    caches: Vec<HashMap<BlockAddr, S>>,
+    residency: HashMap<BlockAddr, CacheIdSet>,
+}
+
+impl<S> CacheArray<S> {
+    /// Creates `n` empty caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds 64 (the [`CacheIdSet`] width).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1 && n <= 64, "cache count must be in 1..=64");
+        CacheArray {
+            caches: (0..n).map(|_| HashMap::new()).collect(),
+            residency: HashMap::new(),
+        }
+    }
+
+    /// Number of caches.
+    pub fn num_caches(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Iterates over all valid cache ids.
+    pub fn cache_ids(&self) -> impl Iterator<Item = CacheId> {
+        (0..self.caches.len() as u16).map(CacheId::new)
+    }
+
+    /// Returns the state of `block` in `cache`, if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is out of range.
+    pub fn state(&self, cache: CacheId, block: BlockAddr) -> Option<&S> {
+        self.caches[cache.index()].get(&block)
+    }
+
+    /// Returns a mutable reference to the state of `block` in `cache`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is out of range.
+    pub fn state_mut(&mut self, cache: CacheId, block: BlockAddr) -> Option<&mut S> {
+        self.caches[cache.index()].get_mut(&block)
+    }
+
+    /// Installs or updates `block` in `cache` with state `s`, returning the
+    /// previous state if the block was already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is out of range.
+    pub fn set(&mut self, cache: CacheId, block: BlockAddr, s: S) -> Option<S> {
+        let prev = self.caches[cache.index()].insert(block, s);
+        if prev.is_none() {
+            self.residency.entry(block).or_default().insert(cache);
+        }
+        prev
+    }
+
+    /// Removes `block` from `cache`, returning its state if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is out of range.
+    pub fn remove(&mut self, cache: CacheId, block: BlockAddr) -> Option<S> {
+        let prev = self.caches[cache.index()].remove(&block);
+        if prev.is_some() {
+            if let Some(set) = self.residency.get_mut(&block) {
+                set.remove(cache);
+                if set.is_empty() {
+                    self.residency.remove(&block);
+                }
+            }
+        }
+        prev
+    }
+
+    /// Returns the set of caches currently holding `block`.
+    pub fn holders(&self, block: BlockAddr) -> CacheIdSet {
+        self.residency.get(&block).copied().unwrap_or_default()
+    }
+
+    /// Returns the caches holding `block`, excluding `cache`.
+    pub fn other_holders(&self, cache: CacheId, block: BlockAddr) -> CacheIdSet {
+        self.holders(block).without(cache)
+    }
+
+    /// Returns the number of blocks resident in `cache`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is out of range.
+    pub fn blocks_in(&self, cache: CacheId) -> usize {
+        self.caches[cache.index()].len()
+    }
+
+    /// Returns the number of distinct blocks resident anywhere.
+    pub fn distinct_blocks(&self) -> usize {
+        self.residency.len()
+    }
+
+    /// Iterates over `(block, state)` pairs of one cache (arbitrary order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is out of range.
+    pub fn iter_cache(&self, cache: CacheId) -> impl Iterator<Item = (&BlockAddr, &S)> {
+        self.caches[cache.index()].iter()
+    }
+
+    /// Iterates over every block resident anywhere, with its holder set.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (&BlockAddr, &CacheIdSet)> {
+        self.residency.iter()
+    }
+
+    /// Checks the internal residency-oracle invariant; used by tests and
+    /// the protocol invariant checkers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn check_residency(&self) -> Result<(), String> {
+        for (block, set) in &self.residency {
+            if set.is_empty() {
+                return Err(format!("{block}: empty residency entry retained"));
+            }
+            for cache in set.iter() {
+                if !self.caches[cache.index()].contains_key(block) {
+                    return Err(format!("{block}: oracle claims {cache} but tag store disagrees"));
+                }
+            }
+        }
+        for (i, tags) in self.caches.iter().enumerate() {
+            let cache = CacheId::new(i as u16);
+            for block in tags.keys() {
+                if !self.holders(*block).contains(cache) {
+                    return Err(format!("{block}: in {cache} tag store but not in oracle"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<S: Clone> CacheArray<S> {
+    /// Removes `block` from every cache except `keep`, returning the caches
+    /// it was removed from. Pass `None` to remove from all.
+    pub fn remove_all_except(&mut self, block: BlockAddr, keep: Option<CacheId>) -> CacheIdSet {
+        let mut victims = self.holders(block);
+        if let Some(k) = keep {
+            victims.remove(k);
+        }
+        for c in victims.iter() {
+            self.remove(c, block);
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+    fn c(i: u16) -> CacheId {
+        CacheId::new(i)
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut a: CacheArray<u32> = CacheArray::new(2);
+        assert_eq!(a.set(c(0), b(1), 7), None);
+        assert_eq!(a.set(c(0), b(1), 9), Some(7));
+        assert_eq!(a.state(c(0), b(1)), Some(&9));
+        assert_eq!(a.state(c(1), b(1)), None);
+        *a.state_mut(c(0), b(1)).unwrap() = 11;
+        assert_eq!(a.state(c(0), b(1)), Some(&11));
+    }
+
+    #[test]
+    fn holders_tracks_residency() {
+        let mut a: CacheArray<()> = CacheArray::new(4);
+        a.set(c(0), b(5), ());
+        a.set(c(2), b(5), ());
+        a.set(c(2), b(6), ());
+        assert_eq!(a.holders(b(5)).len(), 2);
+        assert_eq!(a.other_holders(c(0), b(5)).sole(), Some(c(2)));
+        a.remove(c(0), b(5));
+        assert_eq!(a.holders(b(5)).sole(), Some(c(2)));
+        a.remove(c(2), b(5));
+        assert!(a.holders(b(5)).is_empty());
+        assert_eq!(a.distinct_blocks(), 1);
+        a.check_residency().unwrap();
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut a: CacheArray<()> = CacheArray::new(1);
+        assert_eq!(a.remove(c(0), b(1)), None);
+        a.check_residency().unwrap();
+    }
+
+    #[test]
+    fn remove_all_except_keeps_one() {
+        let mut a: CacheArray<u8> = CacheArray::new(4);
+        for i in 0..4 {
+            a.set(c(i), b(9), i as u8);
+        }
+        let removed = a.remove_all_except(b(9), Some(c(2)));
+        assert_eq!(removed.len(), 3);
+        assert!(!removed.contains(c(2)));
+        assert_eq!(a.holders(b(9)).sole(), Some(c(2)));
+        a.check_residency().unwrap();
+    }
+
+    #[test]
+    fn remove_all_clears_block() {
+        let mut a: CacheArray<u8> = CacheArray::new(3);
+        a.set(c(0), b(9), 0);
+        a.set(c(1), b(9), 0);
+        let removed = a.remove_all_except(b(9), None);
+        assert_eq!(removed.len(), 2);
+        assert!(a.holders(b(9)).is_empty());
+    }
+
+    #[test]
+    fn blocks_in_counts_per_cache() {
+        let mut a: CacheArray<()> = CacheArray::new(2);
+        a.set(c(0), b(1), ());
+        a.set(c(0), b(2), ());
+        a.set(c(1), b(1), ());
+        assert_eq!(a.blocks_in(c(0)), 2);
+        assert_eq!(a.blocks_in(c(1)), 1);
+        assert_eq!(a.distinct_blocks(), 2);
+    }
+
+    #[test]
+    fn iter_blocks_covers_everything() {
+        let mut a: CacheArray<()> = CacheArray::new(2);
+        a.set(c(0), b(1), ());
+        a.set(c(1), b(2), ());
+        let mut blocks: Vec<u64> = a.iter_blocks().map(|(blk, _)| blk.index()).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![1, 2]);
+        assert_eq!(a.iter_cache(c(0)).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn zero_caches_rejected() {
+        let _: CacheArray<()> = CacheArray::new(0);
+    }
+
+    #[test]
+    fn cache_ids_enumerates() {
+        let a: CacheArray<()> = CacheArray::new(3);
+        let ids: Vec<u16> = a.cache_ids().map(|c| c.raw()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

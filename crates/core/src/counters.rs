@@ -1,0 +1,445 @@
+//! Event counting: the raw material of Table 4 and Figure 1.
+
+use crate::event::{Event, EvictOutcome, MissContext, Outcome, WriteHitContext};
+
+/// Width of the invalidation histogram ([`EventCounters::inval_histogram`]);
+/// counts of `MAX_HISTOGRAM - 1` or more sharers land in the last bucket.
+pub const MAX_HISTOGRAM: usize = 17;
+
+/// Accumulated event frequencies and side-effect counts for one protocol
+/// over one trace.
+///
+/// All Table 4 rows are exposed as counts plus `*_frac` percentages of
+/// total references; Figure 1's histogram of "caches to invalidate on a
+/// write to a previously-clean block" is [`EventCounters::inval_histogram`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventCounters {
+    instr: u64,
+    read_hit: u64,
+    rm_first: u64,
+    rm_clean: u64,
+    rm_dirty: u64,
+    rm_memory: u64,
+    wh_dirty: u64,
+    wh_clean_exclusive: u64,
+    wh_clean_shared: u64,
+    wm_first: u64,
+    wm_clean: u64,
+    wm_dirty: u64,
+    wm_memory: u64,
+    control_messages: u64,
+    broadcasts: u64,
+    write_backs: u64,
+    cache_supplies: u64,
+    updates: u64,
+    aux_messages: u64,
+    directory_evictions: u64,
+    cache_evictions: u64,
+    /// Histogram over writes to previously-clean blocks of the number of
+    /// *other* caches holding the block (Figure 1).
+    inval_hist: [u64; MAX_HISTOGRAM],
+}
+
+impl EventCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts for one protocol outcome.
+    pub fn observe(&mut self, o: &Outcome) {
+        match o.event {
+            Event::Instr => self.instr += 1,
+            Event::ReadHit => self.read_hit += 1,
+            Event::ReadMiss(ctx) => match ctx {
+                MissContext::FirstRef => self.rm_first += 1,
+                MissContext::CleanElsewhere { .. } => self.rm_clean += 1,
+                MissContext::DirtyElsewhere => self.rm_dirty += 1,
+                MissContext::MemoryOnly => self.rm_memory += 1,
+            },
+            Event::WriteHit(ctx) => match ctx {
+                WriteHitContext::Dirty => self.wh_dirty += 1,
+                WriteHitContext::CleanExclusive => {
+                    self.wh_clean_exclusive += 1;
+                    self.bump_hist(0);
+                }
+                WriteHitContext::CleanShared { others } => {
+                    self.wh_clean_shared += 1;
+                    self.bump_hist(others);
+                }
+            },
+            Event::WriteMiss(ctx) => match ctx {
+                MissContext::FirstRef => self.wm_first += 1,
+                MissContext::CleanElsewhere { copies } => {
+                    self.wm_clean += 1;
+                    self.bump_hist(copies);
+                }
+                MissContext::DirtyElsewhere => self.wm_dirty += 1,
+                MissContext::MemoryOnly => self.wm_memory += 1,
+            },
+        }
+        self.control_messages += u64::from(o.control_messages);
+        self.broadcasts += u64::from(o.used_broadcast);
+        self.write_backs += u64::from(o.write_back);
+        self.cache_supplies += u64::from(o.cache_supplied);
+        self.updates += u64::from(o.updates);
+        self.aux_messages += u64::from(o.aux_messages);
+        self.directory_evictions += u64::from(o.directory_evictions);
+    }
+
+    /// Accounts for a finite-cache replacement. Eviction traffic feeds the
+    /// write-back and control-message totals (it occupies the bus) without
+    /// touching any reference-event row, so per-reference rates stay
+    /// correct.
+    pub fn observe_eviction(&mut self, e: &EvictOutcome) {
+        self.cache_evictions += 1;
+        self.write_backs += u64::from(e.write_back);
+        self.control_messages += u64::from(e.control_messages);
+    }
+
+    /// Finite-cache replacements observed (0 in infinite-cache runs).
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions
+    }
+
+    fn bump_hist(&mut self, others: u32) {
+        let idx = (others as usize).min(MAX_HISTOGRAM - 1);
+        self.inval_hist[idx] += 1;
+    }
+
+    /// Merges another counter set into this one (e.g. across traces).
+    pub fn merge(&mut self, other: &EventCounters) {
+        self.instr += other.instr;
+        self.read_hit += other.read_hit;
+        self.rm_first += other.rm_first;
+        self.rm_clean += other.rm_clean;
+        self.rm_dirty += other.rm_dirty;
+        self.rm_memory += other.rm_memory;
+        self.wh_dirty += other.wh_dirty;
+        self.wh_clean_exclusive += other.wh_clean_exclusive;
+        self.wh_clean_shared += other.wh_clean_shared;
+        self.wm_first += other.wm_first;
+        self.wm_clean += other.wm_clean;
+        self.wm_dirty += other.wm_dirty;
+        self.wm_memory += other.wm_memory;
+        self.control_messages += other.control_messages;
+        self.broadcasts += other.broadcasts;
+        self.write_backs += other.write_backs;
+        self.cache_supplies += other.cache_supplies;
+        self.updates += other.updates;
+        self.aux_messages += other.aux_messages;
+        self.directory_evictions += other.directory_evictions;
+        self.cache_evictions += other.cache_evictions;
+        for (a, b) in self.inval_hist.iter_mut().zip(other.inval_hist.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total references observed (instructions + data).
+    pub fn total(&self) -> u64 {
+        self.instr + self.data_refs()
+    }
+
+    /// Total data references.
+    pub fn data_refs(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// Instruction fetches.
+    pub fn instr(&self) -> u64 {
+        self.instr
+    }
+
+    /// Total data reads.
+    pub fn reads(&self) -> u64 {
+        self.read_hit + self.rm() + self.rm_first
+    }
+
+    /// Total data writes.
+    pub fn writes(&self) -> u64 {
+        self.wh() + self.wm() + self.wm_first
+    }
+
+    /// Read hits.
+    pub fn read_hits(&self) -> u64 {
+        self.read_hit
+    }
+
+    /// Read misses excluding first references (the paper's `rm`).
+    pub fn rm(&self) -> u64 {
+        self.rm_clean + self.rm_dirty + self.rm_memory
+    }
+
+    /// Read misses to blocks clean in another cache.
+    pub fn rm_blk_cln(&self) -> u64 {
+        self.rm_clean
+    }
+
+    /// Read misses to blocks dirty in another cache.
+    pub fn rm_blk_drty(&self) -> u64 {
+        self.rm_dirty
+    }
+
+    /// Read misses satisfied from memory with no cached copies.
+    pub fn rm_blk_mem(&self) -> u64 {
+        self.rm_memory
+    }
+
+    /// First-reference read misses.
+    pub fn rm_first_ref(&self) -> u64 {
+        self.rm_first
+    }
+
+    /// Write hits.
+    pub fn wh(&self) -> u64 {
+        self.wh_dirty + self.wh_clean_exclusive + self.wh_clean_shared
+    }
+
+    /// Write hits to locally-dirty blocks.
+    pub fn wh_blk_drty(&self) -> u64 {
+        self.wh_dirty
+    }
+
+    /// Write hits to locally-clean blocks (the paper's `wh-blk-cln`,
+    /// regardless of other sharers).
+    pub fn wh_blk_cln(&self) -> u64 {
+        self.wh_clean_exclusive + self.wh_clean_shared
+    }
+
+    /// Write hits to blocks also present in another cache (Dragon's
+    /// `wh-distrib`).
+    pub fn wh_distrib(&self) -> u64 {
+        self.wh_clean_shared
+    }
+
+    /// Write hits to blocks in no other cache (Dragon's `wh-local`).
+    pub fn wh_local(&self) -> u64 {
+        self.wh_dirty + self.wh_clean_exclusive
+    }
+
+    /// Write misses excluding first references (the paper's `wm`).
+    pub fn wm(&self) -> u64 {
+        self.wm_clean + self.wm_dirty + self.wm_memory
+    }
+
+    /// Write misses to blocks clean in another cache.
+    pub fn wm_blk_cln(&self) -> u64 {
+        self.wm_clean
+    }
+
+    /// Write misses to blocks dirty in another cache.
+    pub fn wm_blk_drty(&self) -> u64 {
+        self.wm_dirty
+    }
+
+    /// Write misses satisfied from memory with no cached copies.
+    pub fn wm_blk_mem(&self) -> u64 {
+        self.wm_memory
+    }
+
+    /// First-reference write misses.
+    pub fn wm_first_ref(&self) -> u64 {
+        self.wm_first
+    }
+
+    /// Control messages (sequential invalidates, flush requests, pointer
+    /// evictions).
+    pub fn control_messages(&self) -> u64 {
+        self.control_messages
+    }
+
+    /// Broadcast deliveries used.
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts
+    }
+
+    /// Dirty write-backs to memory.
+    pub fn write_backs(&self) -> u64 {
+        self.write_backs
+    }
+
+    /// Cache-to-cache data supplies.
+    pub fn cache_supplies(&self) -> u64 {
+        self.cache_supplies
+    }
+
+    /// Word updates distributed (Dragon).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Protocol maintenance messages (Yen & Fu single-bit traffic).
+    pub fn aux_messages(&self) -> u64 {
+        self.aux_messages
+    }
+
+    /// Copies invalidated by limited-directory pointer overflow.
+    pub fn directory_evictions(&self) -> u64 {
+        self.directory_evictions
+    }
+
+    /// Figure 1 histogram: for each write to a previously-clean block, the
+    /// number of other caches that held the block. Index = sharer count;
+    /// the final bucket aggregates larger counts.
+    pub fn inval_histogram(&self) -> &[u64; MAX_HISTOGRAM] {
+        &self.inval_hist
+    }
+
+    /// Fraction of writes-to-previously-clean-blocks that required
+    /// invalidations in at most `k` other caches (Figure 1's headline:
+    /// "over 85% ... no more than one").
+    pub fn inval_at_most(&self, k: usize) -> f64 {
+        let total: u64 = self.inval_hist.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let within: u64 = self.inval_hist.iter().take(k + 1).sum();
+        within as f64 / total as f64
+    }
+
+    /// A count expressed as a percentage of total references.
+    pub fn pct(&self, count: u64) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * count as f64 / self.total() as f64
+        }
+    }
+
+    /// A count expressed as a fraction (per reference).
+    pub fn per_ref(&self, count: u64) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            count as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EvictOutcome, MissContext, Outcome, WriteHitContext};
+
+    fn quiet(e: Event) -> Outcome {
+        Outcome::quiet(e)
+    }
+
+    #[test]
+    fn table4_rows_accumulate() {
+        let mut c = EventCounters::new();
+        c.observe(&quiet(Event::Instr));
+        c.observe(&quiet(Event::ReadHit));
+        c.observe(&quiet(Event::ReadMiss(MissContext::CleanElsewhere { copies: 2 })));
+        c.observe(&quiet(Event::ReadMiss(MissContext::DirtyElsewhere)));
+        c.observe(&quiet(Event::ReadMiss(MissContext::FirstRef)));
+        c.observe(&quiet(Event::WriteHit(WriteHitContext::Dirty)));
+        c.observe(&quiet(Event::WriteHit(WriteHitContext::CleanShared { others: 1 })));
+        c.observe(&quiet(Event::WriteMiss(MissContext::CleanElsewhere { copies: 3 })));
+        assert_eq!(c.total(), 8);
+        assert_eq!(c.instr(), 1);
+        assert_eq!(c.reads(), 4);
+        assert_eq!(c.writes(), 3);
+        assert_eq!(c.rm(), 2);
+        assert_eq!(c.rm_first_ref(), 1);
+        assert_eq!(c.wh(), 2);
+        assert_eq!(c.wh_blk_cln(), 1);
+        assert_eq!(c.wh_distrib(), 1);
+        assert_eq!(c.wh_local(), 1);
+        assert_eq!(c.wm(), 1);
+        assert_eq!(c.wm_blk_cln(), 1);
+    }
+
+    #[test]
+    fn histogram_tracks_sharer_counts() {
+        let mut c = EventCounters::new();
+        c.observe(&quiet(Event::WriteHit(WriteHitContext::CleanExclusive)));
+        c.observe(&quiet(Event::WriteHit(WriteHitContext::CleanShared { others: 1 })));
+        c.observe(&quiet(Event::WriteHit(WriteHitContext::CleanShared { others: 1 })));
+        c.observe(&quiet(Event::WriteMiss(MissContext::CleanElsewhere { copies: 3 })));
+        let h = c.inval_histogram();
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 2);
+        assert_eq!(h[3], 1);
+        assert!((c.inval_at_most(1) - 0.75).abs() < 1e-12);
+        assert!((c.inval_at_most(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_saturates_last_bucket() {
+        let mut c = EventCounters::new();
+        c.observe(&quiet(Event::WriteHit(WriteHitContext::CleanShared { others: 60 })));
+        assert_eq!(c.inval_histogram()[MAX_HISTOGRAM - 1], 1);
+    }
+
+    #[test]
+    fn side_effects_accumulate() {
+        let mut c = EventCounters::new();
+        let o = Outcome {
+            control_messages: 3,
+            used_broadcast: true,
+            updates: 1,
+            aux_messages: 2,
+            directory_evictions: 1,
+            cache_supplied: true,
+            ..Outcome::quiet(Event::ReadHit).with_write_back()
+        };
+        c.observe(&o);
+        assert_eq!(c.control_messages(), 3);
+        assert_eq!(c.broadcasts(), 1);
+        assert_eq!(c.write_backs(), 1);
+        assert_eq!(c.cache_supplies(), 1);
+        assert_eq!(c.updates(), 1);
+        assert_eq!(c.aux_messages(), 2);
+        assert_eq!(c.directory_evictions(), 1);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = EventCounters::new();
+        let mut b = EventCounters::new();
+        a.observe(&quiet(Event::ReadHit));
+        b.observe(&quiet(Event::ReadHit));
+        b.observe(&quiet(Event::WriteHit(WriteHitContext::CleanShared { others: 2 })));
+        a.merge(&b);
+        assert_eq!(a.read_hits(), 2);
+        assert_eq!(a.wh_distrib(), 1);
+        assert_eq!(a.inval_histogram()[2], 1);
+    }
+
+    #[test]
+    fn percentages() {
+        let mut c = EventCounters::new();
+        for _ in 0..3 {
+            c.observe(&quiet(Event::ReadHit));
+        }
+        c.observe(&quiet(Event::Instr));
+        assert!((c.pct(c.read_hits()) - 75.0).abs() < 1e-12);
+        assert!((c.per_ref(c.read_hits()) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evictions_feed_traffic_totals_but_not_event_rows() {
+        let mut c = EventCounters::new();
+        c.observe(&quiet(Event::ReadHit));
+        c.observe_eviction(&EvictOutcome::WRITE_BACK);
+        c.observe_eviction(&EvictOutcome::NOTIFY);
+        c.observe_eviction(&EvictOutcome::SILENT);
+        assert_eq!(c.total(), 1, "evictions are not references");
+        assert_eq!(c.cache_evictions(), 3);
+        assert_eq!(c.write_backs(), 1);
+        assert_eq!(c.control_messages(), 1);
+        // And they merge.
+        let mut d = EventCounters::new();
+        d.merge(&c);
+        assert_eq!(d.cache_evictions(), 3);
+    }
+
+    #[test]
+    fn empty_counters_are_safe() {
+        let c = EventCounters::new();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.pct(0), 0.0);
+        assert_eq!(c.inval_at_most(0), 1.0);
+    }
+}

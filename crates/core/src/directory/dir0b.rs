@@ -1,0 +1,385 @@
+//! `Dir0B`: the Archibald-Baer two-bit broadcast directory.
+//!
+//! "The directory saves only two bits with each block in main memory. These
+//! bits encode one of four possible states: block not cached, block clean in
+//! exactly one cache, block clean in an unknown number of caches, and block
+//! dirty in exactly one cache. The directory therefore contains no
+//! information to indicate which caches contain a block; the scheme relies
+//! on broadcasts to perform invalidates and write-back requests."
+//!
+//! The *block clean in exactly one cache* state is what lets a writer that
+//! already holds the only copy skip the broadcast.
+
+use crate::event::{Event, EvictOutcome, MissContext, Outcome, WriteHitContext};
+use crate::protocol::{Protocol, ProtocolKind};
+use dircc_cache::CacheArray;
+use dircc_types::{AccessKind, BlockAddr, CacheId, CacheIdSet};
+use std::collections::HashMap;
+
+/// Per-cache copy state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Copy {
+    Clean,
+    Dirty,
+}
+
+/// The four two-bit directory states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DirState {
+    /// Block not cached anywhere.
+    NotCached,
+    /// Clean in exactly one cache (the state that avoids broadcasts on
+    /// write hits by the sole holder).
+    CleanOne,
+    /// Clean in an unknown number of caches (≥ 1; the directory can't tell).
+    CleanMany,
+    /// Dirty in exactly one cache.
+    DirtyOne,
+}
+
+/// The Archibald-Baer `Dir0B` protocol.
+///
+/// ```
+/// use dircc_core::directory::Dir0B;
+/// use dircc_core::Protocol;
+///
+/// assert_eq!(Dir0B::new(4).name(), "Dir0B");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dir0B {
+    caches: CacheArray<Copy>,
+    dir: HashMap<BlockAddr, DirState>,
+}
+
+impl Dir0B {
+    /// Creates a `Dir0B` protocol over `n_caches` caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_caches` is out of `1..=64`.
+    pub fn new(n_caches: usize) -> Self {
+        Dir0B { caches: CacheArray::new(n_caches), dir: HashMap::new() }
+    }
+
+    fn dir_state(&self, block: BlockAddr) -> DirState {
+        self.dir.get(&block).copied().unwrap_or(DirState::NotCached)
+    }
+
+    fn classify_miss(&self, block: BlockAddr, first_ref: bool) -> MissContext {
+        match self.dir_state(block) {
+            DirState::NotCached => {
+                if first_ref {
+                    MissContext::FirstRef
+                } else {
+                    MissContext::MemoryOnly
+                }
+            }
+            DirState::DirtyOne => MissContext::DirtyElsewhere,
+            DirState::CleanOne | DirState::CleanMany => MissContext::CleanElsewhere {
+                copies: self.caches.holders(block).len() as u32,
+            },
+        }
+    }
+
+    fn read(&mut self, cache: CacheId, block: BlockAddr, first_ref: bool) -> Outcome {
+        if self.caches.state(cache, block).is_some() {
+            return Outcome::quiet(Event::ReadHit);
+        }
+        let ctx = self.classify_miss(block, first_ref);
+        let mut out = Outcome::quiet(Event::ReadMiss(ctx));
+        match self.dir_state(block) {
+            DirState::DirtyOne => {
+                // Broadcast write-back request; the owner flushes and keeps
+                // a clean copy; memory becomes current.
+                out.used_broadcast = true;
+                out = out.with_write_back();
+                let owner =
+                    self.caches.holders(block).sole().expect("DirtyOne has one holder");
+                self.caches.set(owner, block, Copy::Clean);
+                self.dir.insert(block, DirState::CleanMany);
+            }
+            DirState::CleanOne | DirState::CleanMany => {
+                self.dir.insert(block, DirState::CleanMany);
+            }
+            DirState::NotCached => {
+                self.dir.insert(block, DirState::CleanOne);
+            }
+        }
+        self.caches.set(cache, block, Copy::Clean);
+        out
+    }
+
+    fn write(&mut self, cache: CacheId, block: BlockAddr, first_ref: bool) -> Outcome {
+        match self.caches.state(cache, block) {
+            Some(Copy::Dirty) => {
+                // "If the block is already dirty, there is no need to check
+                // the central directory, so the write can proceed
+                // immediately."
+                Outcome::quiet(Event::WriteHit(WriteHitContext::Dirty))
+            }
+            Some(Copy::Clean) => {
+                // "If the block is clean, then the cache notifies the
+                // central directory, which must invalidate the block in all
+                // of the other caches where it resides." The CleanOne state
+                // avoids the broadcast when we are the only holder.
+                let others = self.caches.other_holders(cache, block);
+                let (event, broadcast) = if others.is_empty() {
+                    (Event::WriteHit(WriteHitContext::CleanExclusive), false)
+                } else {
+                    (
+                        Event::WriteHit(WriteHitContext::CleanShared {
+                            others: others.len() as u32,
+                        }),
+                        // CleanOne would mean no others; dir must say
+                        // CleanMany here, requiring a broadcast.
+                        true,
+                    )
+                };
+                let mut out = Outcome::quiet(event);
+                out.used_broadcast = broadcast;
+                for h in others.iter() {
+                    self.caches.remove(h, block);
+                }
+                self.caches.set(cache, block, Copy::Dirty);
+                self.dir.insert(block, DirState::DirtyOne);
+                out
+            }
+            None => {
+                let ctx = self.classify_miss(block, first_ref);
+                let mut out = Outcome::quiet(Event::WriteMiss(ctx));
+                match self.dir_state(block) {
+                    DirState::DirtyOne => {
+                        // Broadcast: the owner flushes back and invalidates.
+                        out.used_broadcast = true;
+                        out = out.with_write_back();
+                        self.caches.remove_all_except(block, None);
+                    }
+                    DirState::CleanOne | DirState::CleanMany => {
+                        out.used_broadcast = true;
+                        self.caches.remove_all_except(block, None);
+                    }
+                    DirState::NotCached => {}
+                }
+                self.caches.set(cache, block, Copy::Dirty);
+                self.dir.insert(block, DirState::DirtyOne);
+                out
+            }
+        }
+    }
+}
+
+impl Protocol for Dir0B {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Dir0B
+    }
+
+    fn num_caches(&self) -> usize {
+        self.caches.num_caches()
+    }
+
+    fn access(
+        &mut self,
+        cache: CacheId,
+        kind: AccessKind,
+        block: BlockAddr,
+        first_ref: bool,
+    ) -> Outcome {
+        match kind {
+            AccessKind::Read => self.read(cache, block, first_ref),
+            AccessKind::Write => self.write(cache, block, first_ref),
+            AccessKind::InstrFetch => panic!("instruction fetches never reach the protocol"),
+        }
+    }
+
+    fn evict(&mut self, cache: CacheId, block: BlockAddr) -> EvictOutcome {
+        let Some(copy) = self.caches.remove(cache, block) else {
+            return EvictOutcome::SILENT;
+        };
+        let remaining = self.caches.holders(block);
+        if copy == Copy::Dirty {
+            // The dirty copy flushes; the two-bit entry returns to
+            // NotCached.
+            self.dir.insert(block, DirState::NotCached);
+            return EvictOutcome::WRITE_BACK;
+        }
+        if remaining.is_empty() {
+            self.dir.insert(block, DirState::NotCached);
+        }
+        // The two-bit directory keeps no pointers: clean replacements are
+        // silent (CleanMany legitimately over-approximates).
+        EvictOutcome::SILENT
+    }
+
+    fn holders(&self, block: BlockAddr) -> CacheIdSet {
+        self.caches.holders(block)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        self.caches.check_residency()?;
+        for (block, holders) in self.caches.iter_blocks() {
+            let state = self.dir_state(*block);
+            match state {
+                DirState::NotCached => {
+                    return Err(format!("{block}: cached but directory says NotCached"));
+                }
+                DirState::CleanOne => {
+                    if holders.len() != 1 {
+                        return Err(format!(
+                            "{block}: CleanOne but {} holders",
+                            holders.len()
+                        ));
+                    }
+                }
+                DirState::CleanMany => {
+                    if holders.is_empty() {
+                        return Err(format!("{block}: CleanMany but no holders"));
+                    }
+                }
+                DirState::DirtyOne => {
+                    if holders.len() != 1 {
+                        return Err(format!(
+                            "{block}: DirtyOne but {} holders",
+                            holders.len()
+                        ));
+                    }
+                }
+            }
+            // Copy states must agree with the directory.
+            for h in holders.iter() {
+                let copy = self.caches.state(h, *block).expect("holder has state");
+                let expect_dirty = state == DirState::DirtyOne;
+                if (*copy == Copy::Dirty) != expect_dirty {
+                    return Err(format!("{block}: copy state in {h} disagrees with {state:?}"));
+                }
+            }
+        }
+        // Directory entries claiming residency must have holders.
+        for (block, state) in &self.dir {
+            if *state != DirState::NotCached && self.caches.holders(*block).is_empty() {
+                return Err(format!("{block}: directory {state:?} but nothing cached"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+    fn read(p: &mut Dir0B, cache: u16, blk: u64, first: bool) -> Outcome {
+        p.access(CacheId::new(cache), AccessKind::Read, b(blk), first)
+    }
+    fn write(p: &mut Dir0B, cache: u16, blk: u64, first: bool) -> Outcome {
+        p.access(CacheId::new(cache), AccessKind::Write, b(blk), first)
+    }
+
+    #[test]
+    fn multiple_clean_readers_join_quietly() {
+        let mut p = Dir0B::new(4);
+        read(&mut p, 0, 1, true);
+        for cache in 1..4 {
+            let o = read(&mut p, cache, 1, false);
+            assert!(!o.used_broadcast);
+            assert_eq!(o.control_messages, 0);
+        }
+        assert_eq!(p.holders(b(1)).len(), 4);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clean_exclusive_write_hit_avoids_broadcast() {
+        let mut p = Dir0B::new(4);
+        read(&mut p, 0, 1, true);
+        let o = write(&mut p, 0, 1, false);
+        assert_eq!(o.event, Event::WriteHit(WriteHitContext::CleanExclusive));
+        assert!(
+            !o.used_broadcast,
+            "the 'clean in exactly one cache' state obviates the broadcast"
+        );
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clean_shared_write_hit_broadcasts() {
+        let mut p = Dir0B::new(4);
+        read(&mut p, 0, 1, true);
+        read(&mut p, 1, 1, false);
+        read(&mut p, 2, 1, false);
+        let o = write(&mut p, 0, 1, false);
+        assert_eq!(o.event, Event::WriteHit(WriteHitContext::CleanShared { others: 2 }));
+        assert!(o.used_broadcast);
+        assert_eq!(p.holders(b(1)).sole(), Some(CacheId::new(0)));
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn read_miss_to_dirty_broadcasts_writeback_request() {
+        let mut p = Dir0B::new(4);
+        write(&mut p, 0, 1, true);
+        let o = read(&mut p, 1, 1, false);
+        assert_eq!(o.event, Event::ReadMiss(MissContext::DirtyElsewhere));
+        assert!(o.used_broadcast, "Dir0B has no pointer: write-back requests broadcast");
+        assert!(o.write_back);
+        assert_eq!(p.holders(b(1)).len(), 2);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_miss_to_dirty_flushes_and_invalidates() {
+        let mut p = Dir0B::new(4);
+        write(&mut p, 0, 1, true);
+        let o = write(&mut p, 1, 1, false);
+        assert_eq!(o.event, Event::WriteMiss(MissContext::DirtyElsewhere));
+        assert!(o.used_broadcast && o.write_back);
+        assert_eq!(p.holders(b(1)).sole(), Some(CacheId::new(1)));
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_miss_to_clean_broadcast_invalidates() {
+        let mut p = Dir0B::new(4);
+        read(&mut p, 0, 1, true);
+        read(&mut p, 2, 1, false);
+        let o = write(&mut p, 1, 1, false);
+        assert_eq!(o.event, Event::WriteMiss(MissContext::CleanElsewhere { copies: 2 }));
+        assert!(o.used_broadcast);
+        assert!(!o.write_back);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dirty_write_hit_is_free() {
+        let mut p = Dir0B::new(4);
+        write(&mut p, 0, 1, true);
+        let o = write(&mut p, 0, 1, false);
+        assert_eq!(o, Outcome::quiet(Event::WriteHit(WriteHitContext::Dirty)));
+    }
+
+    #[test]
+    fn first_and_memory_only_classification() {
+        let mut p = Dir0B::new(2);
+        let o = write(&mut p, 0, 9, true);
+        assert_eq!(o.event, Event::WriteMiss(MissContext::FirstRef));
+        // Dir0B never empties a block's residency (invalidation installs the
+        // writer), so MemoryOnly is unreachable here; confirm the dirty path
+        // instead.
+        let o = read(&mut p, 1, 9, false);
+        assert_eq!(o.event, Event::ReadMiss(MissContext::DirtyElsewhere));
+    }
+
+    #[test]
+    fn read_after_flush_hits_clean_many() {
+        let mut p = Dir0B::new(4);
+        write(&mut p, 0, 1, true);
+        read(&mut p, 1, 1, false);
+        // Owner kept a clean copy; its next write is a clean-shared hit.
+        let o = write(&mut p, 0, 1, false);
+        assert_eq!(o.event, Event::WriteHit(WriteHitContext::CleanShared { others: 1 }));
+        assert!(o.used_broadcast);
+        p.check_invariants().unwrap();
+    }
+}

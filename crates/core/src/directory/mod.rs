@@ -1,0 +1,33 @@
+//! Directory-based coherence protocols.
+//!
+//! "Directory-based protocols keep a separate directory associated with
+//! main memory that stores the state of each block of main memory."
+//!
+//! The implementations here cover the paper's whole `Dir_i_X`
+//! classification plus the prior schemes it reviews:
+//!
+//! | Scheme | Paper classification | Type |
+//! |---|---|---|
+//! | [`DirNb::dir1nb`] | `Dir1NB` | one pointer, no broadcast |
+//! | [`DirNb::new`]`(i, n)` | `DiriNB` | `i` pointers, pointer eviction |
+//! | [`DirNb::full_map`] | `DirnNB` (Censier-Feautrier) | full map |
+//! | [`Dir0B`] | `Dir0B` (Archibald-Baer) | two bits, broadcast |
+//! | [`DirB::dir1b`] | `Dir1B` | pointer + broadcast bit |
+//! | [`DirB::new`]`(i, n)` | `DiriB` | pointers + broadcast bit |
+//! | [`CodedSet`] | §6 coded set | trit-coded superset |
+//! | [`Tang`] | `DirnNB` organized as duplicate tags | full map |
+//! | [`YenFu`] | `DirnNB` + single bits | full map |
+
+mod coded;
+mod dir0b;
+mod dir_b;
+mod dir_nb;
+mod tang;
+mod yenfu;
+
+pub use coded::CodedSet;
+pub use dir0b::Dir0B;
+pub use dir_b::DirB;
+pub use dir_nb::DirNb;
+pub use tang::Tang;
+pub use yenfu::YenFu;

@@ -1,0 +1,25 @@
+//! Snoopy coherence protocols (the paper's comparison points).
+//!
+//! "These particular snoopy cache techniques were selected because they
+//! represent two extremes of performance and complexity": [`Wti`]
+//! (write-through-with-invalidate, "generally considered to be one of the
+//! lowest-performance snooping cache consistency protocols") and
+//! [`Dragon`] ("often considered to have the best performance among snoopy
+//! cache schemes"). [`Berkeley`] implements the ownership scheme the paper
+//! estimates as an aside in §5; [`WriteOnce`] (Goodman, reference \[2\]) and
+//! [`Firefly`] (reference \[3\]) round out the snoopy design space the
+//! paper's related work surveys.
+
+mod berkeley;
+mod dragon;
+mod firefly;
+mod mesi;
+mod write_once;
+mod wti;
+
+pub use berkeley::Berkeley;
+pub use dragon::Dragon;
+pub use firefly::Firefly;
+pub use mesi::Mesi;
+pub use write_once::WriteOnce;
+pub use wti::Wti;

@@ -1,0 +1,155 @@
+//! Directory storage-overhead accounting.
+//!
+//! §6's motivation for limited pointers and coded sets is directory *size*:
+//! "the directory size increases in proportion to the number of processors"
+//! for a full map, while "each digit can be coded in 2 bits, thus requiring
+//! 2 log(n) bits in a system with n caches". This module computes the
+//! per-block directory bits of every scheme in the taxonomy, so the
+//! size/performance trade-off the paper describes can be tabulated.
+
+use crate::protocol::ProtocolKind;
+
+/// Returns the directory bits each scheme stores **per memory block**, for
+/// an `n_caches`-processor machine.
+///
+/// Conventions (matching the schemes' descriptions in the paper):
+///
+/// * `DirnNB` (full map): one valid bit per cache plus a dirty bit.
+/// * `DiriNB` / `DiriB`: `i` pointers of ⌈log₂ n⌉ bits, a dirty bit, and
+///   (for `B`) the broadcast bit.
+/// * `Dir0B`: exactly two bits (the four Archibald-Baer states).
+/// * Coded set: `2·⌈log₂ n⌉` bits (one trit per address digit) plus a
+///   dirty bit.
+/// * Tang: a duplicate of every cache's tag store — modelled as `n` copies
+///   of (tag + dirty) per *cache block*; expressed per memory block it is
+///   the same `n·(tag_bits + 1)` bound the paper criticizes.
+/// * Yen-Fu: full map plus one single-bit per cached copy (charged to the
+///   caches, not the directory; directory side equals the full map).
+/// * Snoopy schemes: zero directory bits (state lives in the caches).
+///
+/// `tag_bits` is only used by Tang (the size of a duplicated tag entry).
+///
+/// ```
+/// use dircc_core::{directory_bits_per_block, ProtocolKind};
+///
+/// assert_eq!(directory_bits_per_block(ProtocolKind::Dir0B, 64, 20), 2);
+/// assert_eq!(directory_bits_per_block(ProtocolKind::DirNb { pointers: 64 }, 64, 20), 65);
+/// assert_eq!(directory_bits_per_block(ProtocolKind::CodedSet, 64, 20), 13);
+/// ```
+pub fn directory_bits_per_block(kind: ProtocolKind, n_caches: usize, tag_bits: u32) -> u64 {
+    let log_n = (usize::BITS - (n_caches.max(2) - 1).leading_zeros()) as u64;
+    match kind {
+        ProtocolKind::DirNb { pointers } if pointers as usize >= n_caches => {
+            // Full map: n valid bits + dirty.
+            n_caches as u64 + 1
+        }
+        ProtocolKind::DirNb { pointers } => u64::from(pointers) * log_n + 1,
+        ProtocolKind::DirB { pointers } => u64::from(pointers) * log_n + 2,
+        ProtocolKind::Dir0B => 2,
+        ProtocolKind::CodedSet => 2 * log_n + 1,
+        ProtocolKind::Tang => n_caches as u64 * (u64::from(tag_bits) + 1),
+        ProtocolKind::YenFu => n_caches as u64 + 1,
+        ProtocolKind::Wti
+        | ProtocolKind::Dragon
+        | ProtocolKind::Berkeley
+        | ProtocolKind::WriteOnce
+        | ProtocolKind::Firefly
+        | ProtocolKind::Mesi => 0,
+    }
+}
+
+/// Directory storage as a fraction of the memory it describes, for
+/// `block_bits` data bits per block (the paper's 16-byte blocks are 128
+/// bits).
+pub fn directory_overhead_fraction(
+    kind: ProtocolKind,
+    n_caches: usize,
+    tag_bits: u32,
+    block_bits: u64,
+) -> f64 {
+    directory_bits_per_block(kind, n_caches, tag_bits) as f64 / block_bits as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_map_grows_linearly_with_caches() {
+        let at = |n| directory_bits_per_block(ProtocolKind::DirNb { pointers: 999 }, n, 20);
+        assert_eq!(at(4), 5);
+        assert_eq!(at(16), 17);
+        assert_eq!(at(64), 65);
+    }
+
+    #[test]
+    fn limited_pointers_grow_logarithmically() {
+        let dir2 = |n| directory_bits_per_block(ProtocolKind::DirNb { pointers: 2 }, n, 20);
+        assert_eq!(dir2(4), 5); // 2×2 + 1
+        assert_eq!(dir2(16), 9); // 2×4 + 1
+        assert_eq!(dir2(64), 13); // 2×6 + 1
+        // Dir1B: one pointer + dirty + broadcast bit.
+        assert_eq!(
+            directory_bits_per_block(ProtocolKind::DirB { pointers: 1 }, 64, 20),
+            8
+        );
+    }
+
+    #[test]
+    fn coded_set_matches_the_papers_2_log_n() {
+        // "thus requiring 2 log(n) bits in a system with n caches" (+dirty).
+        assert_eq!(directory_bits_per_block(ProtocolKind::CodedSet, 16, 20), 9);
+        assert_eq!(directory_bits_per_block(ProtocolKind::CodedSet, 64, 20), 13);
+    }
+
+    #[test]
+    fn dir0b_is_always_two_bits() {
+        for n in [2, 4, 64] {
+            assert_eq!(directory_bits_per_block(ProtocolKind::Dir0B, n, 20), 2);
+        }
+    }
+
+    #[test]
+    fn tang_duplicates_tag_stores() {
+        assert_eq!(directory_bits_per_block(ProtocolKind::Tang, 4, 20), 84);
+    }
+
+    #[test]
+    fn snoopy_schemes_have_no_directory() {
+        for kind in [
+            ProtocolKind::Wti,
+            ProtocolKind::Dragon,
+            ProtocolKind::Berkeley,
+            ProtocolKind::Mesi,
+        ] {
+            assert_eq!(directory_bits_per_block(kind, 64, 20), 0);
+        }
+    }
+
+    #[test]
+    fn overhead_fraction_for_paper_blocks() {
+        // Full map at 64 caches on 128-bit blocks: 65/128 ≈ 51% overhead —
+        // the §6 problem in one number.
+        let f = directory_overhead_fraction(ProtocolKind::DirNb { pointers: 64 }, 64, 20, 128);
+        assert!((f - 65.0 / 128.0).abs() < 1e-12);
+        // The coded set cuts it to ~10%.
+        let c = directory_overhead_fraction(ProtocolKind::CodedSet, 64, 20, 128);
+        assert!(c < 0.11);
+    }
+
+    #[test]
+    fn ordering_at_scale_matches_section_6() {
+        // At 64 caches: Dir0B < coded < limited-2 < full map < Tang.
+        let n = 64;
+        let bits = |k| directory_bits_per_block(k, n, 20);
+        assert!(bits(ProtocolKind::Dir0B) < bits(ProtocolKind::CodedSet));
+        assert!(
+            bits(ProtocolKind::CodedSet) <= bits(ProtocolKind::DirNb { pointers: 2 })
+        );
+        assert!(
+            bits(ProtocolKind::DirNb { pointers: 2 })
+                < bits(ProtocolKind::DirNb { pointers: n as u32 })
+        );
+        assert!(bits(ProtocolKind::DirNb { pointers: n as u32 }) < bits(ProtocolKind::Tang));
+    }
+}

@@ -1,0 +1,259 @@
+//! Oracle-based property tests for the protocol implementations.
+//!
+//! A deliberately naive reference model executes the paper's common
+//! state-change specification — multiple clean copies, at most one dirty
+//! copy, write-back on dirty misses — and every protocol that implements
+//! that specification (`DirnNB`, `Dir0B`, `DiriB`, coded set, Tang,
+//! Yen-Fu, WTI*, Berkeley*) must agree with it on *which caches hold each
+//! block* and on the event classification, for arbitrary access
+//! sequences. (*WTI and Berkeley share the holder evolution but not the
+//! dirty classification, so only holders are compared for them.)
+
+use dircc_core::{build, Event, MissContext, Protocol, ProtocolKind, WriteHitContext};
+use dircc_types::{AccessKind, BlockAddr, CacheId, CacheIdSet};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+const CPUS: usize = 4;
+
+/// The reference model: the paper's generic invalidation state machine.
+#[derive(Debug, Default)]
+struct Oracle {
+    /// Per-block holder set.
+    holders: HashMap<BlockAddr, CacheIdSet>,
+    /// Blocks whose (sole) copy is dirty.
+    dirty: HashSet<BlockAddr>,
+    /// Blocks referenced at least once.
+    seen: HashSet<BlockAddr>,
+}
+
+impl Oracle {
+    fn classify_miss(&mut self, block: BlockAddr) -> MissContext {
+        let holders = self.holders.get(&block).copied().unwrap_or_default();
+        if holders.is_empty() {
+            if self.seen.contains(&block) {
+                MissContext::MemoryOnly
+            } else {
+                MissContext::FirstRef
+            }
+        } else if self.dirty.contains(&block) {
+            MissContext::DirtyElsewhere
+        } else {
+            MissContext::CleanElsewhere { copies: holders.len() as u32 }
+        }
+    }
+
+    /// Applies one access and returns the expected event.
+    fn access(&mut self, cache: CacheId, kind: AccessKind, block: BlockAddr) -> Event {
+        let event;
+        let holders = self.holders.entry(block).or_default();
+        match kind {
+            AccessKind::Read => {
+                if holders.contains(cache) {
+                    event = Event::ReadHit;
+                } else {
+                    let holders_snapshot = *holders;
+                    let ctx = self.classify_miss(block);
+                    event = Event::ReadMiss(ctx);
+                    // Dirty holder flushes and keeps a clean copy.
+                    self.dirty.remove(&block);
+                    let holders = self.holders.entry(block).or_default();
+                    *holders = holders_snapshot;
+                    holders.insert(cache);
+                }
+            }
+            AccessKind::Write => {
+                if holders.contains(cache) {
+                    let others = holders.without(cache);
+                    event = if self.dirty.contains(&block) {
+                        Event::WriteHit(WriteHitContext::Dirty)
+                    } else if others.is_empty() {
+                        Event::WriteHit(WriteHitContext::CleanExclusive)
+                    } else {
+                        Event::WriteHit(WriteHitContext::CleanShared {
+                            others: others.len() as u32,
+                        })
+                    };
+                } else {
+                    let ctx = self.classify_miss(block);
+                    event = Event::WriteMiss(ctx);
+                }
+                let holders = self.holders.entry(block).or_default();
+                holders.clear();
+                holders.insert(cache);
+                self.dirty.insert(block);
+            }
+            AccessKind::InstrFetch => unreachable!(),
+        }
+        self.seen.insert(block);
+        event
+    }
+
+    fn holders_of(&self, block: BlockAddr) -> CacheIdSet {
+        self.holders.get(&block).copied().unwrap_or_default()
+    }
+}
+
+/// Protocols that match the oracle on events AND holders.
+fn exact_kinds() -> Vec<ProtocolKind> {
+    vec![
+        ProtocolKind::DirNb { pointers: CPUS as u32 },
+        ProtocolKind::Dir0B,
+        ProtocolKind::DirB { pointers: 1 },
+        ProtocolKind::DirB { pointers: 2 },
+        ProtocolKind::CodedSet,
+        ProtocolKind::Tang,
+        ProtocolKind::YenFu,
+    ]
+}
+
+/// Protocols that match the oracle on holders only (no dirty state).
+fn holders_only_kinds() -> Vec<ProtocolKind> {
+    vec![ProtocolKind::Wti, ProtocolKind::Berkeley]
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    cache: u16,
+    write: bool,
+    block: u64,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0..CPUS as u16, any::<bool>(), 0u64..10).prop_map(|(cache, write, block)| Op {
+            cache,
+            write,
+            block,
+        }),
+        1..300,
+    )
+}
+
+fn replay(
+    p: &mut dyn Protocol,
+    oracle: &mut Oracle,
+    ops: &[Op],
+    check_events: bool,
+) -> Result<(), TestCaseError> {
+    let mut seen = HashSet::new();
+    for (i, op) in ops.iter().enumerate() {
+        let cache = CacheId::new(op.cache);
+        let kind = if op.write { AccessKind::Write } else { AccessKind::Read };
+        let block = BlockAddr::from_index(op.block);
+        let first = seen.insert(block);
+        let out = p.access(cache, kind, block, first);
+        let expected = oracle.access(cache, kind, block);
+        if check_events {
+            prop_assert_eq!(
+                out.event,
+                expected,
+                "{} step {}: {:?}",
+                p.name(),
+                i,
+                op
+            );
+        }
+        prop_assert_eq!(
+            p.holders(block),
+            oracle.holders_of(block),
+            "{} step {}: holder sets diverged",
+            p.name(),
+            i
+        );
+        p.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("{} step {i}: invariant: {e}", p.name()))
+        })?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn multi_copy_protocols_match_the_oracle(ops in arb_ops()) {
+        for kind in exact_kinds() {
+            let mut p = build(kind, CPUS);
+            let mut oracle = Oracle::default();
+            replay(p.as_mut(), &mut oracle, &ops, true)?;
+        }
+    }
+
+    #[test]
+    fn wti_and_berkeley_match_oracle_holders(ops in arb_ops()) {
+        for kind in holders_only_kinds() {
+            let mut p = build(kind, CPUS);
+            let mut oracle = Oracle::default();
+            replay(p.as_mut(), &mut oracle, &ops, false)?;
+        }
+    }
+
+    #[test]
+    fn dir1nb_holder_is_always_the_last_accessor(ops in arb_ops()) {
+        let mut p = build(ProtocolKind::DirNb { pointers: 1 }, CPUS);
+        for op in &ops {
+            let cache = CacheId::new(op.cache);
+            let kind = if op.write { AccessKind::Write } else { AccessKind::Read };
+            let block = BlockAddr::from_index(op.block);
+            p.access(cache, kind, block, false);
+            prop_assert_eq!(p.holders(block).sole(), Some(cache));
+        }
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn outcomes_never_claim_impossible_combinations(ops in arb_ops()) {
+        for kind in exact_kinds() {
+            let mut p = build(kind, CPUS);
+            let mut seen = HashSet::new();
+            for op in &ops {
+                let block = BlockAddr::from_index(op.block);
+                let first = seen.insert(block);
+                let kind_a = if op.write { AccessKind::Write } else { AccessKind::Read };
+                let out = p.access(CacheId::new(op.cache), kind_a, block, first);
+                // Hits never move data or invalidate in the multi-copy
+                // family, except the clean write hit's invalidations.
+                match out.event {
+                    Event::ReadHit | Event::WriteHit(WriteHitContext::Dirty) => {
+                        prop_assert_eq!(out.control_messages, 0);
+                        prop_assert!(!out.write_back);
+                        prop_assert!(!out.used_broadcast);
+                    }
+                    Event::ReadMiss(MissContext::FirstRef)
+                    | Event::WriteMiss(MissContext::FirstRef) => {
+                        prop_assert!(!out.write_back, "{kind}: first ref cannot write back");
+                    }
+                    Event::ReadMiss(MissContext::DirtyElsewhere)
+                    | Event::WriteMiss(MissContext::DirtyElsewhere) => {
+                        prop_assert!(out.write_back, "{kind}: dirty miss must flush");
+                        prop_assert!(out.memory_updated);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn event_totals_are_permutation_sensitive_but_bounded(ops in arb_ops()) {
+        // Sanity bound: total classified events equals total accesses.
+        for kind in exact_kinds() {
+            let mut p = build(kind, CPUS);
+            let mut counters = dircc_core::EventCounters::new();
+            let mut seen = HashSet::new();
+            for op in &ops {
+                let block = BlockAddr::from_index(op.block);
+                let first = seen.insert(block);
+                let kind_a = if op.write { AccessKind::Write } else { AccessKind::Read };
+                let out = p.access(CacheId::new(op.cache), kind_a, block, first);
+                counters.observe(&out);
+            }
+            prop_assert_eq!(counters.total(), ops.len() as u64);
+            prop_assert_eq!(
+                counters.rm_first_ref() + counters.wm_first_ref(),
+                seen.len() as u64
+            );
+        }
+    }
+}

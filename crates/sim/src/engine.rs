@@ -1,0 +1,555 @@
+//! The trace-replay engine.
+//!
+//! "The simulator reads a reference from a trace and takes a set of actions
+//! depending on the type of the reference, the state of the referenced
+//! block, and the given cache consistency protocol." (§4.1)
+//!
+//! The engine:
+//!
+//! * maps each reference to a cache (per *processor*, or per *process* —
+//!   the paper's preferred sharing model, §4.4);
+//! * tracks global first references so every protocol sees the identical
+//!   first-reference classification;
+//! * feeds data references to the protocol and accumulates
+//!   [`EventCounters`];
+//! * optionally verifies **value-level coherence**: every read must observe
+//!   the globally latest write, stale copies must never survive a write in
+//!   an invalidation protocol, and data must never be supplied from stale
+//!   memory.
+
+use dircc_cache::{FiniteCacheConfig, SetAssocCache};
+use dircc_core::{CoherenceStyle, Event, EventCounters, Protocol};
+use dircc_trace::TraceRecord;
+use dircc_types::{AccessKind, BlockAddr, BlockGeometry, CacheId};
+use std::collections::{HashMap, HashSet};
+
+/// How trace CPUs map onto protocol caches (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SharingModel {
+    /// One cache per CPU: hardware's view.
+    #[default]
+    Processor,
+    /// One cache per *process*: the paper's sharing definition ("a block is
+    /// considered shared only if it is accessed by more than one process").
+    /// The protocol must have at least as many caches as there are
+    /// processes.
+    Process,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// CPU→cache mapping model.
+    pub sharing: SharingModel,
+    /// Block geometry (the paper's 16-byte blocks by default).
+    pub geometry: BlockGeometry,
+    /// Enable the value-level coherence verifier (slower; used by tests).
+    pub verify: bool,
+    /// Run the protocol's invariant checker every N references (0 = never).
+    pub check_invariants_every: u64,
+    /// Simulate finite per-cache tag stores of this shape: LRU replacements
+    /// call [`Protocol::evict`], generating write-backs and replacement
+    /// hints (the paper's finite-cache extension; `None` = infinite caches,
+    /// the paper's model).
+    pub finite_cache: Option<FiniteCacheConfig>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            sharing: SharingModel::Processor,
+            geometry: BlockGeometry::PAPER,
+            verify: false,
+            check_invariants_every: 0,
+            finite_cache: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A verifying configuration for tests: value verification plus
+    /// invariant checks every `every` references.
+    pub fn verifying(every: u64) -> Self {
+        RunConfig { verify: true, check_invariants_every: every, ..RunConfig::default() }
+    }
+
+    /// Returns a copy using the process-sharing model.
+    #[must_use]
+    pub fn with_process_sharing(mut self) -> Self {
+        self.sharing = SharingModel::Process;
+        self
+    }
+
+    /// Returns a copy simulating finite caches of the given shape.
+    #[must_use]
+    pub fn with_finite_caches(mut self, config: FiniteCacheConfig) -> Self {
+        self.finite_cache = Some(config);
+        self
+    }
+}
+
+/// Result of replaying one trace through one protocol.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Accumulated event frequencies (Table 4's raw material).
+    pub counters: EventCounters,
+    /// Total references replayed.
+    pub refs: u64,
+    /// Coherence violations found by the verifier (empty when disabled or
+    /// when the protocol is correct). At most [`MAX_VIOLATIONS`] retained.
+    pub violations: Vec<String>,
+}
+
+/// Cap on retained verifier violation messages.
+pub const MAX_VIOLATIONS: usize = 16;
+
+/// Value-level coherence verifier state.
+#[derive(Debug, Default)]
+struct Verifier {
+    /// Monotonic version per block, bumped on every write.
+    version: HashMap<BlockAddr, u64>,
+    /// Version each cached copy holds.
+    copy: HashMap<(u16, BlockAddr), u64>,
+    /// Version main memory holds.
+    memory: HashMap<BlockAddr, u64>,
+}
+
+impl Verifier {
+    fn mem_version(&self, b: BlockAddr) -> u64 {
+        self.memory.get(&b).copied().unwrap_or(0)
+    }
+
+    fn cur_version(&self, b: BlockAddr) -> u64 {
+        self.version.get(&b).copied().unwrap_or(0)
+    }
+}
+
+/// Replays `records` through `protocol`, returning counters and any
+/// verifier findings.
+///
+/// # Errors
+///
+/// Returns an error string if a protocol invariant check fails (the
+/// verifier's value-level findings are reported in
+/// [`RunResult::violations`] instead, so a run can surface several).
+pub fn run<P: Protocol + ?Sized, I: IntoIterator<Item = TraceRecord>>(
+    protocol: &mut P,
+    records: I,
+    cfg: &RunConfig,
+) -> Result<RunResult, String> {
+    let mut counters = EventCounters::new();
+    let mut seen: HashSet<BlockAddr> = HashSet::new();
+    let mut verifier = cfg.verify.then(Verifier::default);
+    let mut violations = Vec::new();
+    let mut refs = 0u64;
+    let n = protocol.num_caches();
+    // Finite-mode tag stores mirror each cache's resident blocks; LRU
+    // victims are evicted from the protocol. Tags invalidated by remote
+    // writes linger until replaced (as in real caches).
+    let mut tag_stores: Option<Vec<SetAssocCache<()>>> =
+        cfg.finite_cache.map(|fc| (0..n).map(|_| SetAssocCache::new(fc)).collect());
+
+    for r in records {
+        refs += 1;
+        if r.kind == AccessKind::InstrFetch {
+            counters.observe(&dircc_core::Outcome::quiet(Event::Instr));
+            continue;
+        }
+        let cache_idx = match cfg.sharing {
+            SharingModel::Processor => r.cpu.raw(),
+            SharingModel::Process => r.pid.raw(),
+        };
+        if usize::from(cache_idx) >= n {
+            return Err(format!(
+                "reference {refs}: cache index {cache_idx} out of range for {n} caches \
+                 (did you size the protocol for the sharing model?)"
+            ));
+        }
+        let cache = CacheId::new(cache_idx);
+        let block = cfg.geometry.block_of(r.addr);
+        let first_ref = seen.insert(block);
+        let out = protocol.access(cache, r.kind, block, first_ref);
+        counters.observe(&out);
+
+        if let Some(v) = verifier.as_mut() {
+            verify_access(protocol, v, cache, r.kind, block, &out, &mut violations, refs);
+        }
+        if let Some(stores) = tag_stores.as_mut() {
+            let store = &mut stores[cache.index()];
+            if store.get(block).is_none() {
+                if let Some(victim) = store.insert(block, ()) {
+                    let evo = protocol.evict(cache, victim.block);
+                    counters.observe_eviction(&evo);
+                    if evo.write_back {
+                        if let Some(v) = verifier.as_mut() {
+                            // The evicted copy holds the latest data in
+                            // every protocol that answers WRITE_BACK.
+                            let ver =
+                                v.copy.get(&(cache.raw(), victim.block)).copied().unwrap_or(0);
+                            v.memory.insert(victim.block, ver);
+                        }
+                    }
+                }
+            }
+        }
+        if cfg.check_invariants_every > 0 && refs % cfg.check_invariants_every == 0 {
+            protocol
+                .check_invariants()
+                .map_err(|e| format!("invariant violation at reference {refs}: {e}"))?;
+        }
+    }
+    if cfg.check_invariants_every > 0 {
+        protocol.check_invariants().map_err(|e| format!("final invariant violation: {e}"))?;
+    }
+    Ok(RunResult { counters, refs, violations })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn verify_access<P: Protocol + ?Sized>(
+    protocol: &P,
+    v: &mut Verifier,
+    cache: CacheId,
+    kind: AccessKind,
+    block: BlockAddr,
+    out: &dircc_core::Outcome,
+    violations: &mut Vec<String>,
+    refs: u64,
+) {
+    let mut report = |msg: String| {
+        if violations.len() < MAX_VIOLATIONS {
+            violations.push(format!("ref {refs}: {msg}"));
+        }
+    };
+    let holders = protocol.holders(block);
+    if !holders.contains(cache) {
+        report(format!("{cache} accessed {block} but is not a holder afterwards"));
+        return;
+    }
+    match kind {
+        AccessKind::Write => {
+            let new_ver = v.cur_version(block) + 1;
+            v.version.insert(block, new_ver);
+            v.copy.insert((cache.raw(), block), new_ver);
+            if out.memory_updated {
+                v.memory.insert(block, new_ver);
+            }
+            match protocol.style() {
+                CoherenceStyle::Update => {
+                    // Updates reach every current holder.
+                    for h in holders.iter() {
+                        v.copy.insert((h.raw(), block), new_ver);
+                    }
+                }
+                CoherenceStyle::Invalidate => {
+                    // Single-writer: no other copy may survive a write.
+                    if holders.len() != 1 {
+                        report(format!(
+                            "invalidation protocol left {} copies of {block} after a write",
+                            holders.len()
+                        ));
+                    }
+                }
+            }
+        }
+        AccessKind::Read => {
+            let cur = v.cur_version(block);
+            match out.event {
+                Event::ReadHit => {
+                    let held = v.copy.get(&(cache.raw(), block)).copied().unwrap_or(0);
+                    if held != cur {
+                        report(format!(
+                            "read hit observed version {held} of {block}, latest is {cur}"
+                        ));
+                    }
+                }
+                Event::ReadMiss(_) => {
+                    // Where did the data come from?
+                    if out.memory_updated {
+                        v.memory.insert(block, cur);
+                    }
+                    let supplied = if out.cache_supplied || out.write_back {
+                        cur
+                    } else {
+                        v.mem_version(block)
+                    };
+                    if supplied != cur {
+                        report(format!(
+                            "miss on {block} supplied version {supplied}, latest is {cur}"
+                        ));
+                    }
+                    v.copy.insert((cache.raw(), block), supplied);
+                }
+                other => report(format!("read classified as {other}")),
+            }
+        }
+        AccessKind::InstrFetch => unreachable!("filtered before the protocol"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircc_core::{build, ProtocolKind};
+    use dircc_trace::gen::patterns;
+    use dircc_types::{Address, CpuId, ProcessId};
+
+    fn run_verified(kind: ProtocolKind, trace: Vec<TraceRecord>) -> RunResult {
+        let mut p = build(kind, 4);
+        let res = run(p.as_mut(), trace, &RunConfig::verifying(1)).expect("run succeeds");
+        assert!(res.violations.is_empty(), "{}: {:?}", p.name(), res.violations);
+        res
+    }
+
+    #[test]
+    fn all_protocols_stay_coherent_on_every_pattern() {
+        let patterns: Vec<(&str, Vec<TraceRecord>)> = vec![
+            ("ping_pong", patterns::ping_pong(25)),
+            ("read_only", patterns::read_only_sharing(4, 8, 5)),
+            ("migratory", patterns::migratory(4, 40)),
+            ("prodcons", patterns::producer_consumer(30, 4)),
+            ("private", patterns::private_only(4, 10)),
+            ("spinlock", patterns::spinlock_contention(3, 15)),
+        ];
+        for kind in [
+            ProtocolKind::DirNb { pointers: 1 },
+            ProtocolKind::DirNb { pointers: 2 },
+            ProtocolKind::DirNb { pointers: 4 },
+            ProtocolKind::Dir0B,
+            ProtocolKind::DirB { pointers: 1 },
+            ProtocolKind::CodedSet,
+            ProtocolKind::Tang,
+            ProtocolKind::YenFu,
+            ProtocolKind::Wti,
+            ProtocolKind::Dragon,
+            ProtocolKind::Berkeley,
+            ProtocolKind::WriteOnce,
+            ProtocolKind::Firefly,
+            ProtocolKind::Mesi,
+        ] {
+            for (name, trace) in &patterns {
+                let mut p = build(kind, 4);
+                let res =
+                    run(p.as_mut(), trace.clone(), &RunConfig::verifying(1)).expect("run");
+                assert!(
+                    res.violations.is_empty(),
+                    "{} on {name}: {:?}",
+                    p.name(),
+                    res.violations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_references_counted_once_globally() {
+        let res = run_verified(ProtocolKind::Dir0B, patterns::read_only_sharing(4, 3, 2));
+        assert_eq!(res.counters.rm_first_ref(), 3, "3 blocks, each first-referenced once");
+        // Every other cache's cold miss is a sharing miss, not a first ref.
+        assert_eq!(res.counters.rm_blk_cln(), 9);
+    }
+
+    #[test]
+    fn instr_fetches_bypass_the_protocol() {
+        let trace = patterns::with_instr_stream(patterns::ping_pong(5));
+        let res = run_verified(ProtocolKind::Dir0B, trace);
+        assert_eq!(res.counters.instr(), 10);
+        assert_eq!(res.counters.total(), 20);
+    }
+
+    #[test]
+    fn process_sharing_uses_pid() {
+        // One CPU, two processes time-sharing it: with processor sharing
+        // there is no sharing at all; with process sharing the two
+        // processes' caches ping-pong.
+        let mk = |pid: u16| {
+            TraceRecord::new(
+                CpuId::new(0),
+                ProcessId::new(pid),
+                AccessKind::Write,
+                Address::new(0x100),
+            )
+        };
+        let trace: Vec<TraceRecord> = (0..10).map(|i| mk(i % 2)).collect();
+
+        let mut p = build(ProtocolKind::Dir0B, 4);
+        let proc_res = run(p.as_mut(), trace.clone(), &RunConfig::default()).unwrap();
+        assert_eq!(proc_res.counters.wm(), 0, "processor model sees one cache");
+
+        let mut p = build(ProtocolKind::Dir0B, 4);
+        let cfg = RunConfig::default().with_process_sharing();
+        let res = run(p.as_mut(), trace, &cfg).unwrap();
+        assert!(res.counters.wm() > 0, "process model exposes the sharing");
+    }
+
+    #[test]
+    fn finite_caches_generate_evictions_and_write_backs() {
+        use dircc_cache::FiniteCacheConfig;
+        // A 2-block direct-mapped cache forced to thrash: each CPU cycles
+        // through 4 conflicting blocks, writing each.
+        let mut trace = Vec::new();
+        for i in 0..200u64 {
+            let block = (i % 4) * 2; // all map to set 0 of a 2-set cache
+            trace.push(TraceRecord::new(
+                CpuId::new(0),
+                ProcessId::new(0),
+                AccessKind::Write,
+                Address::new(block * 16),
+            ));
+        }
+        let cfg = RunConfig::default()
+            .with_finite_caches(FiniteCacheConfig::new(2, 1));
+        let mut p = build(ProtocolKind::Dir0B, 4);
+        let res = run(p.as_mut(), trace, &RunConfig { verify: true, ..cfg }).unwrap();
+        assert!(res.counters.cache_evictions() > 100, "thrash must evict");
+        assert!(res.counters.write_backs() > 100, "dirty evictions flush");
+        assert!(
+            res.counters.rm() + res.counters.wm() > 100,
+            "replacement misses reappear as memory-only misses"
+        );
+        assert!(res.violations.is_empty(), "{:?}", res.violations);
+    }
+
+    #[test]
+    fn finite_caches_stay_coherent_for_every_protocol() {
+        use dircc_cache::FiniteCacheConfig;
+        let trace = patterns::migratory(4, 200);
+        for kind in [
+            ProtocolKind::Dir0B,
+            ProtocolKind::DirNb { pointers: 1 },
+            ProtocolKind::DirNb { pointers: 4 },
+            ProtocolKind::DirB { pointers: 1 },
+            ProtocolKind::CodedSet,
+            ProtocolKind::Tang,
+            ProtocolKind::YenFu,
+            ProtocolKind::Wti,
+            ProtocolKind::Dragon,
+            ProtocolKind::Berkeley,
+            ProtocolKind::WriteOnce,
+            ProtocolKind::Firefly,
+            ProtocolKind::Mesi,
+        ] {
+            let mut p = build(kind, 4);
+            let cfg = RunConfig {
+                verify: true,
+                check_invariants_every: 1,
+                ..RunConfig::default().with_finite_caches(FiniteCacheConfig::new(2, 2))
+            };
+            let res = run(p.as_mut(), trace.clone(), &cfg)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(res.violations.is_empty(), "{kind}: {:?}", res.violations);
+        }
+    }
+
+    #[test]
+    fn infinite_runs_report_zero_evictions() {
+        let mut p = build(ProtocolKind::Dir0B, 4);
+        let res =
+            run(p.as_mut(), patterns::migratory(4, 50), &RunConfig::default()).unwrap();
+        assert_eq!(res.counters.cache_evictions(), 0);
+    }
+
+    #[test]
+    fn out_of_range_cache_is_an_error() {
+        let trace = vec![TraceRecord::new(
+            CpuId::new(7),
+            ProcessId::new(7),
+            AccessKind::Read,
+            Address::new(0),
+        )];
+        let mut p = build(ProtocolKind::Dir0B, 4);
+        assert!(run(p.as_mut(), trace, &RunConfig::default()).is_err());
+    }
+
+    #[test]
+    fn verifier_catches_a_broken_protocol() {
+        /// A deliberately broken protocol: never invalidates other copies.
+        #[derive(Debug)]
+        struct Broken {
+            caches: dircc_cache::CacheArray<()>,
+        }
+        impl Protocol for Broken {
+            fn kind(&self) -> ProtocolKind {
+                ProtocolKind::Wti
+            }
+            fn num_caches(&self) -> usize {
+                self.caches.num_caches()
+            }
+            fn access(
+                &mut self,
+                cache: CacheId,
+                kind: AccessKind,
+                block: BlockAddr,
+                first_ref: bool,
+            ) -> dircc_core::Outcome {
+                use dircc_core::{MissContext, WriteHitContext};
+                let hit = self.caches.state(cache, block).is_some();
+                self.caches.set(cache, block, ());
+                let event = match (kind, hit, first_ref) {
+                    (AccessKind::Read, true, _) => Event::ReadHit,
+                    (AccessKind::Read, false, true) => Event::ReadMiss(MissContext::FirstRef),
+                    (AccessKind::Read, false, false) => {
+                        Event::ReadMiss(MissContext::MemoryOnly)
+                    }
+                    (AccessKind::Write, true, _) => {
+                        Event::WriteHit(WriteHitContext::CleanExclusive)
+                    }
+                    (AccessKind::Write, false, true) => {
+                        Event::WriteMiss(MissContext::FirstRef)
+                    }
+                    (AccessKind::Write, false, false) => {
+                        Event::WriteMiss(MissContext::MemoryOnly)
+                    }
+                    _ => unreachable!(),
+                };
+                dircc_core::Outcome::quiet(event)
+            }
+            fn holders(&self, block: BlockAddr) -> dircc_types::CacheIdSet {
+                self.caches.holders(block)
+            }
+            fn check_invariants(&self) -> Result<(), String> {
+                Ok(())
+            }
+        }
+
+        let mut broken = Broken { caches: dircc_cache::CacheArray::new(4) };
+        let res =
+            run(&mut broken, patterns::ping_pong(5), &RunConfig::verifying(0)).unwrap();
+        assert!(!res.violations.is_empty(), "stale copies must be detected");
+    }
+
+    #[test]
+    fn violations_are_capped() {
+        let trace = patterns::ping_pong(100);
+        #[derive(Debug)]
+        struct Stale(dircc_cache::CacheArray<()>);
+        impl Protocol for Stale {
+            fn kind(&self) -> ProtocolKind {
+                ProtocolKind::Wti
+            }
+            fn num_caches(&self) -> usize {
+                self.0.num_caches()
+            }
+            fn access(
+                &mut self,
+                cache: CacheId,
+                _kind: AccessKind,
+                block: BlockAddr,
+                _first: bool,
+            ) -> dircc_core::Outcome {
+                self.0.set(cache, block, ());
+                dircc_core::Outcome::quiet(Event::WriteHit(
+                    dircc_core::WriteHitContext::CleanExclusive,
+                ))
+            }
+            fn holders(&self, block: BlockAddr) -> dircc_types::CacheIdSet {
+                self.0.holders(block)
+            }
+            fn check_invariants(&self) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        let mut p = Stale(dircc_cache::CacheArray::new(4));
+        let res = run(&mut p, trace, &RunConfig::verifying(0)).unwrap();
+        assert_eq!(res.violations.len(), MAX_VIOLATIONS);
+    }
+}

@@ -1,0 +1,350 @@
+//! Reproductions of the paper's Figures 1-5.
+
+use crate::metrics::mean;
+use crate::report::{bar, cycles, Table};
+use crate::workbench::{TraceFilter, Workbench};
+use core::fmt;
+use dircc_bus::{CostConfig, CostModel};
+use dircc_core::ProtocolKind;
+
+/// Figure 1: histogram of the number of caches in which a block must be
+/// invalidated on a write to a previously-clean block.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// Percentage of invalidation situations with exactly `i` other caches
+    /// (index 0..=3), with index 4 aggregating 4 or more.
+    pub percent: [f64; 5],
+    /// Fraction of situations needing invalidations in ≤ 1 cache (the
+    /// paper's ">85%" headline).
+    pub at_most_one: f64,
+}
+
+/// Builds Figure 1 from the `Dir0B` runs (the paper computes it for the
+/// invalidation state model shared by `Dir0B`/`WTI`).
+pub fn figure1(wb: &Workbench) -> Figure1 {
+    let merged = wb.merged_counters(ProtocolKind::Dir0B, TraceFilter::Full);
+    let hist = merged.inval_histogram();
+    let total: u64 = hist.iter().sum();
+    let mut percent = [0.0; 5];
+    if total > 0 {
+        for (i, v) in hist.iter().enumerate() {
+            let bucket = i.min(4);
+            percent[bucket] += 100.0 * *v as f64 / total as f64;
+        }
+    }
+    Figure1 { percent, at_most_one: merged.inval_at_most(1) }
+}
+
+impl fmt::Display for Figure1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 1: Number of caches in which a block must be invalidated\n\
+             on a write to a previously-clean block"
+        )?;
+        for (i, p) in self.percent.iter().enumerate() {
+            let label = if i < 4 { format!("{i}") } else { "4+".to_string() };
+            writeln!(f, "  {label:>2}: {p:6.2}%  {}", bar(*p, 100.0, 50))?;
+        }
+        writeln!(f, "  invalidations in <=1 cache: {:.1}%", self.at_most_one * 100.0)
+    }
+}
+
+/// One scheme's bus-cycle range in Figures 2/3: the bar's low end is the
+/// pipelined bus, the high end the non-pipelined bus.
+#[derive(Debug, Clone)]
+pub struct CycleRange {
+    /// Scheme name.
+    pub scheme: String,
+    /// Cycles/ref on the pipelined bus.
+    pub pipelined: f64,
+    /// Cycles/ref on the non-pipelined bus.
+    pub non_pipelined: f64,
+}
+
+/// Figure 2: range of bus cycles per reference, averaged over the traces.
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    /// One range bar per scheme, paper order.
+    pub ranges: Vec<CycleRange>,
+}
+
+impl Figure2 {
+    /// Looks up a scheme's range.
+    pub fn range(&self, scheme: &str) -> Option<&CycleRange> {
+        self.ranges.iter().find(|r| r.scheme == scheme)
+    }
+}
+
+/// Builds Figure 2.
+pub fn figure2(wb: &Workbench) -> Figure2 {
+    let cfg = CostConfig::PAPER;
+    let [p, np] = CostModel::paper_pair();
+    let ranges = wb
+        .paper_kinds()
+        .into_iter()
+        .map(|kind| {
+            let evals = wb.evaluations(kind, TraceFilter::Full);
+            let pipe: Vec<f64> = evals.iter().map(|e| e.cycles_per_ref(&p, &cfg)).collect();
+            let nonp: Vec<f64> = evals.iter().map(|e| e.cycles_per_ref(&np, &cfg)).collect();
+            CycleRange {
+                scheme: kind.display_name(wb.n_caches()),
+                pipelined: mean(&pipe),
+                non_pipelined: mean(&nonp),
+            }
+        })
+        .collect();
+    Figure2 { ranges }
+}
+
+impl fmt::Display for Figure2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 2: Range of bus cycle requirements (average over traces)")?;
+        writeln!(f, "(low end = pipelined bus, high end = non-pipelined bus)")?;
+        let max = self.ranges.iter().map(|r| r.non_pipelined).fold(0.0, f64::max);
+        for r in &self.ranges {
+            writeln!(
+                f,
+                "  {:>7}: {} - {}  {}",
+                r.scheme,
+                cycles(r.pipelined),
+                cycles(r.non_pipelined),
+                bar(r.non_pipelined, max, 40)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Figure 3: per-trace bus-cycle ranges.
+#[derive(Debug, Clone)]
+pub struct Figure3 {
+    /// Trace names.
+    pub traces: Vec<String>,
+    /// `per_trace[t]` holds Figure 2-style ranges for trace `t`.
+    pub per_trace: Vec<Vec<CycleRange>>,
+}
+
+/// Builds Figure 3.
+pub fn figure3(wb: &Workbench) -> Figure3 {
+    let cfg = CostConfig::PAPER;
+    let [p, np] = CostModel::paper_pair();
+    let mut per_trace = Vec::new();
+    for t in 0..wb.num_traces() {
+        let ranges = wb
+            .paper_kinds()
+            .into_iter()
+            .map(|kind| {
+                let e = wb.evaluation(kind, t, TraceFilter::Full);
+                CycleRange {
+                    scheme: kind.display_name(wb.n_caches()),
+                    pipelined: e.cycles_per_ref(&p, &cfg),
+                    non_pipelined: e.cycles_per_ref(&np, &cfg),
+                }
+            })
+            .collect();
+        per_trace.push(ranges);
+    }
+    Figure3 { traces: wb.trace_names(), per_trace }
+}
+
+impl Figure3 {
+    /// Pipelined cycles/ref for `(trace, scheme)`.
+    pub fn pipelined(&self, trace: &str, scheme: &str) -> Option<f64> {
+        let t = self.traces.iter().position(|n| n == trace)?;
+        self.per_trace[t].iter().find(|r| r.scheme == scheme).map(|r| r.pipelined)
+    }
+}
+
+impl fmt::Display for Figure3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 3: Range of bus cycle requirements per trace")?;
+        for (t, name) in self.traces.iter().enumerate() {
+            writeln!(f, "  {name}:")?;
+            for r in &self.per_trace[t] {
+                writeln!(
+                    f,
+                    "    {:>7}: {} - {}",
+                    r.scheme,
+                    cycles(r.pipelined),
+                    cycles(r.non_pipelined)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Figure 4: breakdown of each scheme's bus cycles as a fraction of its
+/// own total (pipelined bus).
+#[derive(Debug, Clone)]
+pub struct Figure4 {
+    /// Scheme names, paper order.
+    pub schemes: Vec<String>,
+    /// `(category, fraction)` rows per scheme; fractions sum to ~1.
+    pub fractions: Vec<Vec<(&'static str, f64)>>,
+}
+
+impl Figure4 {
+    /// The fraction of a scheme's cycles spent in `category`.
+    pub fn fraction(&self, scheme: &str, category: &str) -> Option<f64> {
+        let i = self.schemes.iter().position(|s| s == scheme)?;
+        self.fractions[i].iter().find(|(c, _)| *c == category).map(|(_, v)| *v)
+    }
+}
+
+/// Builds Figure 4 from the Table 5 breakdowns.
+pub fn figure4(wb: &Workbench) -> Figure4 {
+    let t5 = super::tables::table5(wb);
+    let mut fractions = Vec::new();
+    for b in &t5.breakdowns {
+        let total = b.total();
+        let rows = b.rows();
+        let fracs = rows
+            .into_iter()
+            .map(|(label, v)| (label, if total > 0.0 { v / total } else { 0.0 }))
+            .collect();
+        fractions.push(fracs);
+    }
+    Figure4 { schemes: t5.schemes, fractions }
+}
+
+impl fmt::Display for Figure4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 4: Bus cycle breakdown as a fraction of each scheme's total")?;
+        for (i, scheme) in self.schemes.iter().enumerate() {
+            writeln!(f, "  {scheme}:")?;
+            for (label, frac) in &self.fractions[i] {
+                if *frac > 0.0005 {
+                    writeln!(f, "    {label:>10}: {:5.1}%  {}", frac * 100.0, bar(*frac, 1.0, 40))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Figure 5: average bus cycles per bus transaction.
+#[derive(Debug, Clone)]
+pub struct Figure5 {
+    /// `(scheme, pipelined cycles/transaction)` in paper order.
+    pub per_transaction: Vec<(String, f64)>,
+}
+
+impl Figure5 {
+    /// Cycles per transaction for a scheme.
+    pub fn value(&self, scheme: &str) -> Option<f64> {
+        self.per_transaction.iter().find(|(s, _)| s == scheme).map(|(_, v)| *v)
+    }
+}
+
+/// Builds Figure 5 (pipelined bus, averaged over traces).
+pub fn figure5(wb: &Workbench) -> Figure5 {
+    let cfg = CostConfig::PAPER;
+    let m = CostModel::pipelined();
+    let per_transaction = wb
+        .paper_kinds()
+        .into_iter()
+        .map(|kind| {
+            let evals = wb.evaluations(kind, TraceFilter::Full);
+            let vals: Vec<f64> =
+                evals.iter().map(|e| e.cycles_per_transaction(&m, &cfg)).collect();
+            (kind.display_name(wb.n_caches()), mean(&vals))
+        })
+        .collect();
+    Figure5 { per_transaction }
+}
+
+impl fmt::Display for Figure5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(
+            "Figure 5: Average bus cycles per bus transaction (pipelined bus)",
+            vec!["Scheme", "Cycles/transaction"],
+        );
+        for (scheme, v) in &self.per_transaction {
+            t.row(vec![scheme.clone(), format!("{v:.2}")]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wb() -> Workbench {
+        Workbench::paper_scaled(60_000, 3)
+    }
+
+    #[test]
+    fn figure1_mostly_single_invalidations() {
+        let f1 = figure1(&wb());
+        assert!(
+            f1.at_most_one > 0.85,
+            "paper: over 85% of invalidation situations touch <=1 cache, got {}",
+            f1.at_most_one
+        );
+        let sum: f64 = f1.percent.iter().sum();
+        assert!((sum - 100.0).abs() < 0.01, "histogram sums to 100%, got {sum}");
+        assert!(f1.to_string().contains("<=1 cache"));
+    }
+
+    #[test]
+    fn figure2_ranges_and_ordering() {
+        let f2 = figure2(&wb());
+        assert_eq!(f2.ranges.len(), 4);
+        for r in &f2.ranges {
+            assert!(
+                r.non_pipelined > r.pipelined,
+                "{}: non-pipelined must cost more",
+                r.scheme
+            );
+        }
+        let dir1 = f2.range("Dir1NB").unwrap().pipelined;
+        let dragon = f2.range("Dragon").unwrap().pipelined;
+        assert!(dir1 > 3.0 * dragon, "Dir1NB ({dir1}) far above Dragon ({dragon})");
+    }
+
+    #[test]
+    fn figure3_pero_is_cheapest_trace() {
+        let f3 = figure3(&wb());
+        // WTI is omitted: its cost tracks total write volume, and PERO's
+        // write fraction is the highest of the three traces (r/w ~= 3.1).
+        // The "PERO much smaller" observation is about sharing-driven cost.
+        for scheme in ["Dir0B", "Dragon", "Dir1NB"] {
+            let pero = f3.pipelined("PERO", scheme).unwrap();
+            let pops = f3.pipelined("POPS", scheme).unwrap();
+            assert!(
+                pero < pops,
+                "{scheme}: PERO ({pero}) should be cheaper than POPS ({pops})"
+            );
+        }
+        assert!(f3.to_string().contains("PERO"));
+    }
+
+    #[test]
+    fn figure4_fractions_sum_to_one() {
+        let f4 = figure4(&wb());
+        for (i, scheme) in f4.schemes.iter().enumerate() {
+            let sum: f64 = f4.fractions[i].iter().map(|(_, v)| v).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{scheme}: fractions sum to {sum}");
+        }
+        // WTI is dominated by write-throughs.
+        let wt = f4.fraction("WTI", "wt or wup").unwrap();
+        assert!(wt > 0.5, "WTI write-through share {wt}");
+        // Dir0B's directory share is small (the paper's bottleneck result).
+        let dir = f4.fraction("Dir0B", "dir access").unwrap();
+        assert!(dir < 0.2, "Dir0B directory share {dir}");
+    }
+
+    #[test]
+    fn figure5_dir1nb_has_heaviest_transactions() {
+        let f5 = figure5(&wb());
+        let dir1 = f5.value("Dir1NB").unwrap();
+        let wti = f5.value("WTI").unwrap();
+        let dir0 = f5.value("Dir0B").unwrap();
+        assert!(dir1 > dir0, "Dir1NB {dir1} > Dir0B {dir0}");
+        assert!(dir0 > wti, "Dir0B {dir0} > WTI {wti}");
+        assert!((1.0..=7.0).contains(&dir1));
+    }
+}

@@ -1,0 +1,166 @@
+//! §5's system-performance estimate, made measurable.
+//!
+//! "A 10-MIPS processor will therefore require a bus cycle every 1500ns,
+//! and a bus with a cycle time of 100ns will only yield a maximum
+//! performance of 15 effective processors. This limit is an optimistic
+//! upper bound because we have not included ... the effects of bus
+//! contention."
+//!
+//! This runner takes each scheme's *measured* transaction rate and cycles
+//! per transaction, computes the paper's analytic processor bound, and
+//! then runs the discrete-event bus simulation to show where contention
+//! actually flattens the speedup curve.
+
+use crate::busqueue::{saturation_bound, simulate, BusLoad};
+use crate::metrics::mean;
+use crate::report::Table;
+use crate::workbench::{TraceFilter, Workbench};
+use core::fmt;
+use dircc_bus::{CostConfig, CostModel};
+
+/// One scheme's system-performance characterization.
+#[derive(Debug, Clone)]
+pub struct SystemRow {
+    /// Scheme name.
+    pub scheme: String,
+    /// Measured bus transactions per reference.
+    pub transactions_per_ref: f64,
+    /// Measured bus cycles per transaction (pipelined).
+    pub cycles_per_transaction: f64,
+    /// The paper's analytic effective-processor bound.
+    pub analytic_bound: f64,
+    /// Simulated effective processors at each machine size.
+    pub simulated: Vec<(u32, f64)>,
+}
+
+/// The §5 system-performance study.
+#[derive(Debug, Clone)]
+pub struct SystemStudy {
+    /// Machine sizes simulated.
+    pub sizes: Vec<u32>,
+    /// One row per scheme, paper order.
+    pub rows: Vec<SystemRow>,
+}
+
+impl SystemStudy {
+    /// The analytic bound for a scheme.
+    pub fn bound(&self, scheme: &str) -> Option<f64> {
+        self.rows.iter().find(|r| r.scheme == scheme).map(|r| r.analytic_bound)
+    }
+
+    /// The simulated effective processors for `(scheme, size)`.
+    pub fn effective(&self, scheme: &str, size: u32) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.scheme == scheme)?
+            .simulated
+            .iter()
+            .find(|(n, _)| *n == size)
+            .map(|(_, e)| *e)
+    }
+}
+
+/// Runs the system-performance study from the workbench's measured rates.
+pub fn system(wb: &Workbench) -> SystemStudy {
+    let m = CostModel::pipelined();
+    let cfg = CostConfig::PAPER;
+    let sizes = vec![2u32, 4, 8, 16, 32, 64];
+    let mut rows = Vec::new();
+    for kind in wb.paper_kinds() {
+        let evals = wb.evaluations(kind, TraceFilter::Full);
+        let tpr = mean(&evals.iter().map(|e| e.transactions_per_ref()).collect::<Vec<_>>());
+        let cpt =
+            mean(&evals.iter().map(|e| e.cycles_per_transaction(&m, &cfg)).collect::<Vec<_>>());
+        if tpr <= 0.0 {
+            continue;
+        }
+        let base = BusLoad::paper_platform(1).with_protocol(tpr, cpt.max(0.1));
+        let simulated = sizes
+            .iter()
+            .map(|&n| {
+                let load = BusLoad { processors: n, ..base };
+                (n, simulate(&load, 1988).effective_processors)
+            })
+            .collect();
+        rows.push(SystemRow {
+            scheme: kind.display_name(wb.n_caches()),
+            transactions_per_ref: tpr,
+            cycles_per_transaction: cpt,
+            analytic_bound: saturation_bound(&base),
+            simulated,
+        });
+    }
+    SystemStudy { sizes, rows }
+}
+
+impl fmt::Display for SystemStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Section 5: system performance on a shared bus\n\
+             (10-MIPS processors, 100ns bus cycle, measured transaction rates)"
+        )?;
+        let mut headers = vec!["scheme".to_string(), "txn/ref".to_string(), "cyc/txn".to_string(), "bound".to_string()];
+        headers.extend(self.sizes.iter().map(|n| format!("n={n}")));
+        let mut t = Table::new("  effective processors", headers.iter().map(String::as_str).collect());
+        for r in &self.rows {
+            let mut row = vec![
+                r.scheme.clone(),
+                format!("{:.4}", r.transactions_per_ref),
+                format!("{:.2}", r.cycles_per_transaction),
+                format!("{:.1}", r.analytic_bound),
+            ];
+            row.extend(r.simulated.iter().map(|(_, e)| format!("{e:.1}")));
+            t.row(row);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_processors_saturate_near_the_bound() {
+        let wb = Workbench::paper_scaled(60_000, 3);
+        let s = system(&wb);
+        assert_eq!(s.rows.len(), 4);
+        for r in &s.rows {
+            let at_64 = s.effective(&r.scheme, 64).unwrap();
+            // Simulated speedup at 64 processors never exceeds the
+            // analytic bound by more than noise and comes within 40% of it
+            // when the bound itself is below 64.
+            assert!(at_64 <= r.analytic_bound * 1.15 + 1.0, "{}: {at_64}", r.scheme);
+            if r.analytic_bound < 40.0 {
+                assert!(
+                    at_64 > 0.5 * r.analytic_bound,
+                    "{}: {at_64} vs bound {}",
+                    r.scheme,
+                    r.analytic_bound
+                );
+            }
+        }
+        // Dir1NB saturates far earlier than Dir0B (its transactions are
+        // both more frequent per sharing miss and 6 cycles long).
+        let dir1 = s.bound("Dir1NB").unwrap();
+        let dir0 = s.bound("Dir0B").unwrap();
+        assert!(dir1 < dir0, "Dir1NB bound {dir1} < Dir0B bound {dir0}");
+        assert!(s.to_string().contains("effective processors"));
+    }
+
+    #[test]
+    fn small_machines_are_unconstrained() {
+        let wb = Workbench::paper_scaled(60_000, 3);
+        let s = system(&wb);
+        // At n=2 the light-traffic schemes achieve near-linear speedup;
+        // WTI already pays noticeably for its write-through traffic.
+        for scheme in ["Dir0B", "Dragon"] {
+            let e = s.effective(scheme, 2).unwrap();
+            assert!(e > 1.7, "{scheme}: {e}");
+        }
+        let wti = s.effective("WTI", 2).unwrap();
+        assert!(wti > 1.3, "WTI: {wti}");
+        assert!(wti < s.effective("Dragon", 2).unwrap());
+    }
+}

@@ -1,0 +1,45 @@
+//! # dircc-sim
+//!
+//! Trace-driven simulation harness reproducing the evaluation of
+//! *"An Evaluation of Directory Schemes for Cache Coherence"* (Agarwal,
+//! Simoni, Hennessy, Horowitz — ISCA 1988).
+//!
+//! * [`engine`] — replays traces through any
+//!   [`Protocol`](dircc_core::Protocol), with an optional value-level
+//!   coherence verifier;
+//! * [`metrics`] — bus-cycles-per-reference and per-transaction metrics;
+//! * [`workbench`] — the three synthetic paper traces plus memoized runs;
+//! * [`experiments`] — one runner per paper table, figure and study;
+//! * [`report`] — plain-text table/bar formatting.
+//!
+//! The `dircc` binary exposes each experiment as a subcommand.
+//!
+//! # Examples
+//!
+//! Replay a tiny migratory workload through `Dir0B` and price it:
+//!
+//! ```
+//! use dircc_bus::{CostConfig, CostModel};
+//! use dircc_core::{build, ProtocolKind};
+//! use dircc_sim::engine::{run, RunConfig};
+//! use dircc_sim::metrics::Evaluation;
+//! use dircc_trace::gen::patterns;
+//!
+//! let mut p = build(ProtocolKind::Dir0B, 4);
+//! let res = run(p.as_mut(), patterns::migratory(4, 100), &RunConfig::default())?;
+//! let e = Evaluation::new(p.name(), p.kind(), 4, res.counters);
+//! let cpr = e.cycles_per_ref(&CostModel::pipelined(), &CostConfig::PAPER);
+//! assert!(cpr > 0.0);
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod busqueue;
+pub mod engine;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod workbench;
+
+pub use engine::{run, RunConfig, RunResult, SharingModel};
+pub use metrics::Evaluation;
+pub use workbench::{TraceFilter, Workbench};

@@ -1,0 +1,220 @@
+//! `dircc` — command-line experiment runner.
+//!
+//! Each subcommand regenerates one artifact of the ISCA 1988 paper from
+//! the synthetic trace suite:
+//!
+//! ```text
+//! dircc table1|table2|table3|table4|table5
+//! dircc figure1|figure2|figure3|figure4|figure5
+//! dircc sensitivity|spinlock|berkeley|scalability
+//! dircc all                          # everything, in paper order
+//! dircc gen --profile pops --out t.dcct   # write a binary trace
+//! dircc stats --in t.dcct                 # Table 3 stats of a trace file
+//! ```
+//!
+//! Common flags: `--refs N` (references per trace; default = paper scale),
+//! `--seed S` (default 1988).
+
+use dircc_sim::experiments::{extensions, figures, network, studies, system, tables};
+use dircc_sim::Workbench;
+use dircc_trace::codec::{BinaryReader, BinaryWriter};
+use dircc_trace::gen::{Generator, Profile};
+use dircc_trace::sharing::SharingProfile;
+use dircc_trace::stats::TraceStats;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    refs: Option<u64>,
+    seed: u64,
+    profile: String,
+    path: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut parsed = Args {
+        command,
+        refs: None,
+        seed: 1988,
+        profile: "pops".to_string(),
+        path: "trace.dcct".to_string(),
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match flag.as_str() {
+            "--refs" => parsed.refs = Some(value("--refs")?.parse().map_err(|e| format!("--refs: {e}"))?),
+            "--seed" => parsed.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--profile" => parsed.profile = value("--profile")?,
+            "--out" | "--in" => parsed.path = value("--out/--in")?,
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(parsed)
+}
+
+fn usage() -> String {
+    "usage: dircc <command> [--refs N] [--seed S] [--profile pops|thor|pero|custom] [--out FILE | --in FILE]\n\
+     commands: table1 table2 table3 table4 table5 figure1 figure2 figure3 figure4 figure5\n\
+     \u{20}         sensitivity spinlock berkeley scalability finitecache scaling blocksize\n\
+     \u{20}         all gen stats"
+        .to_string()
+}
+
+fn profile_by_name(name: &str) -> Result<Profile, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "pops" => Ok(Profile::pops()),
+        "thor" => Ok(Profile::thor()),
+        "pero" => Ok(Profile::pero()),
+        "custom" => Ok(Profile::custom()),
+        other => Err(format!("unknown profile {other}")),
+    }
+}
+
+fn workbench(args: &Args) -> Workbench {
+    match args.refs {
+        Some(n) => Workbench::paper_scaled(n, args.seed),
+        None => Workbench::paper(args.seed),
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let mut profile = profile_by_name(&args.profile)?;
+    if let Some(n) = args.refs {
+        profile = profile.with_total_refs(n);
+    }
+    let file = std::fs::File::create(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+    let mut w = BinaryWriter::new(BufWriter::new(file));
+    for r in Generator::new(profile, args.seed) {
+        w.write(&r).map_err(|e| format!("write: {e}"))?;
+    }
+    let records = w.records_written();
+    w.finish().map_err(|e| format!("finish: {e}"))?;
+    println!("wrote {records} references to {}", args.path);
+    Ok(())
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    let file = std::fs::File::open(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+    let reader = BinaryReader::new(BufReader::new(file)).map_err(|e| format!("header: {e}"))?;
+    let mut s = TraceStats::new();
+    for r in reader {
+        s.observe(&r.map_err(|e| format!("read: {e}"))?);
+    }
+    println!("references : {}", s.total());
+    println!("instr      : {} ({:.2}%)", s.instr(), 100.0 * s.instr_fraction());
+    println!("data reads : {} ({:.2}%)", s.reads(), 100.0 * s.read_fraction());
+    println!("data writes: {} ({:.2}%)", s.writes(), 100.0 * s.write_fraction());
+    println!("system refs: {} ({:.2}%)", s.system(), 100.0 * s.system_fraction());
+    println!("lock spins : {} ({:.2}% of reads)", s.lock_spin_reads(), 100.0 * s.spin_fraction_of_reads());
+    println!("data blocks: {}", s.distinct_data_blocks());
+    println!("cpus       : {}   processes: {}", s.distinct_cpus(), s.distinct_processes());
+    Ok(())
+}
+
+fn sharing(args: &Args) -> Result<(), String> {
+    let file = std::fs::File::open(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+    let reader = BinaryReader::new(BufReader::new(file)).map_err(|e| format!("header: {e}"))?;
+    let mut s = SharingProfile::new();
+    for r in reader {
+        s.observe(&r.map_err(|e| format!("read: {e}"))?);
+    }
+    println!("data refs          : {}", s.data_refs());
+    println!("data blocks        : {}", s.total_blocks());
+    println!("shared blocks      : {} ({:.2}%)", s.shared_blocks(),
+        100.0 * s.shared_blocks() as f64 / s.total_blocks().max(1) as f64);
+    println!("refs to shared     : {:.2}%", 100.0 * s.shared_ref_fraction());
+    println!("writes to shared   : {:.2}%", 100.0 * s.shared_write_fraction());
+    println!("mean sharers/shared: {:.2}", s.mean_sharers_of_shared());
+    let hist = s.sharer_histogram(6);
+    for (i, count) in hist.iter().enumerate() {
+        let label = if i + 1 < hist.len() { format!("{}", i + 1) } else { format!("{}+", i + 1) };
+        println!("  blocks with {label} sharer(s): {count}");
+    }
+    Ok(())
+}
+
+fn run_experiment(command: &str, wb: &Workbench) -> Result<String, String> {
+    Ok(match command {
+        "table1" => tables::table1().to_string(),
+        "table2" => tables::table2().to_string(),
+        "table3" => tables::table3(wb).to_string(),
+        "table4" => tables::table4(wb).to_string(),
+        "table5" => tables::table5(wb).to_string(),
+        "figure1" => figures::figure1(wb).to_string(),
+        "figure2" => figures::figure2(wb).to_string(),
+        "figure3" => figures::figure3(wb).to_string(),
+        "figure4" => figures::figure4(wb).to_string(),
+        "figure5" => figures::figure5(wb).to_string(),
+        "sensitivity" => studies::sensitivity(wb).to_string(),
+        "spinlock" => studies::spinlock(wb).to_string(),
+        "berkeley" => studies::berkeley(wb).to_string(),
+        "scalability" => studies::scalability(wb).to_string(),
+        "finitecache" => extensions::finite_cache(wb).to_string(),
+        "footnote2" => extensions::footnote2(wb).to_string(),
+        "system" => system::system(wb).to_string(),
+        "storage" => network::storage_table().to_string(),
+        other => return Err(format!("unknown command {other}\n{}", usage())),
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "gen" => generate(&args),
+        "stats" => stats(&args),
+        "sharing" => sharing(&args),
+        "scaling" => {
+            println!("{}", extensions::scaling(args.refs.unwrap_or(300_000), args.seed));
+            Ok(())
+        }
+        "network" => {
+            println!("{}", network::network_study(args.refs.unwrap_or(300_000), args.seed));
+            Ok(())
+        }
+        "blocksize" => {
+            println!("{}", extensions::block_size(args.refs.unwrap_or(400_000), args.seed));
+            Ok(())
+        }
+        "all" => {
+            let wb = workbench(&args);
+            let all = [
+                "table1", "table2", "table3", "table4", "table5", "figure1", "figure2",
+                "figure3", "figure4", "figure5", "sensitivity", "spinlock", "berkeley",
+                "scalability", "system", "finitecache", "storage",
+            ];
+            let mut err = None;
+            for cmd in all {
+                match run_experiment(cmd, &wb) {
+                    Ok(s) => println!("{s}"),
+                    Err(e) => {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            err.map_or(Ok(()), Err)
+        }
+        cmd => {
+            let wb = workbench(&args);
+            run_experiment(cmd, &wb).map(|s| println!("{s}"))
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Metrics over completed runs: the paper's bus-cycles-per-reference and
+//! cycles-per-transaction measures.
+
+use dircc_bus::{price, transactions, Breakdown, CostConfig, CostModel};
+use dircc_core::{EventCounters, ProtocolKind};
+
+/// One protocol's measured event frequencies on one (or several merged)
+/// traces, ready to be priced under any hardware model.
+///
+/// This is the artifact the paper's methodology produces once per protocol:
+/// "we need just one simulation run per protocol to compute the event
+/// frequencies, and we can then vary costs for different hardware models."
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Paper-style protocol name (e.g. `Dir0B`).
+    pub name: String,
+    /// Taxonomy point, for cost-schema dispatch.
+    pub kind: ProtocolKind,
+    /// Machine size the run used.
+    pub n_caches: usize,
+    /// Measured event frequencies.
+    pub counters: EventCounters,
+}
+
+impl Evaluation {
+    /// Creates an evaluation from a finished run.
+    pub fn new(
+        name: impl Into<String>,
+        kind: ProtocolKind,
+        n_caches: usize,
+        counters: EventCounters,
+    ) -> Self {
+        Evaluation { name: name.into(), kind, n_caches, counters }
+    }
+
+    /// Prices the run: total bus cycles by category.
+    pub fn breakdown(&self, m: &CostModel, cfg: &CostConfig) -> Breakdown {
+        price(self.kind, self.n_caches, &self.counters, m, cfg)
+    }
+
+    /// Per-reference bus-cycle breakdown (Table 5's unit).
+    pub fn breakdown_per_ref(&self, m: &CostModel, cfg: &CostConfig) -> Breakdown {
+        self.breakdown(m, cfg).per_ref(self.counters.total())
+    }
+
+    /// The paper's headline metric: average bus cycles per memory
+    /// reference.
+    pub fn cycles_per_ref(&self, m: &CostModel, cfg: &CostConfig) -> f64 {
+        self.breakdown_per_ref(m, cfg).total()
+    }
+
+    /// Bus transactions per memory reference (the §5.1 line slope).
+    pub fn transactions_per_ref(&self) -> f64 {
+        if self.counters.total() == 0 {
+            return 0.0;
+        }
+        transactions(self.kind, &self.counters) as f64 / self.counters.total() as f64
+    }
+
+    /// Figure 5's metric: average bus cycles per bus transaction.
+    pub fn cycles_per_transaction(&self, m: &CostModel, cfg: &CostConfig) -> f64 {
+        let t = transactions(self.kind, &self.counters);
+        if t == 0 {
+            return 0.0;
+        }
+        self.breakdown(m, cfg).total() / t as f64
+    }
+}
+
+/// Unweighted mean of a slice (the paper averages per-trace results).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircc_core::{Event, MissContext, Outcome};
+
+    fn eval_with_misses(n: u64) -> Evaluation {
+        let mut c = EventCounters::new();
+        for _ in 0..n {
+            c.observe(&Outcome::quiet(Event::ReadMiss(MissContext::MemoryOnly)));
+        }
+        for _ in 0..n {
+            c.observe(&Outcome::quiet(Event::ReadHit));
+        }
+        Evaluation::new("Dir0B", ProtocolKind::Dir0B, 4, c)
+    }
+
+    #[test]
+    fn cycles_per_ref_divides_by_total() {
+        let e = eval_with_misses(10);
+        let cpr = e.cycles_per_ref(&CostModel::pipelined(), &CostConfig::PAPER);
+        assert!((cpr - 2.5).abs() < 1e-12, "10 misses × 5 cycles over 20 refs");
+    }
+
+    #[test]
+    fn cycles_per_transaction_divides_by_transactions() {
+        let e = eval_with_misses(10);
+        let cpt = e.cycles_per_transaction(&CostModel::pipelined(), &CostConfig::PAPER);
+        assert!((cpt - 5.0).abs() < 1e-12);
+        assert!((e.transactions_per_ref() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let e = Evaluation::new("x", ProtocolKind::Wti, 4, EventCounters::new());
+        assert_eq!(e.cycles_per_ref(&CostModel::pipelined(), &CostConfig::PAPER), 0.0);
+        assert_eq!(e.cycles_per_transaction(&CostModel::pipelined(), &CostConfig::PAPER), 0.0);
+        assert_eq!(e.transactions_per_ref(), 0.0);
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

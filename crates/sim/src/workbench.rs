@@ -1,0 +1,248 @@
+//! The workbench: generates the three synthetic traces and memoizes one
+//! simulation run per (protocol, trace, filter) triple.
+//!
+//! Every experiment shares a workbench so that, exactly as in the paper,
+//! each protocol's event frequencies are measured once and then re-priced
+//! under as many hardware models as needed.
+
+use crate::engine::{run, RunConfig};
+use crate::metrics::Evaluation;
+use dircc_core::{build, EventCounters, ProtocolKind};
+use dircc_trace::filter::exclude_lock_spins;
+use dircc_trace::gen::{Generator, Profile};
+use dircc_trace::stats::TraceStats;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Trace preprocessing applied before replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceFilter {
+    /// The full trace.
+    Full,
+    /// Lock-test reads removed (the §5.2 experiment).
+    ExcludeLockSpins,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    kind: ProtocolKind,
+    trace: usize,
+    filter: TraceFilter,
+}
+
+/// Shared experiment state: profiles, seed, and memoized runs.
+#[derive(Debug)]
+pub struct Workbench {
+    profiles: Vec<Profile>,
+    seed: u64,
+    memo: RefCell<HashMap<MemoKey, Rc<EventCounters>>>,
+    stats_memo: RefCell<HashMap<usize, Rc<TraceStats>>>,
+}
+
+impl Workbench {
+    /// Creates the paper's workbench: POPS, THOR and PERO profiles at their
+    /// full scale (~3.2-3.5M references each).
+    pub fn paper(seed: u64) -> Self {
+        Self::with_profiles(Profile::paper_suite(), seed)
+    }
+
+    /// Creates the paper's workbench with every trace truncated to
+    /// `total_refs` references (for fast tests and smoke runs).
+    pub fn paper_scaled(total_refs: u64, seed: u64) -> Self {
+        let profiles =
+            Profile::paper_suite().into_iter().map(|p| p.with_total_refs(total_refs)).collect();
+        Self::with_profiles(profiles, seed)
+    }
+
+    /// Creates a workbench over arbitrary profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or the profiles disagree on CPU count.
+    pub fn with_profiles(profiles: Vec<Profile>, seed: u64) -> Self {
+        assert!(!profiles.is_empty(), "need at least one trace profile");
+        assert!(
+            profiles.windows(2).all(|w| w[0].cpus == w[1].cpus),
+            "profiles must agree on CPU count"
+        );
+        Workbench {
+            profiles,
+            seed,
+            memo: RefCell::new(HashMap::new()),
+            stats_memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Number of caches (= CPUs) in the simulated machine.
+    pub fn n_caches(&self) -> usize {
+        usize::from(self.profiles[0].cpus)
+    }
+
+    /// Trace names in order (e.g. `POPS`, `THOR`, `PERO`).
+    pub fn trace_names(&self) -> Vec<String> {
+        self.profiles.iter().map(|p| p.name.to_string()).collect()
+    }
+
+    /// Number of traces.
+    pub fn num_traces(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// The trace profiles.
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+
+    fn records(&self, trace: usize, filter: TraceFilter) -> Box<dyn Iterator<Item = dircc_trace::TraceRecord>> {
+        let generator = Generator::new(self.profiles[trace].clone(), self.seed);
+        match filter {
+            TraceFilter::Full => Box::new(generator),
+            TraceFilter::ExcludeLockSpins => Box::new(exclude_lock_spins(generator)),
+        }
+    }
+
+    /// Reference-stream statistics of one trace (memoized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is out of range.
+    pub fn trace_stats(&self, trace: usize) -> Rc<TraceStats> {
+        if let Some(s) = self.stats_memo.borrow().get(&trace) {
+            return Rc::clone(s);
+        }
+        let stats: TraceStats = self.records(trace, TraceFilter::Full).collect();
+        let rc = Rc::new(stats);
+        self.stats_memo.borrow_mut().insert(trace, Rc::clone(&rc));
+        rc
+    }
+
+    /// Event frequencies for one protocol on one trace (memoized; this is
+    /// the paper's "one simulation run per protocol").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is out of range or the replay itself fails (a
+    /// protocol invariant bug — not an expected runtime condition).
+    pub fn counters(
+        &self,
+        kind: ProtocolKind,
+        trace: usize,
+        filter: TraceFilter,
+    ) -> Rc<EventCounters> {
+        let key = MemoKey { kind, trace, filter };
+        if let Some(c) = self.memo.borrow().get(&key) {
+            return Rc::clone(c);
+        }
+        let mut protocol = build(kind, self.n_caches());
+        // The paper classifies sharing per process ("a block is considered
+        // shared only if it is accessed by more than one process"), which
+        // excludes migration-induced sharing from the study.
+        let cfg = RunConfig::default().with_process_sharing();
+        let result = run(protocol.as_mut(), self.records(trace, filter), &cfg)
+            .expect("trace replay failed");
+        let rc = Rc::new(result.counters);
+        self.memo.borrow_mut().insert(key, Rc::clone(&rc));
+        rc
+    }
+
+    /// An [`Evaluation`] for one protocol on one trace.
+    pub fn evaluation(&self, kind: ProtocolKind, trace: usize, filter: TraceFilter) -> Evaluation {
+        let counters = self.counters(kind, trace, filter);
+        Evaluation::new(
+            kind.display_name(self.n_caches()),
+            kind,
+            self.n_caches(),
+            (*counters).clone(),
+        )
+    }
+
+    /// Evaluations of one protocol across every trace (paper order).
+    pub fn evaluations(&self, kind: ProtocolKind, filter: TraceFilter) -> Vec<Evaluation> {
+        (0..self.num_traces()).map(|t| self.evaluation(kind, t, filter)).collect()
+    }
+
+    /// Merged counters of one protocol across all traces (for quantities
+    /// like Figure 1's histogram that the paper aggregates).
+    pub fn merged_counters(&self, kind: ProtocolKind, filter: TraceFilter) -> EventCounters {
+        let mut merged = EventCounters::new();
+        for t in 0..self.num_traces() {
+            merged.merge(&self.counters(kind, t, filter));
+        }
+        merged
+    }
+
+    /// The four schemes of the paper's main evaluation.
+    pub fn paper_kinds(&self) -> [ProtocolKind; 4] {
+        [
+            ProtocolKind::DirNb { pointers: 1 },
+            ProtocolKind::Wti,
+            ProtocolKind::Dir0B,
+            ProtocolKind::Dragon,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Workbench {
+        Workbench::paper_scaled(20_000, 7)
+    }
+
+    #[test]
+    fn paper_workbench_has_three_traces() {
+        let wb = small();
+        assert_eq!(wb.trace_names(), vec!["POPS", "THOR", "PERO"]);
+        assert_eq!(wb.n_caches(), 4);
+        assert_eq!(wb.num_traces(), 3);
+    }
+
+    #[test]
+    fn memoization_returns_same_counters() {
+        let wb = small();
+        let a = wb.counters(ProtocolKind::Dir0B, 0, TraceFilter::Full);
+        let b = wb.counters(ProtocolKind::Dir0B, 0, TraceFilter::Full);
+        assert!(Rc::ptr_eq(&a, &b), "second call must hit the memo");
+    }
+
+    #[test]
+    fn filtered_runs_differ_from_full_runs() {
+        let wb = small();
+        let full = wb.counters(ProtocolKind::DirNb { pointers: 1 }, 0, TraceFilter::Full);
+        let filt =
+            wb.counters(ProtocolKind::DirNb { pointers: 1 }, 0, TraceFilter::ExcludeLockSpins);
+        assert!(filt.total() < full.total(), "lock spins removed");
+        assert!(filt.rm() < full.rm(), "Dir1NB loses its lock ping-pong misses");
+    }
+
+    #[test]
+    fn evaluation_names_follow_paper() {
+        let wb = small();
+        let e = wb.evaluation(ProtocolKind::DirNb { pointers: 4 }, 0, TraceFilter::Full);
+        assert_eq!(e.name, "DirnNB");
+    }
+
+    #[test]
+    fn merged_counters_sum_traces() {
+        let wb = small();
+        let merged = wb.merged_counters(ProtocolKind::Wti, TraceFilter::Full);
+        assert_eq!(merged.total(), 60_000);
+    }
+
+    #[test]
+    fn trace_stats_are_memoized_and_sized() {
+        let wb = small();
+        let s1 = wb.trace_stats(1);
+        let s2 = wb.trace_stats(1);
+        assert!(Rc::ptr_eq(&s1, &s2));
+        assert_eq!(s1.total(), 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn empty_profiles_rejected() {
+        let _ = Workbench::with_profiles(vec![], 0);
+    }
+}

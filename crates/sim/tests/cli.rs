@@ -1,0 +1,83 @@
+//! End-to-end tests of the `dircc` binary.
+
+use std::process::Command;
+
+fn dircc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dircc"))
+}
+
+#[test]
+fn table1_prints_the_paper_constants() {
+    let out = dircc().args(["table1"]).output().expect("run dircc");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Wait for Directory"));
+    assert!(text.contains("Transfer 1 data word"));
+}
+
+#[test]
+fn table4_runs_at_reduced_scale() {
+    let out = dircc()
+        .args(["table4", "--refs", "30000", "--seed", "7"])
+        .output()
+        .expect("run dircc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rm-blk-cln"));
+    assert!(text.contains("Dir1NB"));
+    assert!(text.contains("Dragon"));
+}
+
+#[test]
+fn gen_stats_sharing_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("dircc_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.dcct");
+    let path_s = path.to_str().unwrap();
+
+    let out = dircc()
+        .args(["gen", "--profile", "pero", "--refs", "20000", "--out", path_s])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote 20000 references"));
+
+    let out = dircc().args(["stats", "--in", path_s]).output().expect("run stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("references : 20000"));
+    assert!(text.contains("cpus       : 4"));
+
+    let out = dircc().args(["sharing", "--in", path_s]).output().expect("run sharing");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("refs to shared"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = dircc().args(["frobnicate"]).output().expect("run dircc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn missing_flag_value_fails() {
+    let out = dircc().args(["table1", "--refs"]).output().expect("run dircc");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn determinism_across_invocations() {
+    let run = || {
+        let out = dircc()
+            .args(["figure5", "--refs", "20000", "--seed", "3"])
+            .output()
+            .expect("run dircc");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    assert_eq!(run(), run());
+}

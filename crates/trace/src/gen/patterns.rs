@@ -1,0 +1,252 @@
+//! Deterministic sharing kernels with exactly predictable event counts.
+//!
+//! These tiny generators exercise one sharing pattern each. Protocol unit
+//! tests use them because the expected event frequencies can be computed by
+//! hand; benches use them to isolate a single behaviour.
+
+use crate::record::{RecordFlags, TraceRecord};
+use dircc_types::{AccessKind, Address, BlockGeometry, CpuId, ProcessId};
+
+const BLOCK: u64 = BlockGeometry::PAPER.block_bytes();
+/// Base address of all pattern data (block-aligned, away from zero).
+const DATA_BASE: u64 = 0x10_0000;
+
+fn rec(cpu: u16, kind: AccessKind, addr: u64) -> TraceRecord {
+    TraceRecord::new(CpuId::new(cpu), ProcessId::new(cpu), kind, Address::new(addr))
+}
+
+/// Two CPUs alternately write the same block: the classic ping-pong.
+///
+/// Each round is one write by CPU 0 then one by CPU 1 to the same address.
+/// Under any invalidation protocol every write after the first two misses
+/// (the block is dirty in the other cache).
+///
+/// ```
+/// let t = dircc_trace::gen::patterns::ping_pong(10);
+/// assert_eq!(t.len(), 20);
+/// ```
+pub fn ping_pong(rounds: u32) -> Vec<TraceRecord> {
+    let mut out = Vec::with_capacity(rounds as usize * 2);
+    for _ in 0..rounds {
+        out.push(rec(0, AccessKind::Write, DATA_BASE));
+        out.push(rec(1, AccessKind::Write, DATA_BASE));
+    }
+    out
+}
+
+/// Every CPU reads the same `blocks` blocks, `rounds` times.
+///
+/// After the cold pass no coherence traffic occurs in any protocol that
+/// permits multiple clean copies; `Dir1NB` instead misses on every read
+/// because only one cached copy may exist.
+pub fn read_only_sharing(cpus: u16, blocks: u32, rounds: u32) -> Vec<TraceRecord> {
+    let mut out = Vec::new();
+    for _ in 0..rounds {
+        for cpu in 0..cpus {
+            for b in 0..blocks {
+                out.push(rec(cpu, AccessKind::Read, DATA_BASE + u64::from(b) * BLOCK));
+            }
+        }
+    }
+    out
+}
+
+/// A migratory object: each CPU in turn reads then writes the same block.
+///
+/// This is the access pattern of data protected by a lock. Each hand-off
+/// produces a read miss to a dirty block followed by a write hit to a block
+/// that is clean in the local cache (`wh-blk-cln`).
+pub fn migratory(cpus: u16, handoffs: u32) -> Vec<TraceRecord> {
+    let mut out = Vec::new();
+    for i in 0..handoffs {
+        let cpu = (i % u32::from(cpus)) as u16;
+        out.push(rec(cpu, AccessKind::Read, DATA_BASE));
+        out.push(rec(cpu, AccessKind::Write, DATA_BASE));
+    }
+    out
+}
+
+/// Producer/consumer: CPU 0 writes slot *i*, CPU 1 then reads it.
+pub fn producer_consumer(items: u32, slots: u32) -> Vec<TraceRecord> {
+    let slots = slots.max(1);
+    let mut out = Vec::new();
+    for i in 0..items {
+        let addr = DATA_BASE + u64::from(i % slots) * BLOCK;
+        out.push(rec(0, AccessKind::Write, addr));
+        out.push(rec(1, AccessKind::Read, addr));
+    }
+    out
+}
+
+/// Each CPU reads and writes only its own private block; no sharing at all.
+///
+/// After the cold pass, no protocol generates any traffic.
+pub fn private_only(cpus: u16, rounds: u32) -> Vec<TraceRecord> {
+    let mut out = Vec::new();
+    for _ in 0..rounds {
+        for cpu in 0..cpus {
+            let addr = DATA_BASE + u64::from(cpu) * BLOCK * 16;
+            out.push(rec(cpu, AccessKind::Read, addr));
+            out.push(rec(cpu, AccessKind::Write, addr));
+        }
+    }
+    out
+}
+
+/// Spin-lock contention: CPU 0 holds the lock and works; CPUs 1.. spin
+/// (flagged lock-test reads); then CPU 0 releases and CPU 1 acquires.
+///
+/// One element of the paper's §5.2 story in miniature: the spin reads
+/// ping-pong in `Dir1NB` but are quiet in multi-copy protocols.
+pub fn spinlock_contention(spinners: u16, spins_each: u32) -> Vec<TraceRecord> {
+    let lock = DATA_BASE + 0x1000;
+    let work = DATA_BASE + 0x2000;
+    let mut out = Vec::new();
+    // CPU 0 acquires: test, then set.
+    out.push(rec(0, AccessKind::Read, lock).with_flags(RecordFlags::LOCK));
+    out.push(rec(0, AccessKind::Write, lock).with_flags(RecordFlags::LOCK));
+    // Spinners test while CPU 0 works.
+    for s in 0..spins_each {
+        for cpu in 1..=spinners {
+            out.push(rec(cpu, AccessKind::Read, lock).with_flags(RecordFlags::LOCK));
+        }
+        out.push(rec(0, AccessKind::Write, work + u64::from(s % 4) * 4));
+    }
+    // Release, then CPU 1 acquires.
+    out.push(rec(0, AccessKind::Write, lock).with_flags(RecordFlags::LOCK));
+    out.push(rec(1, AccessKind::Read, lock).with_flags(RecordFlags::LOCK));
+    out.push(rec(1, AccessKind::Write, lock).with_flags(RecordFlags::LOCK));
+    out
+}
+
+/// Barrier synchronization: every CPU increments a shared counter (read +
+/// write), then spins reading it until all have arrived, for `episodes`
+/// barrier episodes.
+///
+/// Generates the other classic synchronization hot spot besides locks: a
+/// single block written by everyone in turn and read by everyone
+/// in-between.
+pub fn barrier(cpus: u16, episodes: u32, spins_each: u32) -> Vec<TraceRecord> {
+    let counter = DATA_BASE + 0x3000;
+    let mut out = Vec::new();
+    for e in 0..episodes {
+        // Arrival: each CPU reads then increments the counter.
+        for cpu in 0..cpus {
+            out.push(rec(cpu, AccessKind::Read, counter));
+            out.push(rec(cpu, AccessKind::Write, counter));
+        }
+        // Wait: each CPU re-reads until released (modelled as a fixed
+        // number of spin reads, interleaved).
+        for _ in 0..spins_each {
+            for cpu in 0..cpus {
+                out.push(rec(cpu, AccessKind::Read, counter));
+            }
+        }
+        // Keep episodes distinguishable for debugging: a per-episode
+        // private touch.
+        out.push(rec((e % u32::from(cpus)) as u16, AccessKind::Read, DATA_BASE + 0x4000));
+    }
+    out
+}
+
+/// Interleaves instruction fetches (one per CPU per data reference) into an
+/// existing pattern, for tests that need realistic instruction fractions.
+pub fn with_instr_stream(data: Vec<TraceRecord>) -> Vec<TraceRecord> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    for (i, r) in data.into_iter().enumerate() {
+        out.push(TraceRecord::new(
+            r.cpu,
+            r.pid,
+            AccessKind::InstrFetch,
+            Address::new(0x9000_0000 + u64::from(r.cpu.raw()) * 0x1_0000 + (i as u64 % 64) * BLOCK),
+        ));
+        out.push(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_alternates() {
+        let t = ping_pong(3);
+        assert_eq!(t.len(), 6);
+        assert!(t.iter().step_by(2).all(|r| r.cpu == CpuId::new(0)));
+        assert!(t.iter().skip(1).step_by(2).all(|r| r.cpu == CpuId::new(1)));
+        assert!(t.iter().all(|r| r.kind == AccessKind::Write));
+        let first = t[0].addr;
+        assert!(t.iter().all(|r| r.addr == first));
+    }
+
+    #[test]
+    fn read_only_counts() {
+        let t = read_only_sharing(3, 4, 2);
+        assert_eq!(t.len(), 3 * 4 * 2);
+        assert!(t.iter().all(|r| r.kind == AccessKind::Read));
+    }
+
+    #[test]
+    fn migratory_rotates_cpus() {
+        let t = migratory(2, 4);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t[0].cpu, CpuId::new(0));
+        assert_eq!(t[2].cpu, CpuId::new(1));
+        assert_eq!(t[4].cpu, CpuId::new(0));
+        assert_eq!(t[1].kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn producer_consumer_pairs() {
+        let t = producer_consumer(5, 2);
+        assert_eq!(t.len(), 10);
+        for pair in t.chunks(2) {
+            assert_eq!(pair[0].kind, AccessKind::Write);
+            assert_eq!(pair[1].kind, AccessKind::Read);
+            assert_eq!(pair[0].addr, pair[1].addr);
+        }
+    }
+
+    #[test]
+    fn private_only_never_shares_blocks() {
+        let t = private_only(4, 3);
+        let g = BlockGeometry::PAPER;
+        use std::collections::HashMap;
+        let mut owner: HashMap<u64, CpuId> = HashMap::new();
+        for r in &t {
+            let b = g.block_of(r.addr).index();
+            let prev = owner.insert(b, r.cpu);
+            assert!(prev.is_none() || prev == Some(r.cpu));
+        }
+    }
+
+    #[test]
+    fn spinlock_contention_flags_spins() {
+        let t = spinlock_contention(2, 5);
+        let spins = t.iter().filter(|r| r.is_lock_spin()).count();
+        // initial test + 2 spinners x 5 + final test by cpu 1
+        assert_eq!(spins, 1 + 10 + 1);
+    }
+
+    #[test]
+    fn barrier_counts() {
+        let t = barrier(4, 2, 3);
+        // Per episode: 4*(read+write) + 3*4 spins + 1 = 21 records.
+        assert_eq!(t.len(), 2 * 21);
+        let writes = t.iter().filter(|r| r.kind == AccessKind::Write).count();
+        assert_eq!(writes, 8, "one increment per CPU per episode");
+    }
+
+    #[test]
+    fn with_instr_stream_doubles_and_interleaves() {
+        let t = with_instr_stream(ping_pong(2));
+        assert_eq!(t.len(), 8);
+        assert!(t.iter().step_by(2).all(|r| r.kind == AccessKind::InstrFetch));
+        // Instruction addresses never collide with data addresses.
+        assert!(t
+            .iter()
+            .filter(|r| r.kind == AccessKind::InstrFetch)
+            .all(|r| r.addr.raw() >= 0x9000_0000));
+    }
+}

@@ -1,0 +1,236 @@
+//! Address-space layout for synthetic workloads.
+//!
+//! Each logical data region gets a disjoint slice of the 64-bit address
+//! space so generated references can never alias across regions. All layout
+//! uses the paper's 16-byte blocks.
+
+use super::Profile;
+use dircc_types::{Address, BlockGeometry};
+
+const BLOCK: u64 = BlockGeometry::PAPER.block_bytes();
+
+/// Base of per-process code regions.
+const CODE_BASE: u64 = 0x8000_0000;
+/// Stride between per-process code regions.
+const CODE_STRIDE: u64 = 0x0010_0000;
+/// Base of per-process private data regions.
+const PRIVATE_BASE: u64 = 0x1000_0000;
+/// Stride between per-process private regions.
+const PRIVATE_STRIDE: u64 = 0x0040_0000;
+/// Base of the shared read-only table.
+const SHARED_RO_BASE: u64 = 0x2000_0000;
+/// Base of lock-protected (migratory) objects.
+const OBJECT_BASE: u64 = 0x3000_0000;
+/// Stride between per-lock objects.
+const OBJECT_STRIDE: u64 = 0x0001_0000;
+/// Base of lock words (one block per lock).
+const LOCK_BASE: u64 = 0x4000_0000;
+/// Base of producer/consumer queues.
+const QUEUE_BASE: u64 = 0x5000_0000;
+/// Stride between queues.
+const QUEUE_STRIDE: u64 = 0x0001_0000;
+/// Base of shared OS data.
+const OS_DATA_BASE: u64 = 0xE000_0000;
+/// Base of per-process OS data (kernel stacks, u-areas).
+const OS_PRIVATE_BASE: u64 = 0xD000_0000;
+/// Stride between per-process OS data regions.
+const OS_PRIVATE_STRIDE: u64 = 0x0010_0000;
+/// Base of OS code.
+const OS_CODE_BASE: u64 = 0xF000_0000;
+
+/// Resolves logical workload locations to concrete byte addresses.
+///
+/// ```
+/// use dircc_trace::gen::{Profile, Regions};
+///
+/// let r = Regions::new(&Profile::pops());
+/// let a = r.lock_word(0);
+/// let b = r.lock_word(1);
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regions {
+    private_blocks: u64,
+    shared_read_blocks: u64,
+    object_blocks: u64,
+    queue_blocks: u64,
+    os_blocks: u64,
+    code_blocks: u64,
+}
+
+impl Regions {
+    /// Builds the layout for a profile.
+    pub fn new(p: &Profile) -> Self {
+        Regions {
+            private_blocks: u64::from(p.private_blocks.max(1)),
+            shared_read_blocks: u64::from(p.shared_read_blocks.max(1)),
+            object_blocks: u64::from(p.object_blocks.max(1)),
+            queue_blocks: u64::from(p.queue_blocks.max(1)),
+            os_blocks: u64::from(p.os_blocks.max(1)),
+            code_blocks: u64::from(p.code_blocks.max(1)),
+        }
+    }
+
+    /// Address of instruction word `i` in process `pid`'s code region
+    /// (wraps around the region).
+    pub fn code(&self, pid: u16, i: u64) -> Address {
+        let blk = i % self.code_blocks;
+        Address::new(CODE_BASE + u64::from(pid) * CODE_STRIDE + blk * BLOCK)
+    }
+
+    /// Address of OS instruction word `i` (shared OS code region).
+    pub fn os_code(&self, i: u64) -> Address {
+        Address::new(OS_CODE_BASE + (i % self.code_blocks) * BLOCK)
+    }
+
+    /// Address inside process `pid`'s private data region.
+    pub fn private(&self, pid: u16, block: u64, word: u64) -> Address {
+        debug_assert!(block < self.private_blocks);
+        Address::new(PRIVATE_BASE + u64::from(pid) * PRIVATE_STRIDE + block * BLOCK + (word % 4) * 4)
+    }
+
+    /// Number of private blocks per process.
+    pub fn private_blocks(&self) -> u64 {
+        self.private_blocks
+    }
+
+    /// Address inside the shared read-only table.
+    pub fn shared_read(&self, block: u64, word: u64) -> Address {
+        debug_assert!(block < self.shared_read_blocks);
+        Address::new(SHARED_RO_BASE + block * BLOCK + (word % 4) * 4)
+    }
+
+    /// Number of blocks in the shared read-only table.
+    pub fn shared_read_blocks(&self) -> u64 {
+        self.shared_read_blocks
+    }
+
+    /// Address inside lock `lock`'s protected object.
+    pub fn object(&self, lock: u32, block: u64, word: u64) -> Address {
+        debug_assert!(block < self.object_blocks);
+        Address::new(OBJECT_BASE + u64::from(lock) * OBJECT_STRIDE + block * BLOCK + (word % 4) * 4)
+    }
+
+    /// Number of blocks per lock-protected object.
+    pub fn object_blocks(&self) -> u64 {
+        self.object_blocks
+    }
+
+    /// Address of lock `lock`'s lock word (one block per lock, so locks
+    /// never falsely share).
+    pub fn lock_word(&self, lock: u32) -> Address {
+        Address::new(LOCK_BASE + u64::from(lock) * BLOCK)
+    }
+
+    /// Address of slot `slot` in queue `q`.
+    pub fn queue_slot(&self, q: u32, slot: u64) -> Address {
+        Address::new(QUEUE_BASE + u64::from(q) * QUEUE_STRIDE + (slot % self.queue_blocks) * BLOCK)
+    }
+
+    /// Number of blocks per queue.
+    pub fn queue_blocks(&self) -> u64 {
+        self.queue_blocks
+    }
+
+    /// Address inside the shared OS data region.
+    pub fn os_data(&self, block: u64, word: u64) -> Address {
+        debug_assert!(block < self.os_blocks);
+        Address::new(OS_DATA_BASE + block * BLOCK + (word % 4) * 4)
+    }
+
+    /// Number of OS data blocks.
+    pub fn os_blocks(&self) -> u64 {
+        self.os_blocks
+    }
+
+    /// Address inside process `pid`'s private OS data (kernel stack,
+    /// u-area): most OS references touch per-process structures.
+    pub fn os_private(&self, pid: u16, block: u64, word: u64) -> Address {
+        debug_assert!(block < self.os_blocks);
+        Address::new(
+            OS_PRIVATE_BASE
+                + u64::from(pid) * OS_PRIVATE_STRIDE
+                + block * BLOCK
+                + (word % 4) * 4,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircc_types::BlockGeometry;
+
+    fn regions() -> Regions {
+        Regions::new(&Profile::pops())
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        let r = regions();
+        let g = BlockGeometry::PAPER;
+        let addrs = [
+            r.code(0, 0),
+            r.code(63, 0),
+            r.private(0, 0, 0),
+            r.private(63, 0, 0),
+            r.shared_read(0, 0),
+            r.object(0, 0, 0),
+            r.object(100, 0, 0),
+            r.lock_word(0),
+            r.lock_word(500),
+            r.queue_slot(0, 0),
+            r.os_data(0, 0),
+            r.os_private(0, 0, 0),
+            r.os_private(5, 0, 0),
+            r.os_code(0),
+        ];
+        let blocks: Vec<u64> = addrs.iter().map(|a| g.block_of(*a).index()).collect();
+        let mut dedup = blocks.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), blocks.len(), "all sample addresses live in distinct blocks");
+    }
+
+    #[test]
+    fn per_process_privates_do_not_overlap() {
+        let r = regions();
+        // largest block index of pid 0 < smallest of pid 1
+        let last0 = r.private(0, r.private_blocks() - 1, 3).raw();
+        let first1 = r.private(1, 0, 0).raw();
+        assert!(last0 < first1);
+    }
+
+    #[test]
+    fn code_wraps_within_region() {
+        let r = regions();
+        assert_eq!(r.code(2, 0), r.code(2, 256));
+    }
+
+    #[test]
+    fn lock_words_are_block_aligned_and_distinct() {
+        let r = regions();
+        let g = BlockGeometry::PAPER;
+        assert_ne!(g.block_of(r.lock_word(0)), g.block_of(r.lock_word(1)));
+        assert_eq!(r.lock_word(3).raw() % 16, 0);
+    }
+
+    #[test]
+    fn queue_slots_wrap() {
+        let r = regions();
+        assert_eq!(r.queue_slot(1, 0), r.queue_slot(1, r.queue_blocks()));
+    }
+
+    #[test]
+    fn word_offsets_stay_in_block() {
+        let r = regions();
+        let g = BlockGeometry::PAPER;
+        for w in 0..8 {
+            assert_eq!(
+                g.block_of(r.private(0, 5, w)),
+                g.block_of(r.private(0, 5, 0)),
+                "word {w} must stay in block"
+            );
+        }
+    }
+}

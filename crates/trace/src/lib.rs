@@ -1,0 +1,43 @@
+//! # dircc-trace
+//!
+//! Multiprocessor address traces for the dircc coherence study.
+//!
+//! The original paper drove its simulations with ATUM traces of three
+//! parallel applications (POPS, THOR, PERO) captured on a 4-CPU VAX 8350
+//! running MACH. Those traces are not available, so this crate provides the
+//! closest synthetic equivalent (see [`gen`]) together with everything a
+//! trace-driven simulator needs:
+//!
+//! * [`TraceRecord`] — one memory reference: CPU, process, kind, address,
+//!   plus flags marking lock accesses (needed by the paper's §5.2 spin-lock
+//!   experiment) and operating-system references (Table 3 reports a user/sys
+//!   split).
+//! * [`codec`] — a compact binary format and a line-oriented text format,
+//!   with streaming [`reader`](codec::BinaryReader)s and writers.
+//! * [`stats`] — reference-stream statistics reproducing Table 3.
+//! * [`gen`] — the synthetic workload generator with calibrated profiles
+//!   `pops`, `thor` and `pero`, plus primitive sharing kernels for tests.
+//! * [`filter`] — stream adaptors, e.g. excluding lock-test reads (§5.2).
+//!
+//! # Examples
+//!
+//! Generate a small POPS-like trace and count its references:
+//!
+//! ```
+//! use dircc_trace::gen::{Generator, Profile};
+//! use dircc_trace::stats::TraceStats;
+//!
+//! let mut g = Generator::new(Profile::pops().with_total_refs(10_000), 42);
+//! let stats: TraceStats = g.by_ref().collect();
+//! assert_eq!(stats.total(), 10_000);
+//! assert!(stats.instr_fraction() > 0.4);
+//! ```
+
+pub mod codec;
+pub mod filter;
+pub mod gen;
+pub mod record;
+pub mod sharing;
+pub mod stats;
+
+pub use record::{RecordFlags, TraceRecord};

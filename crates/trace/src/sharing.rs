@@ -1,0 +1,253 @@
+//! Per-block sharing analysis.
+//!
+//! The paper explains PERO's low coherence cost by "the fraction of
+//! references to shared blocks in PERO is much smaller than in POPS and
+//! THOR", and its Figure 1 argument rests on how many processes touch each
+//! block. [`SharingProfile`] measures exactly those quantities from a raw
+//! trace, independent of any protocol: which blocks are shared between
+//! processes, how many processes touch each block, and what fraction of
+//! data references target shared blocks.
+
+use crate::record::TraceRecord;
+use dircc_types::{BlockGeometry, ProcessId};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Default)]
+struct BlockInfo {
+    /// Distinct processes that touched the block (small; kept sorted).
+    processes: Vec<ProcessId>,
+    reads: u64,
+    writes: u64,
+}
+
+/// Accumulated per-block sharing statistics over a trace.
+///
+/// Sharing is classified *per process*, as the paper prescribes: "a block
+/// is considered shared only if it is accessed by more than one process".
+///
+/// ```
+/// use dircc_trace::sharing::SharingProfile;
+/// use dircc_trace::TraceRecord;
+/// use dircc_types::{AccessKind, Address, CpuId, ProcessId};
+///
+/// let mut s = SharingProfile::new();
+/// let a = Address::new(0x100);
+/// s.observe(&TraceRecord::new(CpuId::new(0), ProcessId::new(0), AccessKind::Read, a));
+/// s.observe(&TraceRecord::new(CpuId::new(1), ProcessId::new(1), AccessKind::Read, a));
+/// assert_eq!(s.shared_blocks(), 1);
+/// assert_eq!(s.shared_ref_fraction(), 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharingProfile {
+    geometry: BlockGeometry,
+    blocks: HashMap<u64, BlockInfo>,
+    data_refs: u64,
+}
+
+impl SharingProfile {
+    /// Creates an empty profile with the paper's block geometry.
+    pub fn new() -> Self {
+        Self::with_geometry(BlockGeometry::PAPER)
+    }
+
+    /// Creates an empty profile with an explicit geometry.
+    pub fn with_geometry(geometry: BlockGeometry) -> Self {
+        SharingProfile { geometry, blocks: HashMap::new(), data_refs: 0 }
+    }
+
+    /// Accounts for one record (instruction fetches are ignored).
+    pub fn observe(&mut self, r: &TraceRecord) {
+        if !r.is_data() {
+            return;
+        }
+        self.data_refs += 1;
+        let info = self.blocks.entry(self.geometry.block_of(r.addr).index()).or_default();
+        if let Err(pos) = info.processes.binary_search(&r.pid) {
+            info.processes.insert(pos, r.pid);
+        }
+        if r.kind.is_write() {
+            info.writes += 1;
+        } else {
+            info.reads += 1;
+        }
+    }
+
+    /// Total data references observed.
+    pub fn data_refs(&self) -> u64 {
+        self.data_refs
+    }
+
+    /// Number of distinct data blocks observed.
+    pub fn total_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of blocks touched by more than one process.
+    pub fn shared_blocks(&self) -> usize {
+        self.blocks.values().filter(|b| b.processes.len() > 1).count()
+    }
+
+    /// Fraction of data references that target shared blocks.
+    pub fn shared_ref_fraction(&self) -> f64 {
+        if self.data_refs == 0 {
+            return 0.0;
+        }
+        let shared: u64 = self
+            .blocks
+            .values()
+            .filter(|b| b.processes.len() > 1)
+            .map(|b| b.reads + b.writes)
+            .sum();
+        shared as f64 / self.data_refs as f64
+    }
+
+    /// Fraction of data *writes* that target shared blocks (the refs that
+    /// actually force coherence actions).
+    pub fn shared_write_fraction(&self) -> f64 {
+        let (shared, total) = self.blocks.values().fold((0u64, 0u64), |(s, t), b| {
+            let is_shared = b.processes.len() > 1;
+            (s + if is_shared { b.writes } else { 0 }, t + b.writes)
+        });
+        if total == 0 {
+            0.0
+        } else {
+            shared as f64 / total as f64
+        }
+    }
+
+    /// Histogram of blocks by sharer count: `histogram()[k]` = blocks
+    /// touched by exactly `k+1` processes; the final bucket aggregates
+    /// higher counts.
+    pub fn sharer_histogram(&self, buckets: usize) -> Vec<u64> {
+        let mut hist = vec![0u64; buckets.max(1)];
+        for b in self.blocks.values() {
+            let idx = (b.processes.len() - 1).min(hist.len() - 1);
+            hist[idx] += 1;
+        }
+        hist
+    }
+
+    /// Mean number of processes touching a shared block.
+    pub fn mean_sharers_of_shared(&self) -> f64 {
+        let shared: Vec<usize> = self
+            .blocks
+            .values()
+            .filter(|b| b.processes.len() > 1)
+            .map(|b| b.processes.len())
+            .collect();
+        if shared.is_empty() {
+            return 0.0;
+        }
+        shared.iter().sum::<usize>() as f64 / shared.len() as f64
+    }
+}
+
+impl Default for SharingProfile {
+    fn default() -> Self {
+        SharingProfile::new()
+    }
+}
+
+impl Extend<TraceRecord> for SharingProfile {
+    fn extend<I: IntoIterator<Item = TraceRecord>>(&mut self, iter: I) {
+        for r in iter {
+            self.observe(&r);
+        }
+    }
+}
+
+impl FromIterator<TraceRecord> for SharingProfile {
+    fn from_iter<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Self {
+        let mut s = SharingProfile::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircc_types::{AccessKind, Address, CpuId};
+
+    fn rec(pid: u16, kind: AccessKind, addr: u64) -> TraceRecord {
+        TraceRecord::new(CpuId::new(pid), ProcessId::new(pid), kind, Address::new(addr))
+    }
+
+    #[test]
+    fn classifies_private_and_shared() {
+        let recs = vec![
+            rec(0, AccessKind::Read, 0x100),  // private to pid 0
+            rec(0, AccessKind::Write, 0x100),
+            rec(0, AccessKind::Read, 0x200),  // shared
+            rec(1, AccessKind::Write, 0x200),
+            rec(1, AccessKind::Read, 0x300),  // private to pid 1
+        ];
+        let s: SharingProfile = recs.into_iter().collect();
+        assert_eq!(s.total_blocks(), 3);
+        assert_eq!(s.shared_blocks(), 1);
+        assert_eq!(s.data_refs(), 5);
+        assert!((s.shared_ref_fraction() - 2.0 / 5.0).abs() < 1e-12);
+        assert!((s.shared_write_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instruction_fetches_ignored() {
+        let mut s = SharingProfile::new();
+        s.observe(&rec(0, AccessKind::InstrFetch, 0x100));
+        assert_eq!(s.data_refs(), 0);
+        assert_eq!(s.total_blocks(), 0);
+    }
+
+    #[test]
+    fn sharer_histogram_buckets() {
+        let recs = vec![
+            rec(0, AccessKind::Read, 0x100),
+            rec(0, AccessKind::Read, 0x200),
+            rec(1, AccessKind::Read, 0x200),
+            rec(0, AccessKind::Read, 0x300),
+            rec(1, AccessKind::Read, 0x300),
+            rec(2, AccessKind::Read, 0x300),
+            rec(3, AccessKind::Read, 0x300),
+        ];
+        let s: SharingProfile = recs.into_iter().collect();
+        let h = s.sharer_histogram(3);
+        assert_eq!(h, vec![1, 1, 1], "1-sharer, 2-sharer and 4-sharer (capped) blocks");
+        assert!((s.mean_sharers_of_shared() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_process_on_two_cpus_is_not_sharing() {
+        // Migration: same pid from two CPUs — per-process sharing says no.
+        let recs = vec![
+            TraceRecord::new(CpuId::new(0), ProcessId::new(7), AccessKind::Read, Address::new(0)),
+            TraceRecord::new(CpuId::new(1), ProcessId::new(7), AccessKind::Write, Address::new(0)),
+        ];
+        let s: SharingProfile = recs.into_iter().collect();
+        assert_eq!(s.shared_blocks(), 0);
+    }
+
+    #[test]
+    fn empty_profile_is_safe() {
+        let s = SharingProfile::new();
+        assert_eq!(s.shared_ref_fraction(), 0.0);
+        assert_eq!(s.shared_write_fraction(), 0.0);
+        assert_eq!(s.mean_sharers_of_shared(), 0.0);
+        assert_eq!(s.sharer_histogram(4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn pero_shares_less_than_pops() {
+        use crate::gen::{Generator, Profile};
+        let frac = |p: Profile| -> f64 {
+            let s: SharingProfile =
+                Generator::new(p.with_total_refs(150_000), 3).collect();
+            s.shared_ref_fraction()
+        };
+        let pops = frac(Profile::pops());
+        let pero = frac(Profile::pero());
+        assert!(
+            pero < 0.5 * pops,
+            "paper: PERO's shared-reference fraction is much smaller ({pero} vs {pops})"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Identity spaces: caches, CPUs and processes.
+//!
+//! The paper is careful to separate *processor* sharing from *process*
+//! sharing ("a block is considered shared only if it is accessed by more
+//! than one process"), so the workspace keeps three distinct id types even
+//! though a small-scale machine maps them 1:1.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u16);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(raw: u16) -> Self {
+                $name(raw)
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn raw(self) -> u16 {
+                self.0
+            }
+
+            /// Returns the raw index widened to `usize` for container
+            /// indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u16> for $name {
+            fn from(raw: u16) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl From<$name> for u16 {
+            fn from(id: $name) -> Self {
+                id.0
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Index of a hardware cache (one per processor board in the paper's
+    /// machine model). Directory presence bits and pointers refer to caches.
+    CacheId, "C"
+}
+
+id_type! {
+    /// Index of a CPU issuing memory references. The ATUM traces carried a
+    /// CPU number with each reference; so do dircc trace records.
+    CpuId, "cpu"
+}
+
+id_type! {
+    /// Identifier of a software process. Used to classify sharing
+    /// per-process (the paper's default) and to model process migration.
+    ProcessId, "pid"
+}
+
+impl CpuId {
+    /// Returns the cache attached to this CPU under the identity mapping
+    /// used by small-scale machines (cache *i* serves CPU *i*).
+    #[inline]
+    pub const fn cache(self) -> CacheId {
+        CacheId::new(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_raw() {
+        assert_eq!(CacheId::new(3).raw(), 3);
+        assert_eq!(CpuId::new(7).index(), 7);
+        assert_eq!(ProcessId::new(11).raw(), 11);
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(CacheId::new(2).to_string(), "C2");
+        assert_eq!(CpuId::new(0).to_string(), "cpu0");
+        assert_eq!(ProcessId::new(5).to_string(), "pid5");
+    }
+
+    #[test]
+    fn cpu_identity_cache_mapping() {
+        assert_eq!(CpuId::new(3).cache(), CacheId::new(3));
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(CacheId::new(1) < CacheId::new(2));
+    }
+
+    #[test]
+    fn conversions() {
+        let c: CacheId = 9u16.into();
+        let r: u16 = c.into();
+        assert_eq!(r, 9);
+    }
+}

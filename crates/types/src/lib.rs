@@ -1,0 +1,47 @@
+//! # dircc-types
+//!
+//! Foundation types for the `dircc` workspace, a reproduction of
+//! *"An Evaluation of Directory Schemes for Cache Coherence"*
+//! (Agarwal, Simoni, Hennessy, Horowitz — ISCA 1988).
+//!
+//! Every other crate in the workspace builds on the newtypes defined here:
+//!
+//! * [`Address`] / [`BlockAddr`] — byte addresses and cache-block addresses,
+//!   related through a [`BlockGeometry`] (the paper uses 4-word / 16-byte
+//!   blocks throughout).
+//! * [`CacheId`] / [`CpuId`] / [`ProcessId`] — the three identity spaces the
+//!   paper distinguishes: hardware caches, CPUs that issue references, and
+//!   software processes (sharing is classified *per process* in the paper).
+//! * [`AccessKind`] — instruction fetch, data read, data write.
+//! * [`CacheIdSet`] — a compact set of cache indices, used for directory
+//!   full-map presence bits and residency tracking.
+//!
+//! # Examples
+//!
+//! ```
+//! use dircc_types::{Address, BlockGeometry};
+//!
+//! let geom = BlockGeometry::default(); // 16-byte blocks, as in the paper
+//! let a = Address::new(0x1234);
+//! let b = geom.block_of(a);
+//! assert_eq!(b.index(), 0x123);
+//! assert_eq!(geom.block_base(b), Address::new(0x1230));
+//! ```
+
+mod access;
+mod addr;
+mod ids;
+mod set;
+
+pub use access::AccessKind;
+pub use addr::{Address, BlockAddr, BlockGeometry, WordIndex};
+pub use ids::{CacheId, CpuId, ProcessId};
+pub use set::{CacheIdSet, CacheIdSetIter};
+
+/// The number of bytes in a machine word (32 bits), as in the paper's
+/// VAX-derived traces and one-word-wide bus models.
+pub const WORD_BYTES: u64 = 4;
+
+/// The paper's block size in words ("The block size used throughout this
+/// paper is 4 words (16 bytes)").
+pub const PAPER_BLOCK_WORDS: u64 = 4;

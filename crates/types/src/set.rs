@@ -1,0 +1,327 @@
+//! A compact set of cache indices.
+//!
+//! Directory schemes reason constantly about "which caches hold this block":
+//! full-map directories store one presence bit per cache, limited-pointer
+//! directories store a few indices, and the coded-set scheme of §6 stores a
+//! superset. [`CacheIdSet`] is the common currency: a 64-bit bitset, enough
+//! for the machine sizes the paper's methodology targets (its traces had 4
+//! CPUs; its scaling discussion reaches tens of processors).
+
+use crate::CacheId;
+use core::fmt;
+
+/// A set of [`CacheId`]s backed by a single `u64`.
+///
+/// ```
+/// use dircc_types::{CacheId, CacheIdSet};
+///
+/// let mut s = CacheIdSet::new();
+/// s.insert(CacheId::new(0));
+/// s.insert(CacheId::new(3));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(CacheId::new(3)));
+/// let ids: Vec<_> = s.iter().collect();
+/// assert_eq!(ids, vec![CacheId::new(0), CacheId::new(3)]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CacheIdSet(u64);
+
+/// Maximum cache index representable in a [`CacheIdSet`].
+pub const MAX_CACHES: usize = 64;
+
+impl CacheIdSet {
+    /// Creates an empty set.
+    #[inline]
+    pub const fn new() -> Self {
+        CacheIdSet(0)
+    }
+
+    /// Creates a set from a raw presence-bit mask (bit *i* ⇔ cache *i*).
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        CacheIdSet(bits)
+    }
+
+    /// Returns the raw presence-bit mask.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Creates a set containing a single cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.index() >= 64`.
+    #[inline]
+    pub fn singleton(id: CacheId) -> Self {
+        let mut s = CacheIdSet::new();
+        s.insert(id);
+        s
+    }
+
+    /// Inserts a cache; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.index() >= 64`.
+    #[inline]
+    pub fn insert(&mut self, id: CacheId) -> bool {
+        assert!(id.index() < MAX_CACHES, "cache index {} out of range", id);
+        let bit = 1u64 << id.index();
+        let newly = self.0 & bit == 0;
+        self.0 |= bit;
+        newly
+    }
+
+    /// Removes a cache; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, id: CacheId) -> bool {
+        if id.index() >= MAX_CACHES {
+            return false;
+        }
+        let bit = 1u64 << id.index();
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Returns `true` if the cache is in the set.
+    #[inline]
+    pub const fn contains(self, id: CacheId) -> bool {
+        id.index() < MAX_CACHES && self.0 & (1u64 << id.index()) != 0
+    }
+
+    /// Returns the number of caches in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Removes all caches.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Returns the set of caches present in `self` but not in `other`.
+    #[inline]
+    #[must_use]
+    pub const fn difference(self, other: CacheIdSet) -> CacheIdSet {
+        CacheIdSet(self.0 & !other.0)
+    }
+
+    /// Returns the union of the two sets.
+    #[inline]
+    #[must_use]
+    pub const fn union(self, other: CacheIdSet) -> CacheIdSet {
+        CacheIdSet(self.0 | other.0)
+    }
+
+    /// Returns the intersection of the two sets.
+    #[inline]
+    #[must_use]
+    pub const fn intersection(self, other: CacheIdSet) -> CacheIdSet {
+        CacheIdSet(self.0 & other.0)
+    }
+
+    /// Returns `true` if every cache in `self` is also in `other`.
+    #[inline]
+    pub const fn is_subset_of(self, other: CacheIdSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Returns `self` without `id` (non-mutating convenience).
+    #[inline]
+    #[must_use]
+    pub fn without(self, id: CacheId) -> CacheIdSet {
+        let mut s = self;
+        s.remove(id);
+        s
+    }
+
+    /// Returns the lowest-indexed cache in the set, if any.
+    #[inline]
+    pub fn first(self) -> Option<CacheId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(CacheId::new(self.0.trailing_zeros() as u16))
+        }
+    }
+
+    /// Returns the only element if the set is a singleton.
+    #[inline]
+    pub fn sole(self) -> Option<CacheId> {
+        if self.len() == 1 {
+            self.first()
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over the caches in ascending index order.
+    #[inline]
+    pub fn iter(self) -> CacheIdSetIter {
+        CacheIdSetIter(self.0)
+    }
+}
+
+impl fmt::Debug for CacheIdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct D(CacheId);
+        impl fmt::Debug for D {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+        f.debug_set().entries(self.iter().map(D)).finish()
+    }
+}
+
+impl fmt::Display for CacheIdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", id)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<CacheId> for CacheIdSet {
+    fn from_iter<I: IntoIterator<Item = CacheId>>(iter: I) -> Self {
+        let mut s = CacheIdSet::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+impl Extend<CacheId> for CacheIdSet {
+    fn extend<I: IntoIterator<Item = CacheId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl IntoIterator for CacheIdSet {
+    type Item = CacheId;
+    type IntoIter = CacheIdSetIter;
+
+    fn into_iter(self) -> CacheIdSetIter {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`CacheIdSet`] in ascending index order.
+#[derive(Debug, Clone)]
+pub struct CacheIdSetIter(u64);
+
+impl Iterator for CacheIdSetIter {
+    type Item = CacheId;
+
+    fn next(&mut self) -> Option<CacheId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let idx = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(CacheId::new(idx as u16))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for CacheIdSetIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_of(ids: &[u16]) -> CacheIdSet {
+        ids.iter().map(|&i| CacheId::new(i)).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = CacheIdSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(CacheId::new(5)));
+        assert!(!s.insert(CacheId::new(5)));
+        assert!(s.contains(CacheId::new(5)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(CacheId::new(5)));
+        assert!(!s.remove(CacheId::new(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set_of(&[0, 1, 2]);
+        let b = set_of(&[2, 3]);
+        assert_eq!(a.union(b), set_of(&[0, 1, 2, 3]));
+        assert_eq!(a.intersection(b), set_of(&[2]));
+        assert_eq!(a.difference(b), set_of(&[0, 1]));
+        assert!(set_of(&[1]).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+    }
+
+    #[test]
+    fn first_and_sole() {
+        assert_eq!(CacheIdSet::new().first(), None);
+        assert_eq!(set_of(&[3, 9]).first(), Some(CacheId::new(3)));
+        assert_eq!(set_of(&[7]).sole(), Some(CacheId::new(7)));
+        assert_eq!(set_of(&[1, 2]).sole(), None);
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_exact() {
+        let s = set_of(&[63, 0, 17]);
+        let v: Vec<u16> = s.iter().map(|c| c.raw()).collect();
+        assert_eq!(v, vec![0, 17, 63]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        CacheIdSet::new().insert(CacheId::new(64));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = set_of(&[1, 4]);
+        assert_eq!(s.to_string(), "{C1,C4}");
+        assert_eq!(format!("{:?}", s), "{C1, C4}");
+        assert_eq!(CacheIdSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn without_is_non_mutating() {
+        let s = set_of(&[1, 2]);
+        assert_eq!(s.without(CacheId::new(1)), set_of(&[2]));
+        assert_eq!(s, set_of(&[1, 2]));
+    }
+
+    #[test]
+    fn from_bits_round_trips() {
+        let s = CacheIdSet::from_bits(0b1010);
+        assert_eq!(s.bits(), 0b1010);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+//! Protocol shootout: every implemented scheme on every paper trace.
+//!
+//! ```text
+//! cargo run --release --example protocol_shootout
+//! ```
+//!
+//! Runs all fifteen protocols (the paper's four evaluated schemes, the
+//! reviewed prior directory schemes, and the §6 scalable variants) on the
+//! POPS/THOR/PERO synthetic traces and ranks them by average bus cycles
+//! per reference on the pipelined bus.
+
+use dircc::bus::{CostConfig, CostModel};
+use dircc::core::ProtocolKind;
+use dircc::sim::metrics::mean;
+use dircc::sim::{TraceFilter, Workbench};
+
+fn main() {
+    let wb = Workbench::paper_scaled(300_000, 5);
+    let m = CostModel::pipelined();
+    let cfg = CostConfig::PAPER;
+
+    let kinds = [
+        ProtocolKind::DirNb { pointers: 1 },
+        ProtocolKind::DirNb { pointers: 2 },
+        ProtocolKind::DirNb { pointers: 4 },
+        ProtocolKind::Dir0B,
+        ProtocolKind::DirB { pointers: 1 },
+        ProtocolKind::DirB { pointers: 2 },
+        ProtocolKind::CodedSet,
+        ProtocolKind::Tang,
+        ProtocolKind::YenFu,
+        ProtocolKind::Wti,
+        ProtocolKind::Dragon,
+        ProtocolKind::Berkeley,
+        ProtocolKind::WriteOnce,
+        ProtocolKind::Firefly,
+        ProtocolKind::Mesi,
+    ];
+
+    let mut rows: Vec<(String, Vec<f64>, f64)> = kinds
+        .into_iter()
+        .map(|kind| {
+            let evals = wb.evaluations(kind, TraceFilter::Full);
+            let per_trace: Vec<f64> =
+                evals.iter().map(|e| e.cycles_per_ref(&m, &cfg)).collect();
+            let avg = mean(&per_trace);
+            (kind.display_name(wb.n_caches()), per_trace, avg)
+        })
+        .collect();
+    rows.sort_by(|a, b| a.2.total_cmp(&b.2));
+
+    println!("Bus cycles per reference (pipelined bus), best first:");
+    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "scheme", "POPS", "THOR", "PERO", "avg");
+    for (name, per_trace, avg) in &rows {
+        println!(
+            "{:<12} {:>8.4} {:>8.4} {:>8.4} {:>8.4}",
+            name, per_trace[0], per_trace[1], per_trace[2], avg
+        );
+    }
+    println!();
+    println!("Expected shape (paper): Dragon < Berkeley < Dir0B ~ DirnNB << WTI << Dir1NB,");
+    println!("with the directory schemes competitive with the best snoopy scheme.");
+}

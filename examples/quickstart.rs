@@ -1,0 +1,55 @@
+//! Quickstart: measure one protocol on one synthetic trace.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a small POPS-like multiprocessor address trace, replays it
+//! through the Archibald-Baer `Dir0B` directory protocol, and prints the
+//! paper's two headline quantities: the event frequencies (Table 4 rows)
+//! and the bus cycles per memory reference under both bus models.
+
+use dircc::bus::{CostConfig, CostModel};
+use dircc::core::{build, ProtocolKind};
+use dircc::sim::engine::{run, RunConfig};
+use dircc::sim::metrics::Evaluation;
+use dircc::trace::gen::{Generator, Profile};
+
+fn main() -> Result<(), String> {
+    // 1. A synthetic workload standing in for the paper's ATUM traces.
+    let profile = Profile::pops().with_total_refs(500_000);
+    let trace = Generator::new(profile, 1988);
+
+    // 2. A protocol from the paper's Dir(i)X taxonomy.
+    let mut protocol = build(ProtocolKind::Dir0B, 4);
+
+    // 3. Replay the trace (process-based sharing, as in the paper).
+    let cfg = RunConfig::default().with_process_sharing();
+    let result = run(protocol.as_mut(), trace, &cfg)?;
+    let c = &result.counters;
+
+    println!("protocol  : {}", protocol.name());
+    println!("references: {}", result.refs);
+    println!();
+    println!("event frequencies (percent of all references):");
+    println!("  rd-hit       {:6.2}", c.pct(c.read_hits()));
+    println!("  rd-miss (rm) {:6.2}", c.pct(c.rm()));
+    println!("    rm-blk-cln {:6.2}", c.pct(c.rm_blk_cln()));
+    println!("    rm-blk-drty{:6.2}", c.pct(c.rm_blk_drty()));
+    println!("  rm-first-ref {:6.2}", c.pct(c.rm_first_ref()));
+    println!("  wh-blk-cln   {:6.2}", c.pct(c.wh_blk_cln()));
+    println!("  wh-blk-drty  {:6.2}", c.pct(c.wh_blk_drty()));
+    println!("  wrt-miss (wm){:6.2}", c.pct(c.wm()));
+    println!();
+
+    // 4. Price the same run under both of the paper's bus models.
+    let eval = Evaluation::new(protocol.name(), protocol.kind(), 4, c.clone());
+    for model in CostModel::paper_pair() {
+        println!(
+            "bus cycles per reference ({:>13} bus): {:.4}",
+            model.kind.to_string(),
+            eval.cycles_per_ref(&model, &CostConfig::PAPER)
+        );
+    }
+    Ok(())
+}

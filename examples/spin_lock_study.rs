@@ -1,0 +1,74 @@
+//! Spin-lock study (the paper's §5.2, extended into a contention sweep).
+//!
+//! ```text
+//! cargo run --release --example spin_lock_study
+//! ```
+//!
+//! The paper found that spin locks cripple `Dir1NB` (lock words ping-pong
+//! between the spinning caches) while barely affecting `Dir0B`. This
+//! example reproduces that experiment and then extends it: it sweeps the
+//! workload's lock-phase weight to show how each protocol's cost grows
+//! with contention.
+
+use dircc::bus::{CostConfig, CostModel};
+use dircc::core::{build, ProtocolKind};
+use dircc::sim::engine::{run, RunConfig};
+use dircc::sim::metrics::Evaluation;
+use dircc::trace::filter::exclude_lock_spins;
+use dircc::trace::gen::{Generator, Profile};
+use dircc::trace::TraceRecord;
+
+const REFS: u64 = 400_000;
+
+fn cycles_per_ref<I: IntoIterator<Item = TraceRecord>>(
+    kind: ProtocolKind,
+    trace: I,
+) -> Result<f64, String> {
+    let mut protocol = build(kind, 4);
+    let cfg = RunConfig::default().with_process_sharing();
+    let result = run(protocol.as_mut(), trace, &cfg)?;
+    let eval = Evaluation::new(protocol.name(), kind, 4, result.counters);
+    Ok(eval.cycles_per_ref(&CostModel::pipelined(), &CostConfig::PAPER))
+}
+
+fn main() -> Result<(), String> {
+    let dir1 = ProtocolKind::DirNb { pointers: 1 };
+    let dir0 = ProtocolKind::Dir0B;
+
+    // Part 1: the paper's experiment — exclude the lock tests.
+    println!("Part 1: section 5.2 (POPS-like trace, pipelined bus, cycles/ref)");
+    let profile = Profile::pops().with_total_refs(REFS);
+    let full = Generator::new(profile.clone(), 7);
+    let filtered = exclude_lock_spins(Generator::new(profile, 7));
+    let d1_full = cycles_per_ref(dir1, full)?;
+    let d1_filt = cycles_per_ref(dir1, filtered)?;
+    let d0_full =
+        cycles_per_ref(dir0, Generator::new(Profile::pops().with_total_refs(REFS), 7))?;
+    let d0_filt = cycles_per_ref(
+        dir0,
+        exclude_lock_spins(Generator::new(Profile::pops().with_total_refs(REFS), 7)),
+    )?;
+    println!("  Dir1NB: {d1_full:.4} -> {d1_filt:.4} without spins ({:.1}x)", d1_full / d1_filt);
+    println!("  Dir0B : {d0_full:.4} -> {d0_filt:.4} without spins");
+    println!();
+
+    // Part 2: extension — sweep the contention level.
+    println!("Part 2: contention sweep (lock-phase weight -> cycles/ref)");
+    println!("  weight   Dir1NB    Dir0B   ratio");
+    for weight in [0, 1, 2, 4, 8, 16] {
+        let mk = || {
+            Generator::new(
+                Profile::custom().with_lock_weight(weight).with_total_refs(REFS),
+                7,
+            )
+        };
+        let d1 = cycles_per_ref(dir1, mk())?;
+        let d0 = cycles_per_ref(dir0, mk())?;
+        println!("  {weight:>6}   {d1:.4}   {d0:.4}   {:>5.1}x", d1 / d0);
+    }
+    println!();
+    println!("Dir1NB degrades steeply with contention; Dir0B stays flat —");
+    println!("the paper's conclusion that software schemes behaving like Dir1NB");
+    println!("\"must take special care in handling locks\".");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Trace tooling tour: generate, serialize, reload and inspect a trace.
+//!
+//! ```text
+//! cargo run --release --example trace_tools
+//! ```
+//!
+//! Demonstrates the trace substrate end to end: synthesize a THOR-like
+//! trace, write it in the compact binary format, read it back, verify the
+//! round-trip, print Table 3-style statistics, and dump the first few
+//! records in the text format.
+
+use dircc::trace::codec::{write_text, BinaryReader, BinaryWriter};
+use dircc::trace::gen::{Generator, Profile};
+use dircc::trace::stats::TraceStats;
+use dircc::trace::TraceRecord;
+use std::io::{BufReader, BufWriter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = Profile::thor().with_total_refs(100_000);
+    let records: Vec<TraceRecord> = Generator::new(profile, 2024).collect();
+
+    // Serialize to the binary format.
+    let path = std::env::temp_dir().join("dircc_demo_trace.dcct");
+    let file = std::fs::File::create(&path)?;
+    let mut writer = BinaryWriter::new(BufWriter::new(file));
+    writer.write_all(&records)?;
+    writer.finish()?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "wrote {} records to {} ({} bytes, {:.2} bytes/record)",
+        records.len(),
+        path.display(),
+        bytes,
+        bytes as f64 / records.len() as f64
+    );
+
+    // Read back and verify the round-trip.
+    let file = std::fs::File::open(&path)?;
+    let reloaded: Vec<TraceRecord> =
+        BinaryReader::new(BufReader::new(file))?.collect::<Result<_, _>>()?;
+    assert_eq!(reloaded, records, "binary round-trip must be lossless");
+    println!("round-trip verified");
+    println!();
+
+    // Table 3-style statistics.
+    let stats: TraceStats = reloaded.iter().collect();
+    println!("trace statistics:");
+    println!("  references : {}", stats.total());
+    println!("  instr      : {:.2}%", 100.0 * stats.instr_fraction());
+    println!("  reads      : {:.2}%", 100.0 * stats.read_fraction());
+    println!("  writes     : {:.2}%", 100.0 * stats.write_fraction());
+    println!("  system     : {:.2}%", 100.0 * stats.system_fraction());
+    println!("  lock spins : {:.2}% of reads", 100.0 * stats.spin_fraction_of_reads());
+    println!("  blocks     : {}", stats.distinct_data_blocks());
+    println!();
+
+    // Text format for human inspection.
+    println!("first 10 records (text format: cpu pid kind addr flags):");
+    let mut head = Vec::new();
+    write_text(&mut head, &reloaded[..10])?;
+    print!("{}", String::from_utf8_lossy(&head));
+
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! End-to-end reproduction checks: every table/figure runner executes on a
+//! moderate-scale trace suite and satisfies the paper's qualitative
+//! results (orderings, ratios, crossovers). EXPERIMENTS.md records the
+//! corresponding quantitative comparison at full paper scale.
+
+use dircc::bus::{CostConfig, CostModel};
+use dircc::core::ProtocolKind;
+use dircc::sim::experiments::{figures, studies, tables};
+use dircc::sim::{TraceFilter, Workbench};
+
+fn wb() -> Workbench {
+    // One shared scale for the whole suite; big enough for stable shapes.
+    Workbench::paper_scaled(120_000, 1988)
+}
+
+#[test]
+fn headline_ordering_dir1nb_wti_dir0b_dragon() {
+    let wb = wb();
+    let t5 = tables::table5(&wb);
+    let dir1 = t5.cumulative("Dir1NB").unwrap();
+    let wti = t5.cumulative("WTI").unwrap();
+    let dir0 = t5.cumulative("Dir0B").unwrap();
+    let dragon = t5.cumulative("Dragon").unwrap();
+    assert!(
+        dir1 > wti && wti > dir0 && dir0 > dragon,
+        "ordering Dir1NB({dir1}) > WTI({wti}) > Dir0B({dir0}) > Dragon({dragon})"
+    );
+    // Paper: Dir0B uses "close to 50% more bus cycles than the Dragon
+    // scheme"; allow a generous band around that ratio.
+    let ratio = dir0 / dragon;
+    assert!((1.2..=2.4).contains(&ratio), "Dir0B/Dragon = {ratio} (paper: ~1.46)");
+    // Paper: Dir1NB is "over a factor of six greater" than Dir0B.
+    assert!(dir1 / dir0 > 3.0, "Dir1NB/Dir0B = {} (paper: >6)", dir1 / dir0);
+}
+
+#[test]
+fn figure1_small_sharer_counts() {
+    let f1 = figures::figure1(&wb());
+    assert!(
+        f1.at_most_one >= 0.85,
+        "paper: >85% of invalidation situations touch <=1 cache; got {:.3}",
+        f1.at_most_one
+    );
+}
+
+#[test]
+fn figure2_and_3_consistent() {
+    let wb = wb();
+    let f2 = figures::figure2(&wb);
+    let f3 = figures::figure3(&wb);
+    // Figure 2 is the average of Figure 3's per-trace values.
+    for r in &f2.ranges {
+        let per_trace: Vec<f64> = wb
+            .trace_names()
+            .iter()
+            .map(|t| f3.pipelined(t, &r.scheme).unwrap())
+            .collect();
+        let avg = per_trace.iter().sum::<f64>() / per_trace.len() as f64;
+        assert!(
+            (avg - r.pipelined).abs() < 1e-9,
+            "{}: figure2 {} != mean(figure3) {}",
+            r.scheme,
+            r.pipelined,
+            avg
+        );
+    }
+    // PERO is the cheapest trace for the sharing-dominated schemes.
+    for scheme in ["Dir0B", "Dragon", "Dir1NB"] {
+        assert!(f3.pipelined("PERO", scheme).unwrap() < f3.pipelined("POPS", scheme).unwrap());
+        assert!(f3.pipelined("PERO", scheme).unwrap() < f3.pipelined("THOR", scheme).unwrap());
+    }
+}
+
+#[test]
+fn figure5_transaction_weights() {
+    let f5 = figures::figure5(&wb());
+    // Paper's Figure 5 shape: Dir1NB heaviest (~6 cycles/transaction,
+    // every transaction a miss), then Dir0B (~4.3), then Dragon (~1.6),
+    // WTI lightest (~1.3, mostly one-cycle write-throughs).
+    let v = |s| f5.value(s).unwrap();
+    assert!((5.0..=6.5).contains(&v("Dir1NB")), "Dir1NB {}", v("Dir1NB"));
+    assert!((2.5..=5.0).contains(&v("Dir0B")), "Dir0B {}", v("Dir0B"));
+    assert!((1.2..=2.5).contains(&v("Dragon")), "Dragon {}", v("Dragon"));
+    assert!((1.0..=1.6).contains(&v("WTI")), "WTI {}", v("WTI"));
+    assert!(v("Dir1NB") > v("Dir0B") && v("Dir0B") > v("Dragon") && v("Dragon") > v("WTI"));
+}
+
+#[test]
+fn sensitivity_narrows_the_dragon_gap() {
+    let s = studies::sensitivity(&wb());
+    let r0 = s.dir0b_over_dragon(0.0).unwrap();
+    let r1 = s.dir0b_over_dragon(1.0).unwrap();
+    // Paper: 46% more at q=0 shrinking to 12% more at q=1. Shapes: the
+    // ratio must fall substantially because Dragon has ~2x the
+    // transactions.
+    assert!(r0 > r1, "gap must narrow: {r0} -> {r1}");
+    let (_, slope_dragon) = s.line("Dragon").unwrap();
+    let (_, slope_dir0b) = s.line("Dir0B").unwrap();
+    assert!(
+        slope_dragon > 1.3 * slope_dir0b,
+        "Dragon pays more per unit overhead: {slope_dragon} vs {slope_dir0b}"
+    );
+}
+
+#[test]
+fn spinlock_exclusion_story() {
+    let s = studies::spinlock(&wb());
+    assert!(
+        s.dir1nb_improvement() > 1.5,
+        "Dir1NB must improve significantly: {} -> {}",
+        s.dir1nb_full,
+        s.dir1nb_no_spins
+    );
+    let dir0b_change = (s.dir0b_full - s.dir0b_no_spins).abs() / s.dir0b_full;
+    assert!(dir0b_change < 0.2, "Dir0B roughly unchanged: {dir0b_change}");
+}
+
+#[test]
+fn sequential_invalidation_costs_almost_nothing() {
+    let s = studies::scalability(&wb());
+    let ratio = s.dirnnb / s.dir0b;
+    assert!(
+        (0.99..=1.05).contains(&ratio),
+        "paper: 0.0491 -> 0.0499 (+1.6%); got ratio {ratio}"
+    );
+}
+
+#[test]
+fn berkeley_estimate_between_dir0b_and_dragon() {
+    let b = studies::berkeley(&wb());
+    assert!(b.dragon < b.estimate && b.estimate < b.dir0b);
+    assert!(b.dragon < b.simulated && b.simulated < b.dir0b);
+}
+
+#[test]
+fn directory_bandwidth_is_not_a_bottleneck() {
+    // Paper: "the number of cycles used for directory access that cannot
+    // be overlapped with memory access is small relative to the total".
+    let wb = wb();
+    let e = wb.evaluations(ProtocolKind::Dir0B, TraceFilter::Full);
+    for eval in e {
+        let b = eval.breakdown_per_ref(&CostModel::pipelined(), &CostConfig::PAPER);
+        assert!(
+            b.dir_access < 0.25 * b.total(),
+            "directory share {} of {}",
+            b.dir_access,
+            b.total()
+        );
+    }
+}
+
+#[test]
+fn system_performance_estimate_matches_section5() {
+    // Paper: "a processor will use a bus cycle every 30 references"; with
+    // the synthetic traces the best scheme should land in the same decade.
+    let wb = wb();
+    let dragon = wb.evaluations(ProtocolKind::Dragon, TraceFilter::Full);
+    let cpr: f64 = dragon
+        .iter()
+        .map(|e| e.cycles_per_ref(&CostModel::pipelined(), &CostConfig::PAPER))
+        .sum::<f64>()
+        / dragon.len() as f64;
+    let refs_per_cycle = 1.0 / cpr;
+    assert!(
+        (15.0..=70.0).contains(&refs_per_cycle),
+        "one bus cycle every {refs_per_cycle:.0} references (paper: ~30)"
+    );
+}
+
+#[test]
+fn every_display_runner_produces_output() {
+    let wb = wb();
+    let outputs = [
+        tables::table1().to_string(),
+        tables::table2().to_string(),
+        tables::table3(&wb).to_string(),
+        tables::table4(&wb).to_string(),
+        tables::table5(&wb).to_string(),
+        figures::figure1(&wb).to_string(),
+        figures::figure2(&wb).to_string(),
+        figures::figure3(&wb).to_string(),
+        figures::figure4(&wb).to_string(),
+        figures::figure5(&wb).to_string(),
+        studies::sensitivity(&wb).to_string(),
+        studies::spinlock(&wb).to_string(),
+        studies::berkeley(&wb).to_string(),
+        studies::scalability(&wb).to_string(),
+    ];
+    for (i, out) in outputs.iter().enumerate() {
+        assert!(out.lines().count() >= 3, "runner {i} output too short: {out:?}");
+    }
+}

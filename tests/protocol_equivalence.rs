@@ -1,0 +1,195 @@
+//! Cross-protocol equivalences the paper derives analytically.
+//!
+//! "A cache consistency protocol can be thought of as being made up of two
+//! parts: a specification of the state changes ... and the protocol which
+//! is used to accomplish that specification. The frequency with which each
+//! of the events ... occurs depends only on the state change
+//! specification." Protocols sharing a state-change model must therefore
+//! measure identical event totals — which this suite asserts by running
+//! the actual implementations on the same traces.
+
+use dircc::core::{EventCounters, ProtocolKind};
+use dircc::sim::{TraceFilter, Workbench};
+
+fn wb() -> Workbench {
+    Workbench::paper_scaled(80_000, 17)
+}
+
+/// rm / wm / wh / rd-hit totals (the state-change-model invariants).
+fn totals(c: &EventCounters) -> (u64, u64, u64, u64) {
+    (c.rm(), c.wm(), c.wh(), c.read_hits())
+}
+
+#[test]
+fn dir0b_and_wti_share_a_state_change_model() {
+    let wb = wb();
+    for t in 0..wb.num_traces() {
+        let dir0b = wb.counters(ProtocolKind::Dir0B, t, TraceFilter::Full);
+        let wti = wb.counters(ProtocolKind::Wti, t, TraceFilter::Full);
+        assert_eq!(
+            totals(&dir0b),
+            totals(&wti),
+            "trace {t}: Dir0B and WTI event totals must be identical (paper, section 5)"
+        );
+        // First references are protocol-independent.
+        assert_eq!(dir0b.rm_first_ref(), wti.rm_first_ref());
+        assert_eq!(dir0b.wm_first_ref(), wti.wm_first_ref());
+    }
+}
+
+#[test]
+fn full_map_matches_dir0b_event_totals() {
+    // DirnNB replaces Dir0B's broadcasts with sequential invalidates but
+    // the state-change model (multiple clean copies, one dirty) is the
+    // same, so event totals coincide.
+    let wb = wb();
+    let n = wb.n_caches() as u32;
+    for t in 0..wb.num_traces() {
+        let dir0b = wb.counters(ProtocolKind::Dir0B, t, TraceFilter::Full);
+        let full = wb.counters(ProtocolKind::DirNb { pointers: n }, t, TraceFilter::Full);
+        assert_eq!(totals(&dir0b), totals(&full), "trace {t}");
+        // Including the dirty/clean split.
+        assert_eq!(dir0b.rm_blk_drty(), full.rm_blk_drty(), "trace {t}");
+        assert_eq!(dir0b.wh_blk_cln(), full.wh_blk_cln(), "trace {t}");
+    }
+}
+
+#[test]
+fn tang_and_yenfu_match_the_full_map_exactly() {
+    let wb = wb();
+    let n = wb.n_caches() as u32;
+    for t in 0..wb.num_traces() {
+        let full = wb.counters(ProtocolKind::DirNb { pointers: n }, t, TraceFilter::Full);
+        let tang = wb.counters(ProtocolKind::Tang, t, TraceFilter::Full);
+        let yenfu = wb.counters(ProtocolKind::YenFu, t, TraceFilter::Full);
+        assert_eq!(totals(&full), totals(&tang), "trace {t}: Tang is a full map");
+        assert_eq!(totals(&full), totals(&yenfu), "trace {t}: YenFu is a full map");
+        // Tang adds nothing at the event level at all.
+        assert_eq!(full.control_messages(), tang.control_messages(), "trace {t}");
+        // YenFu's only extra traffic is the single-bit maintenance.
+        assert_eq!(full.control_messages(), yenfu.control_messages(), "trace {t}");
+        assert!(yenfu.aux_messages() > 0, "trace {t}: single bits need maintenance");
+        assert_eq!(full.aux_messages(), 0, "trace {t}");
+    }
+}
+
+#[test]
+fn berkeley_matches_dir0b_event_totals() {
+    let wb = wb();
+    for t in 0..wb.num_traces() {
+        let dir0b = wb.counters(ProtocolKind::Dir0B, t, TraceFilter::Full);
+        let berkeley = wb.counters(ProtocolKind::Berkeley, t, TraceFilter::Full);
+        assert_eq!(
+            totals(&dir0b),
+            totals(&berkeley),
+            "trace {t}: Berkeley shares Dir0B's which-blocks-where evolution"
+        );
+        // But Berkeley never writes back (ownership keeps memory stale).
+        assert_eq!(berkeley.write_backs(), 0, "trace {t}");
+        assert!(dir0b.write_backs() > 0, "trace {t}");
+    }
+}
+
+#[test]
+fn dirb_schemes_match_dir0b_event_totals() {
+    // Limited pointers + broadcast bit never evict copies, so the state
+    // model again matches Dir0B; only the delivery (directed vs broadcast)
+    // differs.
+    let wb = wb();
+    for pointers in [1, 2] {
+        for t in 0..wb.num_traces() {
+            let dir0b = wb.counters(ProtocolKind::Dir0B, t, TraceFilter::Full);
+            let dirb =
+                wb.counters(ProtocolKind::DirB { pointers }, t, TraceFilter::Full);
+            assert_eq!(totals(&dir0b), totals(&dirb), "Dir{pointers}B trace {t}");
+            assert!(
+                dirb.broadcasts() <= dir0b.broadcasts(),
+                "Dir{pointers}B trace {t}: pointers can only reduce broadcasts"
+            );
+        }
+    }
+}
+
+#[test]
+fn coded_set_matches_full_map_event_totals() {
+    // The coded set is also eviction-free; only invalidation *delivery*
+    // (superset messages) differs from the full map.
+    let wb = wb();
+    let n = wb.n_caches() as u32;
+    for t in 0..wb.num_traces() {
+        let full = wb.counters(ProtocolKind::DirNb { pointers: n }, t, TraceFilter::Full);
+        let coded = wb.counters(ProtocolKind::CodedSet, t, TraceFilter::Full);
+        assert_eq!(totals(&full), totals(&coded), "trace {t}");
+        assert!(
+            coded.control_messages() >= full.control_messages(),
+            "trace {t}: superset delivery can only send more messages"
+        );
+    }
+}
+
+#[test]
+fn more_pointers_monotonically_reduce_misses() {
+    let wb = wb();
+    for t in 0..wb.num_traces() {
+        let misses: Vec<u64> = (1..=wb.n_caches() as u32)
+            .map(|i| {
+                let c = wb.counters(ProtocolKind::DirNb { pointers: i }, t, TraceFilter::Full);
+                c.rm() + c.wm()
+            })
+            .collect();
+        for w in misses.windows(2) {
+            assert!(
+                w[1] <= w[0],
+                "trace {t}: misses must not grow with pointer count: {misses:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn write_once_matches_dir0b_event_totals() {
+    // Write-Once's holder evolution is the same multiple-clean/one-dirty
+    // model; only the write-through timing differs.
+    let wb = wb();
+    for t in 0..wb.num_traces() {
+        let dir0b = wb.counters(ProtocolKind::Dir0B, t, TraceFilter::Full);
+        let wo = wb.counters(ProtocolKind::WriteOnce, t, TraceFilter::Full);
+        assert_eq!(totals(&dir0b), totals(&wo), "trace {t}");
+    }
+}
+
+#[test]
+fn firefly_matches_dragon_event_totals() {
+    // Both update protocols never invalidate: identical cold-miss floors
+    // and identical write-hit totals.
+    let wb = wb();
+    for t in 0..wb.num_traces() {
+        let dragon = wb.counters(ProtocolKind::Dragon, t, TraceFilter::Full);
+        let firefly = wb.counters(ProtocolKind::Firefly, t, TraceFilter::Full);
+        assert_eq!(totals(&dragon), totals(&firefly), "trace {t}");
+        assert_eq!(dragon.wh_distrib(), firefly.wh_distrib(), "trace {t}");
+        assert_eq!(dragon.updates(), firefly.updates(), "trace {t}");
+    }
+}
+
+#[test]
+fn dragon_has_the_native_miss_rate() {
+    // Dragon never invalidates, so its misses are exactly the per-cache
+    // cold misses — the floor for every protocol.
+    let wb = wb();
+    for t in 0..wb.num_traces() {
+        let dragon = wb.counters(ProtocolKind::Dragon, t, TraceFilter::Full);
+        for kind in [
+            ProtocolKind::Dir0B,
+            ProtocolKind::Wti,
+            ProtocolKind::DirNb { pointers: 1 },
+            ProtocolKind::Berkeley,
+        ] {
+            let other = wb.counters(kind, t, TraceFilter::Full);
+            assert!(
+                dragon.rm() + dragon.wm() <= other.rm() + other.wm(),
+                "trace {t}: Dragon must have the fewest misses vs {kind}"
+            );
+        }
+    }
+}

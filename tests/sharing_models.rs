@@ -1,0 +1,91 @@
+//! The paper's §4.4 sharing-model check: "we collected all our statistics
+//! based on both process sharing and processor sharing and found that the
+//! numbers were not significantly different. The similarity is due to the
+//! few instances of process migration in our traces."
+
+use dircc::core::{build, ProtocolKind};
+use dircc::sim::engine::{run, RunConfig};
+use dircc::trace::gen::{Generator, Profile};
+
+fn miss_rate(kind: ProtocolKind, profile: Profile, seed: u64, process_sharing: bool) -> f64 {
+    let n = usize::from(profile.processes.max(profile.cpus));
+    let mut p = build(kind, n);
+    let cfg = if process_sharing {
+        RunConfig::default().with_process_sharing()
+    } else {
+        RunConfig::default()
+    };
+    let res = run(p.as_mut(), Generator::new(profile, seed), &cfg).expect("run");
+    let c = res.counters;
+    (c.rm() + c.wm()) as f64 / c.total() as f64
+}
+
+#[test]
+fn rare_migration_makes_the_models_agree() {
+    // The paper's setting: migration is rare, so processor- and
+    // process-based sharing give nearly identical numbers.
+    let profile = Profile::pops().with_total_refs(200_000);
+    for kind in [ProtocolKind::Dir0B, ProtocolKind::DirNb { pointers: 1 }] {
+        let by_proc = miss_rate(kind, profile.clone(), 9, false);
+        let by_pid = miss_rate(kind, profile.clone(), 9, true);
+        let rel = (by_proc - by_pid).abs() / by_pid.max(1e-12);
+        // Uniform private-pool access makes each migration reload the
+        // whole footprint (real programs have locality), so the tolerance
+        // is looser than the paper's "not significantly different".
+        assert!(
+            rel < 0.25,
+            "{kind}: processor {by_proc:.5} vs process {by_pid:.5} differ by {rel:.3}"
+        );
+    }
+}
+
+#[test]
+fn heavy_migration_splits_the_models() {
+    // Crank migration up: processor-based sharing now sees large amounts
+    // of migration-induced sharing that the process model (correctly,
+    // for the paper's purposes) ignores.
+    let profile =
+        Profile::pops().with_total_refs(200_000).with_migration_prob(0.05);
+    let kind = ProtocolKind::Dir0B;
+    let by_proc = miss_rate(kind, profile.clone(), 9, false);
+    let by_pid = miss_rate(kind, profile, 9, true);
+    assert!(
+        by_proc > 1.5 * by_pid,
+        "migration must inflate processor-sharing misses: {by_proc:.5} vs {by_pid:.5}"
+    );
+}
+
+#[test]
+fn process_model_is_migration_invariant() {
+    // Under the process model the miss rate should barely depend on the
+    // migration probability at all.
+    let base = miss_rate(
+        ProtocolKind::Dir0B,
+        Profile::thor().with_total_refs(150_000).with_migration_prob(0.0),
+        3,
+        true,
+    );
+    let migratory = miss_rate(
+        ProtocolKind::Dir0B,
+        Profile::thor().with_total_refs(150_000).with_migration_prob(0.05),
+        3,
+        true,
+    );
+    let rel = (base - migratory).abs() / base.max(1e-12);
+    assert!(rel < 0.25, "process sharing should mask migration: {base:.5} vs {migratory:.5}");
+}
+
+#[test]
+fn time_shared_processes_need_the_process_model() {
+    // More processes than CPUs: the process model needs one cache per
+    // process, so the protocol must be sized accordingly (8 here).
+    let profile = Profile::custom()
+        .with_cpus(4)
+        .with_processes(8)
+        .with_total_refs(100_000);
+    let mut p = build(ProtocolKind::Dir0B, 8);
+    let cfg = RunConfig::default().with_process_sharing();
+    let res = run(p.as_mut(), Generator::new(profile, 1), &cfg).expect("run");
+    assert!(res.counters.total() == 100_000);
+    p.check_invariants().unwrap();
+}

@@ -1,0 +1,107 @@
+//! Property tests for the trace codecs and generator determinism.
+
+use dircc::trace::codec::{read_text, write_text, BinaryReader, BinaryWriter};
+use dircc::trace::gen::{Generator, Profile};
+use dircc::trace::{RecordFlags, TraceRecord};
+use dircc::types::{AccessKind, Address, CpuId, ProcessId};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        any::<u16>(),
+        any::<u16>(),
+        0u8..3,
+        any::<u64>(),
+        0u8..4,
+    )
+        .prop_map(|(cpu, pid, kind, addr, flags)| {
+            let kind = match kind {
+                0 => AccessKind::InstrFetch,
+                1 => AccessKind::Read,
+                _ => AccessKind::Write,
+            };
+            TraceRecord {
+                cpu: CpuId::new(cpu),
+                pid: ProcessId::new(pid),
+                kind,
+                addr: Address::new(addr),
+                flags: RecordFlags::from_bits(flags),
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn binary_codec_round_trips(records in prop::collection::vec(arb_record(), 0..200)) {
+        let mut buf = Vec::new();
+        let mut w = BinaryWriter::new(&mut buf);
+        w.write_all(&records).unwrap();
+        w.finish().unwrap();
+        let got: Vec<TraceRecord> =
+            BinaryReader::new(&buf[..]).unwrap().collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(got, records);
+    }
+
+    #[test]
+    fn text_codec_round_trips(records in prop::collection::vec(arb_record(), 0..100)) {
+        let mut buf = Vec::new();
+        write_text(&mut buf, &records).unwrap();
+        let got = read_text(&buf[..]).unwrap();
+        prop_assert_eq!(got, records);
+    }
+
+    #[test]
+    fn binary_encoding_is_compact(records in prop::collection::vec(arb_record(), 1..200)) {
+        // Header (5) + at most 16 bytes per record (6 fixed + 10 LEB128).
+        let mut buf = Vec::new();
+        let mut w = BinaryWriter::new(&mut buf);
+        w.write_all(&records).unwrap();
+        w.finish().unwrap();
+        prop_assert!(buf.len() <= 5 + records.len() * 16);
+        prop_assert!(buf.len() >= 5 + records.len() * 7);
+    }
+
+    #[test]
+    fn truncating_a_binary_trace_never_panics(
+        records in prop::collection::vec(arb_record(), 1..50),
+        cut in 0usize..1000
+    ) {
+        let mut buf = Vec::new();
+        let mut w = BinaryWriter::new(&mut buf);
+        w.write_all(&records).unwrap();
+        w.finish().unwrap();
+        let cut = cut.min(buf.len());
+        let truncated = &buf[..cut];
+        // Must either parse a prefix or report an error — never panic.
+        if let Ok(reader) = BinaryReader::new(truncated) {
+            let _ = reader.collect::<Vec<_>>();
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic(seed in any::<u64>()) {
+        let p = Profile::pero().with_total_refs(2_000);
+        let a: Vec<TraceRecord> = Generator::new(p.clone(), seed).collect();
+        let b: Vec<TraceRecord> = Generator::new(p, seed).collect();
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn generated_traces_round_trip_through_the_binary_codec() {
+    let records: Vec<TraceRecord> =
+        Generator::new(Profile::thor().with_total_refs(30_000), 5).collect();
+    let mut buf = Vec::new();
+    let mut w = BinaryWriter::new(&mut buf);
+    w.write_all(&records).unwrap();
+    w.finish().unwrap();
+    let got: Vec<TraceRecord> =
+        BinaryReader::new(&buf[..]).unwrap().collect::<Result<_, _>>().unwrap();
+    assert_eq!(got, records);
+    assert!(
+        buf.len() < records.len() * 12,
+        "generated traces should encode compactly: {} bytes for {} records",
+        buf.len(),
+        records.len()
+    );
+}

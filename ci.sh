@@ -1,0 +1,8 @@
+#!/bin/sh
+# Local CI: the same gates as .github/workflows/ci.yml, in order.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+cargo fmt --check

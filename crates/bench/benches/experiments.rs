@@ -124,16 +124,16 @@ fn bench_extensions(c: &mut Criterion) {
         })
     });
     g.bench_function("scaling", |b| {
-        b.iter(|| black_box(extensions::scaling(5_000, BENCH_SEED).rows.len()))
+        b.iter(|| black_box(extensions::scaling(5_000, BENCH_SEED, 1).rows.len()))
     });
     g.bench_function("block_size", |b| {
-        b.iter(|| black_box(extensions::block_size(BENCH_REFS, BENCH_SEED).points.len()))
+        b.iter(|| black_box(extensions::block_size(BENCH_REFS, BENCH_SEED, 1).points.len()))
     });
     g.bench_function("storage_table", |b| {
         b.iter(|| black_box(network::storage_table().rows.len()))
     });
     g.bench_function("network_meshes", |b| {
-        b.iter(|| black_box(network::network_study(5_000, BENCH_SEED).rows.len()))
+        b.iter(|| black_box(network::network_study(5_000, BENCH_SEED, 1).rows.len()))
     });
     g.finish();
 }

@@ -34,8 +34,7 @@ fn bench_replay(c: &mut Criterion) {
         g.bench_function(kind.display_name(4), |b| {
             b.iter(|| {
                 let mut p = build(kind, 4);
-                let res =
-                    run(p.as_mut(), trace.iter().copied(), &RunConfig::default()).unwrap();
+                let res = run(p.as_mut(), trace.iter().copied(), &RunConfig::default()).unwrap();
                 black_box(res.counters.total())
             })
         });

@@ -93,11 +93,7 @@ pub fn network_cost_per_ref(
         return 0.0;
     }
     let misses = (c.rm() + c.wm()) as f64
-        + if cfg.charge_first_ref {
-            (c.rm_first_ref() + c.wm_first_ref()) as f64
-        } else {
-            0.0
-        };
+        + if cfg.charge_first_ref { (c.rm_first_ref() + c.wm_first_ref()) as f64 } else { 0.0 };
     let mut flit_hops = misses * mesh.data_cost();
     flit_hops += c.write_backs() as f64 * mesh.data_cost();
     flit_hops += c.control_messages() as f64 * mesh.control_cost();
@@ -145,8 +141,7 @@ mod tests {
             let mut b = Outcome::quiet(Event::ReadMiss(MissContext::MemoryOnly));
             b.used_broadcast = true;
             bcast.observe(&b);
-            let s =
-                Outcome::quiet(Event::ReadMiss(MissContext::MemoryOnly)).with_control(1);
+            let s = Outcome::quiet(Event::ReadMiss(MissContext::MemoryOnly)).with_control(1);
             seq.observe(&s);
         }
         for nodes in [16u32, 64] {

@@ -254,9 +254,7 @@ fn dir_check_cycles(kind: ProtocolKind, n_caches: usize, c: &EventCounters, m: &
         ProtocolKind::YenFu => (c.wh_distrib() * u64::from(m.dir_check)) as f64,
         // Tang: a lookup must search all n duplicate cache directories
         // (modelled as a sequential search — pessimistic for Tang).
-        ProtocolKind::Tang => {
-            (c.wh_blk_cln() * u64::from(m.dir_check)) as f64 * n_caches as f64
-        }
+        ProtocolKind::Tang => (c.wh_blk_cln() * u64::from(m.dir_check)) as f64 * n_caches as f64,
         // Everyone else pays one check per write hit to a clean block.
         _ => (c.wh_blk_cln() * u64::from(m.dir_check)) as f64,
     }
@@ -395,8 +393,7 @@ mod tests {
         );
         let m = CostModel::pipelined();
         let base = price(ProtocolKind::Dir0B, 4, &c, &m, &CostConfig::PAPER);
-        let with_q =
-            price(ProtocolKind::Dir0B, 4, &c, &m, &CostConfig::PAPER.with_overhead_q(2.0));
+        let with_q = price(ProtocolKind::Dir0B, 4, &c, &m, &CostConfig::PAPER.with_overhead_q(2.0));
         assert!((with_q.total() - base.total() - 200.0).abs() < 1e-9);
     }
 

@@ -23,11 +23,8 @@ impl<S> CacheArray<S> {
     ///
     /// Panics if `n` is 0 or exceeds 64 (the [`CacheIdSet`] width).
     pub fn new(n: usize) -> Self {
-        assert!(n >= 1 && n <= 64, "cache count must be in 1..=64");
-        CacheArray {
-            caches: (0..n).map(|_| HashMap::new()).collect(),
-            residency: HashMap::new(),
-        }
+        assert!((1..=64).contains(&n), "cache count must be in 1..=64");
+        CacheArray { caches: (0..n).map(|_| HashMap::new()).collect(), residency: HashMap::new() }
     }
 
     /// Number of caches.

@@ -41,7 +41,7 @@ impl FiniteCacheConfig {
     ///
     /// Panics if the implied set count is not a nonzero power of two.
     pub fn with_capacity(capacity_blocks: usize, ways: usize) -> Self {
-        assert!(ways > 0 && capacity_blocks % ways == 0, "capacity must divide by ways");
+        assert!(ways > 0 && capacity_blocks.is_multiple_of(ways), "capacity must divide by ways");
         Self::new(capacity_blocks / ways, ways)
     }
 }

@@ -232,9 +232,7 @@ impl Protocol for CodedSet {
             let holders = self.caches.holders(*block);
             let coded = entry.code.members(self.caches.num_caches());
             if !holders.is_subset_of(coded) {
-                return Err(format!(
-                    "{block}: holders {holders} not covered by coded set {coded}"
-                ));
+                return Err(format!("{block}: holders {holders} not covered by coded set {coded}"));
             }
             if entry.dirty {
                 if holders.len() != 1 {

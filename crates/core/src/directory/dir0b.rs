@@ -75,9 +75,9 @@ impl Dir0B {
                 }
             }
             DirState::DirtyOne => MissContext::DirtyElsewhere,
-            DirState::CleanOne | DirState::CleanMany => MissContext::CleanElsewhere {
-                copies: self.caches.holders(block).len() as u32,
-            },
+            DirState::CleanOne | DirState::CleanMany => {
+                MissContext::CleanElsewhere { copies: self.caches.holders(block).len() as u32 }
+            }
         }
     }
 
@@ -93,8 +93,7 @@ impl Dir0B {
                 // a clean copy; memory becomes current.
                 out.used_broadcast = true;
                 out = out.with_write_back();
-                let owner =
-                    self.caches.holders(block).sole().expect("DirtyOne has one holder");
+                let owner = self.caches.holders(block).sole().expect("DirtyOne has one holder");
                 self.caches.set(owner, block, Copy::Clean);
                 self.dir.insert(block, DirState::CleanMany);
             }
@@ -224,10 +223,7 @@ impl Protocol for Dir0B {
                 }
                 DirState::CleanOne => {
                     if holders.len() != 1 {
-                        return Err(format!(
-                            "{block}: CleanOne but {} holders",
-                            holders.len()
-                        ));
+                        return Err(format!("{block}: CleanOne but {} holders", holders.len()));
                     }
                 }
                 DirState::CleanMany => {
@@ -237,10 +233,7 @@ impl Protocol for Dir0B {
                 }
                 DirState::DirtyOne => {
                     if holders.len() != 1 {
-                        return Err(format!(
-                            "{block}: DirtyOne but {} holders",
-                            holders.len()
-                        ));
+                        return Err(format!("{block}: DirtyOne but {} holders", holders.len()));
                     }
                 }
             }
@@ -296,10 +289,7 @@ mod tests {
         read(&mut p, 0, 1, true);
         let o = write(&mut p, 0, 1, false);
         assert_eq!(o.event, Event::WriteHit(WriteHitContext::CleanExclusive));
-        assert!(
-            !o.used_broadcast,
-            "the 'clean in exactly one cache' state obviates the broadcast"
-        );
+        assert!(!o.used_broadcast, "the 'clean in exactly one cache' state obviates the broadcast");
         p.check_invariants().unwrap();
     }
 

@@ -209,7 +209,7 @@ impl Protocol for DirB {
             return EvictOutcome::SILENT;
         };
         let entry = self.dir.get_mut(&block).expect("held block has an entry");
-        let was_pointed = entry.ptrs.iter().any(|c| *c == cache);
+        let was_pointed = entry.ptrs.contains(&cache);
         entry.ptrs.retain(|c| *c != cache);
         if copy == Copy::Dirty {
             entry.dirty = false;

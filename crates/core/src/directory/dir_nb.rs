@@ -162,11 +162,8 @@ impl DirNb {
             MissContext::DirtyElsewhere => {
                 // One message tells the dirty cache to write back (and, if
                 // its pointer is about to be evicted, to invalidate too).
-                let owner = self
-                    .caches
-                    .holders(block)
-                    .sole()
-                    .expect("dirty block has exactly one holder");
+                let owner =
+                    self.caches.holders(block).sole().expect("dirty block has exactly one holder");
                 out.control_messages += 1;
                 out = out.with_write_back();
                 // The owner retains a clean copy (Censier-Feautrier); the
@@ -179,14 +176,14 @@ impl DirNb {
                     u32::from(self.pointers == 1), // Dir1NB's displacement is inherent
                 );
             }
-            MissContext::CleanElsewhere { .. } | MissContext::FirstRef
+            MissContext::CleanElsewhere { .. }
+            | MissContext::FirstRef
             | MissContext::MemoryOnly => {
                 let (control, evictions) = self.add_sharer(block, cache, None);
                 out.control_messages += control;
                 // Dir1NB's displacement of the single copy is inherent to
                 // the scheme, not a pointer-overflow eviction.
-                out.directory_evictions +=
-                    evictions.saturating_sub(u32::from(self.pointers == 1));
+                out.directory_evictions += evictions.saturating_sub(u32::from(self.pointers == 1));
             }
         }
         out
@@ -459,8 +456,8 @@ mod tests {
         read(&mut p, 0, 1, true);
         write(&mut p, 1, 1, false); // invalidates cache 0, dirty in 1
         read(&mut p, 0, 1, false); // flushes 1, moves to 0
-        // Now only cache 0 holds it clean. Invalidate it via cache 1 write,
-        // then write back... simulate memory-only by removing all:
+                                   // Now only cache 0 holds it clean. Invalidate it via cache 1 write,
+                                   // then write back... simulate memory-only by removing all:
         let o = write(&mut p, 1, 1, false);
         assert_eq!(o.event, Event::WriteMiss(MissContext::CleanElsewhere { copies: 1 }));
         p.check_invariants().unwrap();

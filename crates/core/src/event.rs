@@ -233,7 +233,10 @@ mod tests {
 
     #[test]
     fn labels_match_paper_terms() {
-        assert_eq!(Event::ReadMiss(MissContext::CleanElsewhere { copies: 1 }).label(), "rm-blk-cln");
+        assert_eq!(
+            Event::ReadMiss(MissContext::CleanElsewhere { copies: 1 }).label(),
+            "rm-blk-cln"
+        );
         assert_eq!(Event::WriteHit(WriteHitContext::Dirty).label(), "wh-blk-drty");
         assert_eq!(Event::WriteMiss(MissContext::DirtyElsewhere).to_string(), "wm-blk-drty");
     }

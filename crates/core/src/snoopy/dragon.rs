@@ -193,7 +193,7 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(read(&mut p, 0, 1, false).event, Event::ReadHit);
             assert_eq!(read(&mut p, 1, 1, false).event, Event::ReadHit);
-            assert_eq!(write(&mut p, 0, 1, false).event.is_miss(), false);
+            assert!(!write(&mut p, 0, 1, false).event.is_miss());
         }
     }
 

@@ -120,9 +120,7 @@ impl Protocol for Mesi {
                 let local = self.caches.state(cache, block).copied();
                 let others = self.caches.other_holders(cache, block);
                 match local {
-                    Some(Copy::Modified) => {
-                        Outcome::quiet(Event::WriteHit(WriteHitContext::Dirty))
-                    }
+                    Some(Copy::Modified) => Outcome::quiet(Event::WriteHit(WriteHitContext::Dirty)),
                     Some(Copy::Exclusive) => {
                         // Silent E -> M upgrade: the headline MESI benefit.
                         self.caches.set(cache, block, Copy::Modified);

@@ -88,11 +88,8 @@ mod tests {
         assert_eq!(dir2(4), 5); // 2×2 + 1
         assert_eq!(dir2(16), 9); // 2×4 + 1
         assert_eq!(dir2(64), 13); // 2×6 + 1
-        // Dir1B: one pointer + dirty + broadcast bit.
-        assert_eq!(
-            directory_bits_per_block(ProtocolKind::DirB { pointers: 1 }, 64, 20),
-            8
-        );
+                                  // Dir1B: one pointer + dirty + broadcast bit.
+        assert_eq!(directory_bits_per_block(ProtocolKind::DirB { pointers: 1 }, 64, 20), 8);
     }
 
     #[test]
@@ -116,12 +113,9 @@ mod tests {
 
     #[test]
     fn snoopy_schemes_have_no_directory() {
-        for kind in [
-            ProtocolKind::Wti,
-            ProtocolKind::Dragon,
-            ProtocolKind::Berkeley,
-            ProtocolKind::Mesi,
-        ] {
+        for kind in
+            [ProtocolKind::Wti, ProtocolKind::Dragon, ProtocolKind::Berkeley, ProtocolKind::Mesi]
+        {
             assert_eq!(directory_bits_per_block(kind, 64, 20), 0);
         }
     }
@@ -143,9 +137,7 @@ mod tests {
         let n = 64;
         let bits = |k| directory_bits_per_block(k, n, 20);
         assert!(bits(ProtocolKind::Dir0B) < bits(ProtocolKind::CodedSet));
-        assert!(
-            bits(ProtocolKind::CodedSet) <= bits(ProtocolKind::DirNb { pointers: 2 })
-        );
+        assert!(bits(ProtocolKind::CodedSet) <= bits(ProtocolKind::DirNb { pointers: 2 }));
         assert!(
             bits(ProtocolKind::DirNb { pointers: 2 })
                 < bits(ProtocolKind::DirNb { pointers: n as u32 })

@@ -145,14 +145,7 @@ fn replay(
         let out = p.access(cache, kind, block, first);
         let expected = oracle.access(cache, kind, block);
         if check_events {
-            prop_assert_eq!(
-                out.event,
-                expected,
-                "{} step {}: {:?}",
-                p.name(),
-                i,
-                op
-            );
+            prop_assert_eq!(out.event, expected, "{} step {}: {:?}", p.name(), i, op);
         }
         prop_assert_eq!(
             p.holders(block),
@@ -161,9 +154,8 @@ fn replay(
             p.name(),
             i
         );
-        p.check_invariants().map_err(|e| {
-            TestCaseError::fail(format!("{} step {i}: invariant: {e}", p.name()))
-        })?;
+        p.check_invariants()
+            .map_err(|e| TestCaseError::fail(format!("{} step {i}: invariant: {e}", p.name())))?;
     }
     Ok(())
 }

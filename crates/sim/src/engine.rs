@@ -192,7 +192,7 @@ pub fn run<P: Protocol + ?Sized, I: IntoIterator<Item = TraceRecord>>(
                 }
             }
         }
-        if cfg.check_invariants_every > 0 && refs % cfg.check_invariants_every == 0 {
+        if cfg.check_invariants_every > 0 && refs.is_multiple_of(cfg.check_invariants_every) {
             protocol
                 .check_invariants()
                 .map_err(|e| format!("invariant violation at reference {refs}: {e}"))?;
@@ -328,14 +328,8 @@ mod tests {
         ] {
             for (name, trace) in &patterns {
                 let mut p = build(kind, 4);
-                let res =
-                    run(p.as_mut(), trace.clone(), &RunConfig::verifying(1)).expect("run");
-                assert!(
-                    res.violations.is_empty(),
-                    "{} on {name}: {:?}",
-                    p.name(),
-                    res.violations
-                );
+                let res = run(p.as_mut(), trace.clone(), &RunConfig::verifying(1)).expect("run");
+                assert!(res.violations.is_empty(), "{} on {name}: {:?}", p.name(), res.violations);
             }
         }
     }
@@ -396,8 +390,7 @@ mod tests {
                 Address::new(block * 16),
             ));
         }
-        let cfg = RunConfig::default()
-            .with_finite_caches(FiniteCacheConfig::new(2, 1));
+        let cfg = RunConfig::default().with_finite_caches(FiniteCacheConfig::new(2, 1));
         let mut p = build(ProtocolKind::Dir0B, 4);
         let res = run(p.as_mut(), trace, &RunConfig { verify: true, ..cfg }).unwrap();
         assert!(res.counters.cache_evictions() > 100, "thrash must evict");
@@ -434,8 +427,8 @@ mod tests {
                 check_invariants_every: 1,
                 ..RunConfig::default().with_finite_caches(FiniteCacheConfig::new(2, 2))
             };
-            let res = run(p.as_mut(), trace.clone(), &cfg)
-                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            let res =
+                run(p.as_mut(), trace.clone(), &cfg).unwrap_or_else(|e| panic!("{kind}: {e}"));
             assert!(res.violations.is_empty(), "{kind}: {:?}", res.violations);
         }
     }
@@ -443,8 +436,7 @@ mod tests {
     #[test]
     fn infinite_runs_report_zero_evictions() {
         let mut p = build(ProtocolKind::Dir0B, 4);
-        let res =
-            run(p.as_mut(), patterns::migratory(4, 50), &RunConfig::default()).unwrap();
+        let res = run(p.as_mut(), patterns::migratory(4, 50), &RunConfig::default()).unwrap();
         assert_eq!(res.counters.cache_evictions(), 0);
     }
 
@@ -487,18 +479,12 @@ mod tests {
                 let event = match (kind, hit, first_ref) {
                     (AccessKind::Read, true, _) => Event::ReadHit,
                     (AccessKind::Read, false, true) => Event::ReadMiss(MissContext::FirstRef),
-                    (AccessKind::Read, false, false) => {
-                        Event::ReadMiss(MissContext::MemoryOnly)
-                    }
+                    (AccessKind::Read, false, false) => Event::ReadMiss(MissContext::MemoryOnly),
                     (AccessKind::Write, true, _) => {
                         Event::WriteHit(WriteHitContext::CleanExclusive)
                     }
-                    (AccessKind::Write, false, true) => {
-                        Event::WriteMiss(MissContext::FirstRef)
-                    }
-                    (AccessKind::Write, false, false) => {
-                        Event::WriteMiss(MissContext::MemoryOnly)
-                    }
+                    (AccessKind::Write, false, true) => Event::WriteMiss(MissContext::FirstRef),
+                    (AccessKind::Write, false, false) => Event::WriteMiss(MissContext::MemoryOnly),
                     _ => unreachable!(),
                 };
                 dircc_core::Outcome::quiet(event)
@@ -512,8 +498,7 @@ mod tests {
         }
 
         let mut broken = Broken { caches: dircc_cache::CacheArray::new(4) };
-        let res =
-            run(&mut broken, patterns::ping_pong(5), &RunConfig::verifying(0)).unwrap();
+        let res = run(&mut broken, patterns::ping_pong(5), &RunConfig::verifying(0)).unwrap();
         assert!(!res.violations.is_empty(), "stale copies must be detected");
     }
 

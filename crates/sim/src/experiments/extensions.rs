@@ -16,15 +16,17 @@
 
 use crate::engine::{run, RunConfig};
 use crate::metrics::{mean, Evaluation};
+use crate::par::par_map_indexed;
 use crate::report::{cycles, Table};
 use crate::workbench::{TraceFilter, Workbench};
 use core::fmt;
 use dircc_bus::{BusKind, BusTiming, CostConfig, CostModel};
-use dircc_cache::{FiniteCacheConfig, SetAssocCache};
-use dircc_core::{build, ProtocolKind};
 #[allow(unused_imports)]
 use dircc_cache as _;
-use dircc_trace::gen::{Generator, Profile};
+use dircc_cache::{FiniteCacheConfig, SetAssocCache};
+use dircc_core::{build, ProtocolKind};
+use dircc_trace::gen::Profile;
+use dircc_trace::store::TraceStore;
 use dircc_types::BlockGeometry;
 
 /// One cache-capacity point of the finite-cache study.
@@ -69,7 +71,9 @@ pub fn finite_cache(wb: &Workbench) -> FiniteCacheStudy {
             let mut total = 0u64;
             let mut replacement_misses = 0u64;
             let mut seen = std::collections::HashSet::new();
-            for r in Generator::new(wb.profiles()[t].clone(), 1988) {
+            // Replays the workbench's shared stream (generated once per
+            // process) rather than re-running the generator.
+            for r in wb.records(t, TraceFilter::Full).iter().copied() {
                 total += 1;
                 if !r.is_data() {
                     continue;
@@ -156,41 +160,58 @@ impl ScalingStudy {
 
 /// Runs the scaling study on a neutral workload (`refs` references per
 /// machine size; modest sizes keep it fast).
-pub fn scaling(refs: u64, seed: u64) -> ScalingStudy {
+///
+/// Fans the (machine size × scheme) matrix out over `jobs` threads; each
+/// machine size's trace is generated once into a shared [`TraceStore`] and
+/// replayed by slice, so results are deterministic and independent of
+/// `jobs`.
+pub fn scaling(refs: u64, seed: u64, jobs: usize) -> ScalingStudy {
     let m = CostModel::pipelined();
     let cost_cfg = CostConfig::PAPER;
     let cpu_counts = vec![4u16, 8, 16, 32];
-    let mut rows = Vec::new();
-    for &cpus in &cpu_counts {
-        let kinds = [
+    let kinds_at = |cpus: u16| {
+        [
             ProtocolKind::Dir0B,
             ProtocolKind::DirB { pointers: 1 },
             ProtocolKind::DirNb { pointers: 2 },
             ProtocolKind::DirNb { pointers: u32::from(cpus) },
             ProtocolKind::CodedSet,
-        ];
-        let mut at_this_size = Vec::new();
-        for kind in kinds {
-            let profile = Profile::custom().with_cpus(cpus).with_total_refs(refs);
-            let mut protocol = build(kind, usize::from(cpus));
-            let cfg = RunConfig::default().with_process_sharing();
-            let result = run(protocol.as_mut(), Generator::new(profile, seed), &cfg)
-                .expect("scaling replay");
-            let c = result.counters;
-            let per_kref = |n: u64| 1000.0 * n as f64 / c.total() as f64;
-            let messages_per_kref = per_kref(c.control_messages());
-            let broadcasts_per_kref = per_kref(c.broadcasts());
-            let eval =
-                Evaluation::new(protocol.name(), kind, usize::from(cpus), c);
-            at_this_size.push(ScalingRow {
-                scheme: kind.display_name(usize::from(cpus)),
-                cycles_per_ref: eval.cycles_per_ref(&m, &cost_cfg),
-                messages_per_kref,
-                broadcasts_per_kref,
-            });
+        ]
+    };
+    // One generate-once store per machine size (the trace shape depends on
+    // the CPU count).
+    let stores: Vec<TraceStore> = cpu_counts
+        .iter()
+        .map(|&cpus| {
+            TraceStore::new(vec![Profile::custom().with_cpus(cpus).with_total_refs(refs)], seed)
+        })
+        .collect();
+    let work: Vec<(usize, ProtocolKind)> = cpu_counts
+        .iter()
+        .enumerate()
+        .flat_map(|(si, &cpus)| kinds_at(cpus).into_iter().map(move |k| (si, k)))
+        .collect();
+    let flat = par_map_indexed(work.len(), jobs, |i| {
+        let (si, kind) = work[i];
+        let cpus = usize::from(cpu_counts[si]);
+        let records = stores[si].records(0, TraceFilter::Full);
+        let mut protocol = build(kind, cpus);
+        let cfg = RunConfig::default().with_process_sharing();
+        let result = run(protocol.as_mut(), records.iter().copied(), &cfg).expect("scaling replay");
+        let c = result.counters;
+        let per_kref = |n: u64| 1000.0 * n as f64 / c.total() as f64;
+        let messages_per_kref = per_kref(c.control_messages());
+        let broadcasts_per_kref = per_kref(c.broadcasts());
+        let eval = Evaluation::new(protocol.name(), kind, cpus, c);
+        ScalingRow {
+            scheme: kind.display_name(cpus),
+            cycles_per_ref: eval.cycles_per_ref(&m, &cost_cfg),
+            messages_per_kref,
+            broadcasts_per_kref,
         }
-        rows.push(at_this_size);
-    }
+    });
+    let per_size = work.len() / cpu_counts.len();
+    let rows = flat.chunks(per_size).map(<[ScalingRow]>::to_vec).collect();
     ScalingStudy { cpu_counts, rows }
 }
 
@@ -237,32 +258,40 @@ pub struct BlockSizeStudy {
 /// Sweeps the block size for Dir0B and Dragon on a POPS-like trace,
 /// adjusting both the event measurement (block geometry) and the cost
 /// model (words per block).
-pub fn block_size(refs: u64, seed: u64) -> BlockSizeStudy {
-    let mut points = Vec::new();
-    for offset_bits in [3u32, 4, 5, 6] {
-        let geometry = BlockGeometry::new(offset_bits);
-        let timing =
-            BusTiming { block_words: (geometry.block_bytes() / 4).max(1) as u32, ..BusTiming::PAPER };
+///
+/// The trace is identical across every point (same profile and seed), so
+/// it is generated once into a [`TraceStore`] and all
+/// (block size × scheme) runs — fanned out over `jobs` threads — replay
+/// the same shared slice.
+pub fn block_size(refs: u64, seed: u64, jobs: usize) -> BlockSizeStudy {
+    const OFFSET_BITS: [u32; 4] = [3, 4, 5, 6];
+    const KINDS: [ProtocolKind; 2] = [ProtocolKind::Dir0B, ProtocolKind::Dragon];
+    let store = TraceStore::new(vec![Profile::pops().with_total_refs(refs)], seed);
+    let flat = par_map_indexed(OFFSET_BITS.len() * KINDS.len(), jobs, |i| {
+        let geometry = BlockGeometry::new(OFFSET_BITS[i / KINDS.len()]);
+        let kind = KINDS[i % KINDS.len()];
+        let timing = BusTiming {
+            block_words: (geometry.block_bytes() / 4).max(1) as u32,
+            ..BusTiming::PAPER
+        };
         let m = CostModel::new(BusKind::Pipelined, timing);
-        let mut per_scheme = [0.0f64; 2];
-        for (i, kind) in [ProtocolKind::Dir0B, ProtocolKind::Dragon].into_iter().enumerate() {
-            let profile = Profile::pops().with_total_refs(refs);
-            let mut protocol = build(kind, 4);
-            let cfg = RunConfig {
-                geometry,
-                ..RunConfig::default().with_process_sharing()
-            };
-            let result = run(protocol.as_mut(), Generator::new(profile, seed), &cfg)
-                .expect("block-size replay");
-            let eval = Evaluation::new(protocol.name(), kind, 4, result.counters);
-            per_scheme[i] = eval.cycles_per_ref(&m, &CostConfig::PAPER);
-        }
-        points.push(BlockSizePoint {
-            block_bytes: geometry.block_bytes(),
-            dir0b: per_scheme[0],
-            dragon: per_scheme[1],
-        });
-    }
+        let records = store.records(0, TraceFilter::Full);
+        let mut protocol = build(kind, 4);
+        let cfg = RunConfig { geometry, ..RunConfig::default().with_process_sharing() };
+        let result =
+            run(protocol.as_mut(), records.iter().copied(), &cfg).expect("block-size replay");
+        let eval = Evaluation::new(protocol.name(), kind, 4, result.counters);
+        eval.cycles_per_ref(&m, &CostConfig::PAPER)
+    });
+    let points = OFFSET_BITS
+        .iter()
+        .enumerate()
+        .map(|(pi, &bits)| BlockSizePoint {
+            block_bytes: BlockGeometry::new(bits).block_bytes(),
+            dir0b: flat[pi * KINDS.len()],
+            dragon: flat[pi * KINDS.len() + 1],
+        })
+        .collect();
     BlockSizeStudy { points }
 }
 
@@ -309,8 +338,7 @@ pub struct Footnote2Study {
 pub fn footnote2(wb: &Workbench) -> Footnote2Study {
     use dircc_cache::FiniteCacheConfig;
     let mut points = Vec::new();
-    let mut capacities: Vec<Option<usize>> =
-        vec![Some(256), Some(1024), Some(4096), None];
+    let mut capacities: Vec<Option<usize>> = vec![Some(256), Some(1024), Some(4096), None];
     capacities.reverse(); // run infinite first (no reason, just stable output order after re-reverse)
     capacities.reverse();
     for cap in capacities {
@@ -322,20 +350,13 @@ pub fn footnote2(wb: &Workbench) -> Footnote2Study {
                 let mut protocol = build(kind, wb.n_caches());
                 let mut cfg = RunConfig::default().with_process_sharing();
                 if let Some(capacity) = cap {
-                    cfg =
-                        cfg.with_finite_caches(FiniteCacheConfig::with_capacity(capacity, 4));
+                    cfg = cfg.with_finite_caches(FiniteCacheConfig::with_capacity(capacity, 4));
                 }
-                let result = run(
-                    protocol.as_mut(),
-                    Generator::new(wb.profiles()[t].clone(), 1988),
-                    &cfg,
-                )
-                .expect("footnote2 replay");
+                let records = wb.records(t, TraceFilter::Full);
+                let result = run(protocol.as_mut(), records.iter().copied(), &cfg)
+                    .expect("footnote2 replay");
                 let c = result.counters;
-                (
-                    c.pct(c.rm() + c.wm()),
-                    1000.0 * c.cache_evictions() as f64 / c.total() as f64,
-                )
+                (c.pct(c.rm() + c.wm()), 1000.0 * c.cache_evictions() as f64 / c.total() as f64)
             };
             let (dir0b_miss, evictions) = miss_pct(ProtocolKind::Dir0B);
             // Dragon never invalidates: its miss rate is the native
@@ -416,7 +437,7 @@ mod tests {
 
     #[test]
     fn scaling_broadcast_schemes_keep_broadcasting() {
-        let s = scaling(40_000, 9);
+        let s = scaling(40_000, 9, 2);
         assert_eq!(s.cpu_counts, vec![4, 8, 16, 32]);
         for &cpus in &s.cpu_counts {
             // The full map never broadcasts; Dir0B always does.
@@ -425,24 +446,36 @@ mod tests {
         }
         // Dir1B broadcasts stay below Dir0B's at every size.
         for &cpus in &s.cpu_counts {
-            assert!(
-                s.broadcasts(cpus, "Dir1B").unwrap() <= s.broadcasts(cpus, "Dir0B").unwrap()
-            );
+            assert!(s.broadcasts(cpus, "Dir1B").unwrap() <= s.broadcasts(cpus, "Dir0B").unwrap());
         }
         assert!(s.to_string().contains("32 CPUs"));
     }
 
     #[test]
+    fn sweeps_are_deterministic_across_job_counts() {
+        let a = scaling(10_000, 9, 1);
+        let b = scaling(10_000, 9, 4);
+        for (ra, rb) in a.rows.iter().flatten().zip(b.rows.iter().flatten()) {
+            assert_eq!(ra.scheme, rb.scheme);
+            assert_eq!(ra.cycles_per_ref.to_bits(), rb.cycles_per_ref.to_bits());
+            assert_eq!(ra.broadcasts_per_kref.to_bits(), rb.broadcasts_per_kref.to_bits());
+        }
+        let a = block_size(10_000, 5, 1);
+        let b = block_size(10_000, 5, 4);
+        for (pa, pb) in a.points.iter().zip(b.points.iter()) {
+            assert_eq!(pa.block_bytes, pb.block_bytes);
+            assert_eq!(pa.dir0b.to_bits(), pb.dir0b.to_bits());
+            assert_eq!(pa.dragon.to_bits(), pb.dragon.to_bits());
+        }
+    }
+
+    #[test]
     fn block_size_sweep_runs_and_orders_schemes() {
-        let s = block_size(40_000, 5);
+        let s = block_size(40_000, 5, 2);
         assert_eq!(s.points.len(), 4);
         for p in &s.points {
             assert!(p.dir0b > 0.0 && p.dragon > 0.0);
-            assert!(
-                p.dragon < p.dir0b,
-                "Dragon stays cheaper at {} -byte blocks",
-                p.block_bytes
-            );
+            assert!(p.dragon < p.dir0b, "Dragon stays cheaper at {} -byte blocks", p.block_bytes);
         }
         assert!(s.to_string().contains("block bytes"));
     }

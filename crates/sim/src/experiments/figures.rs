@@ -247,8 +247,7 @@ pub fn figure5(wb: &Workbench) -> Figure5 {
         .into_iter()
         .map(|kind| {
             let evals = wb.evaluations(kind, TraceFilter::Full);
-            let vals: Vec<f64> =
-                evals.iter().map(|e| e.cycles_per_transaction(&m, &cfg)).collect();
+            let vals: Vec<f64> = evals.iter().map(|e| e.cycles_per_transaction(&m, &cfg)).collect();
             (kind.display_name(wb.n_caches()), mean(&vals))
         })
         .collect();
@@ -294,11 +293,7 @@ mod tests {
         let f2 = figure2(&wb());
         assert_eq!(f2.ranges.len(), 4);
         for r in &f2.ranges {
-            assert!(
-                r.non_pipelined > r.pipelined,
-                "{}: non-pipelined must cost more",
-                r.scheme
-            );
+            assert!(r.non_pipelined > r.pipelined, "{}: non-pipelined must cost more", r.scheme);
         }
         let dir1 = f2.range("Dir1NB").unwrap().pipelined;
         let dragon = f2.range("Dragon").unwrap().pipelined;
@@ -314,10 +309,7 @@ mod tests {
         for scheme in ["Dir0B", "Dragon", "Dir1NB"] {
             let pero = f3.pipelined("PERO", scheme).unwrap();
             let pops = f3.pipelined("POPS", scheme).unwrap();
-            assert!(
-                pero < pops,
-                "{scheme}: PERO ({pero}) should be cheaper than POPS ({pops})"
-            );
+            assert!(pero < pops, "{scheme}: PERO ({pero}) should be cheaper than POPS ({pops})");
         }
         assert!(f3.to_string().contains("PERO"));
     }

@@ -2,11 +2,13 @@
 //! scaling arguments made quantitative.
 
 use crate::engine::{run, RunConfig};
+use crate::par::par_map_indexed;
 use crate::report::Table;
 use core::fmt;
 use dircc_bus::{network_cost_per_ref, CostConfig, MeshModel};
 use dircc_core::{build, directory_bits_per_block, EventCounters, ProtocolKind};
-use dircc_trace::gen::{Generator, Profile};
+use dircc_trace::gen::Profile;
+use dircc_trace::store::{TraceFilter, TraceStore};
 
 /// Tag bits assumed for Tang's duplicated tag stores.
 const TAG_BITS: u32 = 20;
@@ -31,10 +33,14 @@ impl StorageTable {
     }
 }
 
+/// A scheme's kind as a function of machine size (full-map pointers grow
+/// with `n`).
+type KindForSize = Box<dyn Fn(usize) -> ProtocolKind>;
+
 /// Builds the storage table for the §6 schemes.
 pub fn storage_table() -> StorageTable {
     let sizes = vec![4usize, 16, 64];
-    let kinds: Vec<(String, Box<dyn Fn(usize) -> ProtocolKind>)> = vec![
+    let kinds: Vec<(String, KindForSize)> = vec![
         ("Dir0B".into(), Box::new(|_| ProtocolKind::Dir0B)),
         ("Dir1B".into(), Box::new(|_| ProtocolKind::DirB { pointers: 1 })),
         ("Dir2NB".into(), Box::new(|_| ProtocolKind::DirNb { pointers: 2 })),
@@ -45,10 +51,8 @@ pub fn storage_table() -> StorageTable {
     let rows = kinds
         .into_iter()
         .map(|(name, kind_for)| {
-            let bits = sizes
-                .iter()
-                .map(|&n| directory_bits_per_block(kind_for(n), n, TAG_BITS))
-                .collect();
+            let bits =
+                sizes.iter().map(|&n| directory_bits_per_block(kind_for(n), n, TAG_BITS)).collect();
             (name, bits)
         })
         .collect();
@@ -102,39 +106,60 @@ impl NetworkStudy {
     }
 }
 
-fn measure(kind: ProtocolKind, cpus: u16, refs: u64, seed: u64) -> EventCounters {
-    let profile = Profile::custom().with_cpus(cpus).with_total_refs(refs);
+fn measure(store: &TraceStore, kind: ProtocolKind, cpus: u16) -> EventCounters {
     let mut protocol = build(kind, usize::from(cpus));
     let cfg = RunConfig::default().with_process_sharing();
-    let result =
-        run(protocol.as_mut(), Generator::new(profile, seed), &cfg).expect("network replay");
+    let records = store.records(0, TraceFilter::Full);
+    let result = run(protocol.as_mut(), records.iter().copied(), &cfg).expect("network replay");
     result.counters
 }
 
-/// Runs the network study on 16/36/64-node meshes.
-pub fn network_study(refs: u64, seed: u64) -> NetworkStudy {
+/// Runs the network study on 16/36/64-node meshes, fanning the
+/// (mesh size × scheme) runs out over `jobs` threads. Each mesh size's
+/// trace is generated once into a shared [`TraceStore`], so results are
+/// deterministic and independent of `jobs`.
+pub fn network_study(refs: u64, seed: u64, jobs: usize) -> NetworkStudy {
     let sizes = vec![16u32, 36, 64];
     let cfg = CostConfig::PAPER;
-    let mut rows = Vec::new();
-    for &nodes in &sizes {
-        let mesh = MeshModel::for_nodes(nodes);
-        let kinds = [
+    let kinds_at = |nodes: u32| {
+        [
             ProtocolKind::Dir0B,
             ProtocolKind::DirB { pointers: 1 },
             ProtocolKind::DirNb { pointers: 2 },
             ProtocolKind::DirNb { pointers: nodes },
             ProtocolKind::CodedSet,
-        ];
-        let mut at_size = Vec::new();
-        for kind in kinds {
-            let counters = measure(kind, nodes as u16, refs, seed);
-            at_size.push(NetworkRow {
-                scheme: kind.display_name(nodes as usize),
-                flit_hops_per_ref: network_cost_per_ref(kind, mesh, &counters, &cfg),
-            });
+        ]
+    };
+    let stores: Vec<TraceStore> = sizes
+        .iter()
+        .map(|&nodes| {
+            TraceStore::new(
+                vec![Profile::custom().with_cpus(nodes as u16).with_total_refs(refs)],
+                seed,
+            )
+        })
+        .collect();
+    let work: Vec<(usize, ProtocolKind)> = sizes
+        .iter()
+        .enumerate()
+        .flat_map(|(si, &nodes)| kinds_at(nodes).into_iter().map(move |k| (si, k)))
+        .collect();
+    let flat = par_map_indexed(work.len(), jobs, |i| {
+        let (si, kind) = work[i];
+        let nodes = sizes[si];
+        let counters = measure(&stores[si], kind, nodes as u16);
+        NetworkRow {
+            scheme: kind.display_name(nodes as usize),
+            flit_hops_per_ref: network_cost_per_ref(
+                kind,
+                MeshModel::for_nodes(nodes),
+                &counters,
+                &cfg,
+            ),
         }
-        rows.push(at_size);
-    }
+    });
+    let per_size = work.len() / sizes.len();
+    let rows = flat.chunks(per_size).map(<[NetworkRow]>::to_vec).collect();
     NetworkStudy { sizes, rows }
 }
 
@@ -175,16 +200,13 @@ mod tests {
 
     #[test]
     fn broadcast_schemes_lose_on_big_meshes() {
-        let n = network_study(40_000, 9);
+        let n = network_study(40_000, 9, 2);
         // On 64 nodes, Dir0B's broadcasts make it costlier per reference
         // than the full map's directed invalidations — reversing the bus
         // result and confirming the paper's scaling thesis.
         let dir0b = n.cost("Dir0B", 64).unwrap();
         let full = n.cost("DirnNB", 64).unwrap();
-        assert!(
-            dir0b > full,
-            "64-node mesh: Dir0B ({dir0b}) must exceed DirnNB ({full})"
-        );
+        assert!(dir0b > full, "64-node mesh: Dir0B ({dir0b}) must exceed DirnNB ({full})");
         // Dir1B stays close to the full map (broadcasts rare).
         let dir1b = n.cost("Dir1B", 64).unwrap();
         assert!(dir1b < dir0b);
@@ -192,8 +214,18 @@ mod tests {
     }
 
     #[test]
+    fn network_study_is_deterministic_across_job_counts() {
+        let a = network_study(8_000, 7, 1);
+        let b = network_study(8_000, 7, 4);
+        for (ra, rb) in a.rows.iter().flatten().zip(b.rows.iter().flatten()) {
+            assert_eq!(ra.scheme, rb.scheme);
+            assert_eq!(ra.flit_hops_per_ref.to_bits(), rb.flit_hops_per_ref.to_bits());
+        }
+    }
+
+    #[test]
     fn costs_grow_with_mesh_size() {
-        let n = network_study(30_000, 4);
+        let n = network_study(30_000, 4, 2);
         for scheme in ["DirnNB", "Dir1B"] {
             let small = n.cost(scheme, 16).unwrap();
             let big = n.cost(scheme, 64).unwrap();

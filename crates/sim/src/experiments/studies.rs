@@ -46,8 +46,9 @@ pub fn sensitivity(wb: &Workbench) -> Sensitivity {
     let mut samples = Vec::new();
     for kind in [ProtocolKind::Dragon, ProtocolKind::Dir0B] {
         let evals = wb.evaluations(kind, TraceFilter::Full);
-        let base =
-            mean(&evals.iter().map(|e| e.cycles_per_ref(&m, &CostConfig::PAPER)).collect::<Vec<_>>());
+        let base = mean(
+            &evals.iter().map(|e| e.cycles_per_ref(&m, &CostConfig::PAPER)).collect::<Vec<_>>(),
+        );
         let slope = mean(&evals.iter().map(|e| e.transactions_per_ref()).collect::<Vec<_>>());
         let row = q_values
             .iter()
@@ -363,10 +364,7 @@ mod tests {
         // Sequential invalidation costs almost nothing extra (paper:
         // 0.0491 -> 0.0499, under 2%).
         let ratio = s.dirnnb / s.dir0b;
-        assert!(
-            (0.98..=1.06).contains(&ratio),
-            "DirnNB/Dir0B = {ratio} (paper: +1.6%)"
-        );
+        assert!((0.98..=1.06).contains(&ratio), "DirnNB/Dir0B = {ratio} (paper: +1.6%)");
         // Dir1B grows slowly with b: the slope is the broadcast frequency,
         // which must stay a small fraction of references (paper: 0.0006;
         // the synthetic traces' spinner accumulation makes it a few times

@@ -100,9 +100,15 @@ impl fmt::Display for SystemStudy {
             "Section 5: system performance on a shared bus\n\
              (10-MIPS processors, 100ns bus cycle, measured transaction rates)"
         )?;
-        let mut headers = vec!["scheme".to_string(), "txn/ref".to_string(), "cyc/txn".to_string(), "bound".to_string()];
+        let mut headers = vec![
+            "scheme".to_string(),
+            "txn/ref".to_string(),
+            "cyc/txn".to_string(),
+            "bound".to_string(),
+        ];
         headers.extend(self.sizes.iter().map(|n| format!("n={n}")));
-        let mut t = Table::new("  effective processors", headers.iter().map(String::as_str).collect());
+        let mut t =
+            Table::new("  effective processors", headers.iter().map(String::as_str).collect());
         for r in &self.rows {
             let mut row = vec![
                 r.scheme.clone(),

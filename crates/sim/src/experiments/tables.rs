@@ -21,10 +21,10 @@ pub fn table1() -> Table1 {
 
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = Table::new("Table 1: Timing for fundamental bus operations", vec![
-            "Operation",
-            "Cycles",
-        ]);
+        let mut t = Table::new(
+            "Table 1: Timing for fundamental bus operations",
+            vec!["Operation", "Cycles"],
+        );
         let rows = [
             ("Transfer 1 data word", self.timing.transfer_word),
             ("Invalidate", self.timing.invalidate),
@@ -55,11 +55,10 @@ pub fn table2() -> Table2 {
 
 impl fmt::Display for Table2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut t = Table::new("Table 2: Summary of bus cycle costs", vec![
-            "Access type",
-            "Pipelined Bus",
-            "Non-Pipelined Bus",
-        ]);
+        let mut t = Table::new(
+            "Table 2: Summary of bus cycle costs",
+            vec!["Access type", "Pipelined Bus", "Non-Pipelined Bus"],
+        );
         let rows: [(&str, u32, u32); 6] = [
             ("memory access", self.pipelined.mem_access, self.non_pipelined.mem_access),
             ("cache access", self.pipelined.cache_access, self.non_pipelined.cache_access),
@@ -244,8 +243,7 @@ impl fmt::Display for Table4 {
         let mut headers = vec!["Event"];
         let names: Vec<&str> = self.columns.iter().map(|c| c.scheme.as_str()).collect();
         headers.extend(names);
-        let mut t =
-            Table::new("Table 4: Event frequencies (percent of all references)", headers);
+        let mut t = Table::new("Table 4: Event frequencies (percent of all references)", headers);
         for (i, label) in TABLE4_ROWS.iter().enumerate() {
             let mut row = vec![label.to_string()];
             for col in &self.columns {
@@ -303,11 +301,10 @@ impl fmt::Display for Table5 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut headers = vec!["Access type"];
         headers.extend(self.schemes.iter().map(String::as_str));
-        let mut t = Table::new(
-            "Table 5: Breakdown of bus cycles per reference (pipelined bus)",
-            headers,
-        );
-        let categories: [(&str, fn(&Breakdown) -> f64); 5] = [
+        let mut t =
+            Table::new("Table 5: Breakdown of bus cycles per reference (pipelined bus)", headers);
+        type Category = (&'static str, fn(&Breakdown) -> f64);
+        let categories: [Category; 5] = [
             ("mem access", |b| b.mem_access),
             ("write-back", |b| b.write_back),
             ("invalidate", |b| b.invalidate),

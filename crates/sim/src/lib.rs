@@ -8,8 +8,11 @@
 //!   [`Protocol`](dircc_core::Protocol), with an optional value-level
 //!   coherence verifier;
 //! * [`metrics`] — bus-cycles-per-reference and per-transaction metrics;
-//! * [`workbench`] — the three synthetic paper traces plus memoized runs;
+//! * [`workbench`] — the three synthetic paper traces plus memoized runs,
+//!   with a [`Workbench::warm`](workbench::Workbench::warm) fan-out that
+//!   fills the memo from worker threads;
 //! * [`experiments`] — one runner per paper table, figure and study;
+//! * [`par`] — the deterministic indexed parallel map the sweeps use;
 //! * [`report`] — plain-text table/bar formatting.
 //!
 //! The `dircc` binary exposes each experiment as a subcommand.
@@ -37,9 +40,11 @@ pub mod busqueue;
 pub mod engine;
 pub mod experiments;
 pub mod metrics;
+pub mod par;
 pub mod report;
 pub mod workbench;
 
 pub use engine::{run, RunConfig, RunResult, SharingModel};
 pub use metrics::Evaluation;
-pub use workbench::{TraceFilter, Workbench};
+pub use par::{default_jobs, par_map_indexed};
+pub use workbench::{RunTiming, TraceFilter, Workbench};

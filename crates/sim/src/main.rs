@@ -13,10 +13,14 @@
 //! ```
 //!
 //! Common flags: `--refs N` (references per trace; default = paper scale),
-//! `--seed S` (default 1988).
+//! `--seed S` (default 1988), `--jobs N` (worker threads; default = the
+//! machine's available parallelism). Results are independent of `--jobs`:
+//! stdout is byte-identical for any thread count; per-run wall-clock
+//! timings go to stderr.
 
+use dircc_core::ProtocolKind;
 use dircc_sim::experiments::{extensions, figures, network, studies, system, tables};
-use dircc_sim::Workbench;
+use dircc_sim::{default_jobs, TraceFilter, Workbench};
 use dircc_trace::codec::{BinaryReader, BinaryWriter};
 use dircc_trace::gen::{Generator, Profile};
 use dircc_trace::sharing::SharingProfile;
@@ -24,12 +28,88 @@ use dircc_trace::stats::TraceStats;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
+/// What a subcommand does with `--in`/`--out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Io {
+    /// Pure experiment: any `--in`/`--out` is a usage error.
+    None,
+    /// Reads a trace file (`--in`).
+    Reads,
+    /// Writes a trace file (`--out`).
+    Writes,
+}
+
+/// How a subcommand executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Printed from the shared [`Workbench`] via `run_experiment`.
+    Workbench,
+    /// Standalone sweep with its own trace store and default refs.
+    Scaling,
+    /// Standalone mesh-network sweep.
+    Network,
+    /// Standalone block-size sweep.
+    BlockSize,
+    /// Trace-file producer.
+    Gen,
+    /// Trace-file statistics.
+    Stats,
+    /// Trace-file sharing profile.
+    Sharing,
+    /// Every `in_all` experiment, in table order.
+    All,
+}
+
+struct CommandSpec {
+    name: &'static str,
+    kind: Kind,
+    io: Io,
+    /// Included in the `dircc all` sequence (in this table's order).
+    in_all: bool,
+}
+
+/// The single source of truth for the CLI: usage, dispatch and the `all`
+/// sequence are all derived from this table.
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec { name: "table1", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "table2", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "table3", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "table4", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "table5", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "figure1", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "figure2", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "figure3", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "figure4", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "figure5", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "sensitivity", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "spinlock", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "berkeley", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "scalability", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "system", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "finitecache", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "footnote2", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "storage", kind: Kind::Workbench, io: Io::None, in_all: true },
+    CommandSpec { name: "scaling", kind: Kind::Scaling, io: Io::None, in_all: false },
+    CommandSpec { name: "network", kind: Kind::Network, io: Io::None, in_all: false },
+    CommandSpec { name: "blocksize", kind: Kind::BlockSize, io: Io::None, in_all: false },
+    CommandSpec { name: "all", kind: Kind::All, io: Io::None, in_all: false },
+    CommandSpec { name: "gen", kind: Kind::Gen, io: Io::Writes, in_all: false },
+    CommandSpec { name: "stats", kind: Kind::Stats, io: Io::Reads, in_all: false },
+    CommandSpec { name: "sharing", kind: Kind::Sharing, io: Io::Reads, in_all: false },
+];
+
+fn spec_for(command: &str) -> Option<&'static CommandSpec> {
+    COMMANDS.iter().find(|c| c.name == command)
+}
+
 struct Args {
     command: String,
     refs: Option<u64>,
     seed: u64,
+    jobs: usize,
     profile: String,
-    path: String,
+    out: Option<String>,
+    input: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,30 +119,83 @@ fn parse_args() -> Result<Args, String> {
         command,
         refs: None,
         seed: 1988,
+        jobs: default_jobs(),
         profile: "pops".to_string(),
-        path: "trace.dcct".to_string(),
+        out: None,
+        input: None,
     };
     while let Some(flag) = args.next() {
-        let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("flag {name} needs a value"))
-        };
+        let mut value =
+            |name: &str| args.next().ok_or_else(|| format!("flag {name} needs a value"));
         match flag.as_str() {
-            "--refs" => parsed.refs = Some(value("--refs")?.parse().map_err(|e| format!("--refs: {e}"))?),
-            "--seed" => parsed.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--refs" => {
+                parsed.refs = Some(value("--refs")?.parse().map_err(|e| format!("--refs: {e}"))?)
+            }
+            "--seed" => {
+                parsed.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--jobs" => {
+                parsed.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if parsed.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
             "--profile" => parsed.profile = value("--profile")?,
-            "--out" | "--in" => parsed.path = value("--out/--in")?,
+            "--out" => parsed.out = Some(value("--out")?),
+            "--in" => parsed.input = Some(value("--in")?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
+    validate_io(&parsed)?;
     Ok(parsed)
 }
 
+/// Rejects `--in`/`--out` flags that contradict the subcommand's data
+/// direction (e.g. `dircc gen --in t.dcct` used to silently write to the
+/// `--in` path).
+fn validate_io(args: &Args) -> Result<(), String> {
+    let Some(spec) = spec_for(&args.command) else {
+        return Ok(()); // unknown commands error later, with the usage text
+    };
+    match spec.io {
+        Io::None => {
+            if args.out.is_some() || args.input.is_some() {
+                return Err(format!(
+                    "{} is an experiment command and takes no --in/--out",
+                    spec.name
+                ));
+            }
+        }
+        Io::Reads => {
+            if args.out.is_some() {
+                return Err(format!("{} reads a trace; pass --in FILE, not --out", spec.name));
+            }
+        }
+        Io::Writes => {
+            if args.input.is_some() {
+                return Err(format!("{} writes a trace; pass --out FILE, not --in", spec.name));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn usage() -> String {
-    "usage: dircc <command> [--refs N] [--seed S] [--profile pops|thor|pero|custom] [--out FILE | --in FILE]\n\
-     commands: table1 table2 table3 table4 table5 figure1 figure2 figure3 figure4 figure5\n\
-     \u{20}         sensitivity spinlock berkeley scalability finitecache scaling blocksize\n\
-     \u{20}         all gen stats"
-        .to_string()
+    // Derived from COMMANDS so the list can never go stale.
+    let mut lines = vec!["usage: dircc <command> [--refs N] [--seed S] [--jobs N] \
+         [--profile pops|thor|pero|custom] [--out FILE | --in FILE]"
+        .to_string()];
+    let mut line = String::from("commands:");
+    for c in COMMANDS {
+        if line.len() + c.name.len() + 1 > 72 {
+            lines.push(line);
+            line = String::from("         ");
+        }
+        line.push(' ');
+        line.push_str(c.name);
+    }
+    lines.push(line);
+    lines.join("\n")
 }
 
 fn profile_by_name(name: &str) -> Result<Profile, String> {
@@ -82,24 +215,30 @@ fn workbench(args: &Args) -> Workbench {
     }
 }
 
+fn trace_path(args: &Args) -> String {
+    args.out.clone().or_else(|| args.input.clone()).unwrap_or_else(|| "trace.dcct".to_string())
+}
+
 fn generate(args: &Args) -> Result<(), String> {
     let mut profile = profile_by_name(&args.profile)?;
     if let Some(n) = args.refs {
         profile = profile.with_total_refs(n);
     }
-    let file = std::fs::File::create(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+    let path = trace_path(args);
+    let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
     let mut w = BinaryWriter::new(BufWriter::new(file));
     for r in Generator::new(profile, args.seed) {
         w.write(&r).map_err(|e| format!("write: {e}"))?;
     }
     let records = w.records_written();
     w.finish().map_err(|e| format!("finish: {e}"))?;
-    println!("wrote {records} references to {}", args.path);
+    println!("wrote {records} references to {path}");
     Ok(())
 }
 
 fn stats(args: &Args) -> Result<(), String> {
-    let file = std::fs::File::open(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+    let path = trace_path(args);
+    let file = std::fs::File::open(&path).map_err(|e| format!("{path}: {e}"))?;
     let reader = BinaryReader::new(BufReader::new(file)).map_err(|e| format!("header: {e}"))?;
     let mut s = TraceStats::new();
     for r in reader {
@@ -110,14 +249,19 @@ fn stats(args: &Args) -> Result<(), String> {
     println!("data reads : {} ({:.2}%)", s.reads(), 100.0 * s.read_fraction());
     println!("data writes: {} ({:.2}%)", s.writes(), 100.0 * s.write_fraction());
     println!("system refs: {} ({:.2}%)", s.system(), 100.0 * s.system_fraction());
-    println!("lock spins : {} ({:.2}% of reads)", s.lock_spin_reads(), 100.0 * s.spin_fraction_of_reads());
+    println!(
+        "lock spins : {} ({:.2}% of reads)",
+        s.lock_spin_reads(),
+        100.0 * s.spin_fraction_of_reads()
+    );
     println!("data blocks: {}", s.distinct_data_blocks());
     println!("cpus       : {}   processes: {}", s.distinct_cpus(), s.distinct_processes());
     Ok(())
 }
 
 fn sharing(args: &Args) -> Result<(), String> {
-    let file = std::fs::File::open(&args.path).map_err(|e| format!("{}: {e}", args.path))?;
+    let path = trace_path(args);
+    let file = std::fs::File::open(&path).map_err(|e| format!("{path}: {e}"))?;
     let reader = BinaryReader::new(BufReader::new(file)).map_err(|e| format!("header: {e}"))?;
     let mut s = SharingProfile::new();
     for r in reader {
@@ -125,8 +269,11 @@ fn sharing(args: &Args) -> Result<(), String> {
     }
     println!("data refs          : {}", s.data_refs());
     println!("data blocks        : {}", s.total_blocks());
-    println!("shared blocks      : {} ({:.2}%)", s.shared_blocks(),
-        100.0 * s.shared_blocks() as f64 / s.total_blocks().max(1) as f64);
+    println!(
+        "shared blocks      : {} ({:.2}%)",
+        s.shared_blocks(),
+        100.0 * s.shared_blocks() as f64 / s.total_blocks().max(1) as f64
+    );
     println!("refs to shared     : {:.2}%", 100.0 * s.shared_ref_fraction());
     println!("writes to shared   : {:.2}%", 100.0 * s.shared_write_fraction());
     println!("mean sharers/shared: {:.2}", s.mean_sharers_of_shared());
@@ -136,6 +283,23 @@ fn sharing(args: &Args) -> Result<(), String> {
         println!("  blocks with {label} sharer(s): {count}");
     }
     Ok(())
+}
+
+/// The (protocol, filter) runs a workbench command needs, for pre-warming
+/// the memo in parallel. `None` means "cheap enough to run inline".
+fn workload_for(command: &str, wb: &Workbench) -> Option<Vec<(ProtocolKind, TraceFilter)>> {
+    match command {
+        "all" => Some(wb.paper_workload()),
+        "scalability" => {
+            let n = wb.n_caches() as u32;
+            let mut work = vec![(ProtocolKind::Dir0B, TraceFilter::Full)];
+            work.extend((1..=n).map(|i| (ProtocolKind::DirNb { pointers: i }, TraceFilter::Full)));
+            work.extend((1..n).map(|i| (ProtocolKind::DirB { pointers: i }, TraceFilter::Full)));
+            work.push((ProtocolKind::CodedSet, TraceFilter::Full));
+            Some(work)
+        }
+        _ => None,
+    }
 }
 
 fn run_experiment(command: &str, wb: &Workbench) -> Result<String, String> {
@@ -162,6 +326,37 @@ fn run_experiment(command: &str, wb: &Workbench) -> Result<String, String> {
     })
 }
 
+/// Runs one workbench command (or, for `all`, every `in_all` command in
+/// table order), pre-warming the memo over `args.jobs` threads. The
+/// timing summary goes to stderr so stdout stays byte-identical across
+/// `--jobs` values.
+fn run_workbench_command(args: &Args, all: bool) -> Result<(), String> {
+    let wb = workbench(args);
+    if let Some(work) = workload_for(&args.command, &wb) {
+        wb.warm(&work, args.jobs);
+    }
+    let result = if all {
+        let mut err = None;
+        for c in COMMANDS.iter().filter(|c| c.in_all) {
+            match run_experiment(c.name, &wb) {
+                Ok(s) => println!("{s}"),
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        err.map_or(Ok(()), Err)
+    } else {
+        run_experiment(&args.command, &wb).map(|s| println!("{s}"))
+    };
+    let summary = wb.timing_summary();
+    if !summary.is_empty() {
+        eprint!("{summary}");
+    }
+    result
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -170,45 +365,34 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match args.command.as_str() {
-        "gen" => generate(&args),
-        "stats" => stats(&args),
-        "sharing" => sharing(&args),
-        "scaling" => {
-            println!("{}", extensions::scaling(args.refs.unwrap_or(300_000), args.seed));
+    let Some(spec) = spec_for(&args.command) else {
+        eprintln!("unknown command {}\n{}", args.command, usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match spec.kind {
+        Kind::Gen => generate(&args),
+        Kind::Stats => stats(&args),
+        Kind::Sharing => sharing(&args),
+        Kind::Scaling => {
+            println!("{}", extensions::scaling(args.refs.unwrap_or(300_000), args.seed, args.jobs));
             Ok(())
         }
-        "network" => {
-            println!("{}", network::network_study(args.refs.unwrap_or(300_000), args.seed));
+        Kind::Network => {
+            println!(
+                "{}",
+                network::network_study(args.refs.unwrap_or(300_000), args.seed, args.jobs)
+            );
             Ok(())
         }
-        "blocksize" => {
-            println!("{}", extensions::block_size(args.refs.unwrap_or(400_000), args.seed));
+        Kind::BlockSize => {
+            println!(
+                "{}",
+                extensions::block_size(args.refs.unwrap_or(400_000), args.seed, args.jobs)
+            );
             Ok(())
         }
-        "all" => {
-            let wb = workbench(&args);
-            let all = [
-                "table1", "table2", "table3", "table4", "table5", "figure1", "figure2",
-                "figure3", "figure4", "figure5", "sensitivity", "spinlock", "berkeley",
-                "scalability", "system", "finitecache", "storage",
-            ];
-            let mut err = None;
-            for cmd in all {
-                match run_experiment(cmd, &wb) {
-                    Ok(s) => println!("{s}"),
-                    Err(e) => {
-                        err = Some(e);
-                        break;
-                    }
-                }
-            }
-            err.map_or(Ok(()), Err)
-        }
-        cmd => {
-            let wb = workbench(&args);
-            run_experiment(cmd, &wb).map(|s| println!("{s}"))
-        }
+        Kind::Workbench => run_workbench_command(&args, false),
+        Kind::All => run_workbench_command(&args, true),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -1,0 +1,99 @@
+//! Minimal deterministic fan-out: an indexed parallel map over scoped
+//! threads.
+//!
+//! Every sweep experiment in this crate is a pure function of its index
+//! (the trace generator is seeded, the simulator is deterministic), so
+//! parallel execution only needs two things: exactly-once evaluation per
+//! index and index-ordered results. [`par_map_indexed`] provides both with
+//! std primitives only — an atomic work cursor feeding
+//! [`std::thread::scope`] workers that write into per-index slots.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Evaluates `f(0..n)` on up to `jobs` worker threads and returns the
+/// results in index order.
+///
+/// `jobs <= 1` (or `n <= 1`) degrades to a plain sequential map on the
+/// calling thread — no threads spawned, identical results. Panics in `f`
+/// propagate (the scope joins, then unwinds).
+pub fn par_map_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // `Mutex<Option<T>>` slots rather than `OnceLock<T>`: a slot is only
+    // ever written by the one worker that claimed its index, and
+    // `Mutex<T>: Sync` needs just `T: Send`.
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let (slots_ref, f_ref) = (&slots, &f);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f_ref(i);
+                *slots_ref[i].lock().expect("slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("slot poisoned").expect("every index was claimed by a worker")
+        })
+        .collect()
+}
+
+/// The parallelism the machine offers, as a default for `--jobs`.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let out = par_map_indexed(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = par_map_indexed(37, 1, |i| i as u64 * 3 + 1);
+        let par = par_map_indexed(37, 5, |i| i as u64 * 3 + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn each_index_evaluated_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let out = par_map_indexed(64, 8, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(calls.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

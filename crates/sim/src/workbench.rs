@@ -4,40 +4,68 @@
 //! Every experiment shares a workbench so that, exactly as in the paper,
 //! each protocol's event frequencies are measured once and then re-priced
 //! under as many hardware models as needed.
+//!
+//! The workbench is `Send + Sync`: traces are materialized once into a
+//! shared [`TraceStore`] and every memoized run sits behind a per-key
+//! [`OnceLock`], so the (protocol × trace × filter) matrix can be fanned
+//! out over threads with [`Workbench::warm`] while later lookups stay
+//! lock-free reads of the same `Arc`s. Results are deterministic: a run's
+//! counters depend only on (profile, seed, protocol, filter), never on
+//! which thread computed them or in what order.
 
 use crate::engine::{run, RunConfig};
 use crate::metrics::Evaluation;
 use dircc_core::{build, EventCounters, ProtocolKind};
-use dircc_trace::filter::exclude_lock_spins;
-use dircc_trace::gen::{Generator, Profile};
+use dircc_trace::gen::Profile;
 use dircc_trace::stats::TraceStats;
-use std::cell::RefCell;
+use dircc_trace::store::TraceStore;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
-/// Trace preprocessing applied before replay.
+pub use dircc_trace::store::TraceFilter;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TraceFilter {
-    /// The full trace.
-    Full,
-    /// Lock-test reads removed (the §5.2 experiment).
-    ExcludeLockSpins,
-}
-
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct MemoKey {
     kind: ProtocolKind,
     trace: usize,
     filter: TraceFilter,
 }
 
-/// Shared experiment state: profiles, seed, and memoized runs.
+/// Wall-clock record of one actually-executed simulation run.
+#[derive(Debug, Clone)]
+pub struct RunTiming {
+    /// Protocol display name.
+    pub scheme: String,
+    /// Trace name (e.g. `POPS`).
+    pub trace: String,
+    /// Filter the run used.
+    pub filter: TraceFilter,
+    /// References replayed.
+    pub refs: u64,
+    /// Wall-clock duration of the replay.
+    pub wall: Duration,
+}
+
+impl RunTiming {
+    /// Replay throughput in references per second.
+    pub fn refs_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return f64::INFINITY;
+        }
+        self.refs as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Shared experiment state: profiles, the generate-once trace store, and
+/// memoized runs.
 #[derive(Debug)]
 pub struct Workbench {
-    profiles: Vec<Profile>,
-    seed: u64,
-    memo: RefCell<HashMap<MemoKey, Rc<EventCounters>>>,
-    stats_memo: RefCell<HashMap<usize, Rc<TraceStats>>>,
+    store: TraceStore,
+    memo: Mutex<HashMap<MemoKey, Arc<OnceLock<Arc<EventCounters>>>>>,
+    stats_memo: Mutex<HashMap<usize, Arc<OnceLock<Arc<TraceStats>>>>>,
+    timings: Mutex<Vec<RunTiming>>,
 }
 
 impl Workbench {
@@ -67,39 +95,45 @@ impl Workbench {
             "profiles must agree on CPU count"
         );
         Workbench {
-            profiles,
-            seed,
-            memo: RefCell::new(HashMap::new()),
-            stats_memo: RefCell::new(HashMap::new()),
+            store: TraceStore::new(profiles, seed),
+            memo: Mutex::new(HashMap::new()),
+            stats_memo: Mutex::new(HashMap::new()),
+            timings: Mutex::new(Vec::new()),
         }
     }
 
     /// Number of caches (= CPUs) in the simulated machine.
     pub fn n_caches(&self) -> usize {
-        usize::from(self.profiles[0].cpus)
+        usize::from(self.store.profiles()[0].cpus)
     }
 
     /// Trace names in order (e.g. `POPS`, `THOR`, `PERO`).
     pub fn trace_names(&self) -> Vec<String> {
-        self.profiles.iter().map(|p| p.name.to_string()).collect()
+        self.store.profiles().iter().map(|p| p.name.to_string()).collect()
     }
 
     /// Number of traces.
     pub fn num_traces(&self) -> usize {
-        self.profiles.len()
+        self.store.num_traces()
     }
 
     /// The trace profiles.
     pub fn profiles(&self) -> &[Profile] {
-        &self.profiles
+        self.store.profiles()
     }
 
-    fn records(&self, trace: usize, filter: TraceFilter) -> Box<dyn Iterator<Item = dircc_trace::TraceRecord>> {
-        let generator = Generator::new(self.profiles[trace].clone(), self.seed);
-        match filter {
-            TraceFilter::Full => Box::new(generator),
-            TraceFilter::ExcludeLockSpins => Box::new(exclude_lock_spins(generator)),
-        }
+    /// The shared trace store (generate-once record streams).
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+
+    /// The materialized record stream of one (trace, filter) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is out of range.
+    pub fn records(&self, trace: usize, filter: TraceFilter) -> Arc<[dircc_trace::TraceRecord]> {
+        self.store.records(trace, filter)
     }
 
     /// Reference-stream statistics of one trace (memoized).
@@ -107,18 +141,24 @@ impl Workbench {
     /// # Panics
     ///
     /// Panics if `trace` is out of range.
-    pub fn trace_stats(&self, trace: usize) -> Rc<TraceStats> {
-        if let Some(s) = self.stats_memo.borrow().get(&trace) {
-            return Rc::clone(s);
-        }
-        let stats: TraceStats = self.records(trace, TraceFilter::Full).collect();
-        let rc = Rc::new(stats);
-        self.stats_memo.borrow_mut().insert(trace, Rc::clone(&rc));
-        rc
+    pub fn trace_stats(&self, trace: usize) -> Arc<TraceStats> {
+        let cell = {
+            let mut memo = self.stats_memo.lock().expect("stats memo poisoned");
+            Arc::clone(memo.entry(trace).or_default())
+        };
+        cell.get_or_init(|| {
+            let records = self.store.records(trace, TraceFilter::Full);
+            Arc::new(records.iter().collect::<TraceStats>())
+        })
+        .clone()
     }
 
     /// Event frequencies for one protocol on one trace (memoized; this is
     /// the paper's "one simulation run per protocol").
+    ///
+    /// Thread-safe and exactly-once per key: concurrent callers of the same
+    /// (protocol, trace, filter) triple block on one [`OnceLock`] while a
+    /// single replay runs.
     ///
     /// # Panics
     ///
@@ -129,21 +169,33 @@ impl Workbench {
         kind: ProtocolKind,
         trace: usize,
         filter: TraceFilter,
-    ) -> Rc<EventCounters> {
+    ) -> Arc<EventCounters> {
         let key = MemoKey { kind, trace, filter };
-        if let Some(c) = self.memo.borrow().get(&key) {
-            return Rc::clone(c);
-        }
-        let mut protocol = build(kind, self.n_caches());
-        // The paper classifies sharing per process ("a block is considered
-        // shared only if it is accessed by more than one process"), which
-        // excludes migration-induced sharing from the study.
-        let cfg = RunConfig::default().with_process_sharing();
-        let result = run(protocol.as_mut(), self.records(trace, filter), &cfg)
-            .expect("trace replay failed");
-        let rc = Rc::new(result.counters);
-        self.memo.borrow_mut().insert(key, Rc::clone(&rc));
-        rc
+        let cell = {
+            let mut memo = self.memo.lock().expect("memo poisoned");
+            Arc::clone(memo.entry(key).or_default())
+        };
+        cell.get_or_init(|| {
+            let records = self.store.records(trace, filter);
+            let mut protocol = build(kind, self.n_caches());
+            // The paper classifies sharing per process ("a block is
+            // considered shared only if it is accessed by more than one
+            // process"), which excludes migration-induced sharing from the
+            // study.
+            let cfg = RunConfig::default().with_process_sharing();
+            let start = Instant::now();
+            let result =
+                run(protocol.as_mut(), records.iter().copied(), &cfg).expect("trace replay failed");
+            self.timings.lock().expect("timings poisoned").push(RunTiming {
+                scheme: kind.display_name(self.n_caches()),
+                trace: self.store.profiles()[trace].name.to_string(),
+                filter,
+                refs: result.refs,
+                wall: start.elapsed(),
+            });
+            Arc::new(result.counters)
+        })
+        .clone()
     }
 
     /// An [`Evaluation`] for one protocol on one trace.
@@ -181,6 +233,142 @@ impl Workbench {
             ProtocolKind::Dragon,
         ]
     }
+
+    /// Every (protocol, filter) pair the full paper pipeline (`dircc all`)
+    /// measures, in paper order — the work list [`Workbench::warm`] fans
+    /// out.
+    pub fn paper_workload(&self) -> Vec<(ProtocolKind, TraceFilter)> {
+        let n = self.n_caches() as u32;
+        let mut work: Vec<(ProtocolKind, TraceFilter)> = Vec::new();
+        // Tables 4-5, Figures 1-5, §5 system study: the four headline
+        // schemes on the full traces.
+        for kind in self.paper_kinds() {
+            work.push((kind, TraceFilter::Full));
+        }
+        // §5.2 spin-lock exclusion: Dir1NB and Dir0B on the filtered trace.
+        work.push((ProtocolKind::DirNb { pointers: 1 }, TraceFilter::ExcludeLockSpins));
+        work.push((ProtocolKind::Dir0B, TraceFilter::ExcludeLockSpins));
+        // §5 Berkeley aside.
+        work.push((ProtocolKind::Berkeley, TraceFilter::Full));
+        // §6 scalability: the DiriNB / DiriB sweeps and the coded set.
+        for i in 1..=n {
+            work.push((ProtocolKind::DirNb { pointers: i }, TraceFilter::Full));
+        }
+        for i in 1..n {
+            work.push((ProtocolKind::DirB { pointers: i }, TraceFilter::Full));
+        }
+        work.push((ProtocolKind::CodedSet, TraceFilter::Full));
+        let mut seen = std::collections::HashSet::new();
+        work.retain(|w| seen.insert(*w));
+        work
+    }
+
+    /// Fans the (protocol × trace × filter) counter matrix out over
+    /// `jobs` worker threads, filling the memo so later experiment code
+    /// hits warm caches only.
+    ///
+    /// Deterministic: counters depend only on (profile, seed, protocol,
+    /// filter), so `jobs = 1` and `jobs = 8` produce bit-identical
+    /// [`EventCounters`]; only wall-clock changes. Output order is
+    /// unaffected because experiments print from the memo afterwards.
+    ///
+    /// Returns the number of runs actually executed (cache misses).
+    pub fn warm(&self, kinds: &[(ProtocolKind, TraceFilter)], jobs: usize) -> usize {
+        let jobs = jobs.max(1);
+        // Work items: every (kind, filter) × trace, deduped preserving order.
+        let mut items: Vec<(ProtocolKind, usize, TraceFilter)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for &(kind, filter) in kinds {
+            for trace in 0..self.num_traces() {
+                if seen.insert((kind, trace, filter)) {
+                    items.push((kind, trace, filter));
+                }
+            }
+        }
+        let before = self.timings.lock().expect("timings poisoned").len();
+        // Materialize traces first so workers contend on simulation only,
+        // not on the store's per-trace OnceLocks.
+        for trace in 0..self.num_traces() {
+            let filters: Vec<TraceFilter> =
+                items.iter().filter(|(_, t, _)| *t == trace).map(|(_, _, f)| *f).collect();
+            for f in filters {
+                let _ = self.store.records(trace, f);
+            }
+        }
+        if jobs == 1 || items.len() <= 1 {
+            for (kind, trace, filter) in items {
+                let _ = self.counters(kind, trace, filter);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let items = &items;
+            std::thread::scope(|scope| {
+                for _ in 0..jobs.min(items.len()) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(kind, trace, filter)) = items.get(i) else { break };
+                        let _ = self.counters(kind, trace, filter);
+                    });
+                }
+            });
+        }
+        let after = self.timings.lock().expect("timings poisoned").len();
+        after - before
+    }
+
+    /// Snapshot of per-run wall-clock timings, in completion order.
+    pub fn timings(&self) -> Vec<RunTiming> {
+        self.timings.lock().expect("timings poisoned").clone()
+    }
+
+    /// Renders the end-of-run observability table: one line per executed
+    /// simulation run (scheme, trace, filter, refs, wall, refs/sec) plus a
+    /// totals row. Empty string if nothing ran.
+    pub fn timing_summary(&self) -> String {
+        let timings = self.timings();
+        if timings.is_empty() {
+            return String::new();
+        }
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "run timings ({} simulation runs):", timings.len());
+        let _ = writeln!(
+            out,
+            "  {:<10} {:<6} {:<9} {:>10} {:>10} {:>12}",
+            "scheme", "trace", "filter", "refs", "wall ms", "refs/sec"
+        );
+        let mut total_refs = 0u64;
+        let mut total_wall = Duration::ZERO;
+        for t in &timings {
+            let filter = match t.filter {
+                TraceFilter::Full => "full",
+                TraceFilter::ExcludeLockSpins => "no-spins",
+            };
+            let _ = writeln!(
+                out,
+                "  {:<10} {:<6} {:<9} {:>10} {:>10.1} {:>12.0}",
+                t.scheme,
+                t.trace,
+                filter,
+                t.refs,
+                t.wall.as_secs_f64() * 1e3,
+                t.refs_per_sec()
+            );
+            total_refs += t.refs;
+            total_wall += t.wall;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<10} {:<6} {:<9} {:>10} {:>10.1} {:>12}",
+            "total",
+            "",
+            "",
+            total_refs,
+            total_wall.as_secs_f64() * 1e3,
+            "(cpu time)"
+        );
+        out
+    }
 }
 
 #[cfg(test)]
@@ -200,11 +388,18 @@ mod tests {
     }
 
     #[test]
+    fn workbench_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Workbench>();
+    }
+
+    #[test]
     fn memoization_returns_same_counters() {
         let wb = small();
         let a = wb.counters(ProtocolKind::Dir0B, 0, TraceFilter::Full);
         let b = wb.counters(ProtocolKind::Dir0B, 0, TraceFilter::Full);
-        assert!(Rc::ptr_eq(&a, &b), "second call must hit the memo");
+        assert!(Arc::ptr_eq(&a, &b), "second call must hit the memo");
+        assert_eq!(wb.timings().len(), 1, "one run executed, one timing");
     }
 
     #[test]
@@ -236,8 +431,51 @@ mod tests {
         let wb = small();
         let s1 = wb.trace_stats(1);
         let s2 = wb.trace_stats(1);
-        assert!(Rc::ptr_eq(&s1, &s2));
+        assert!(Arc::ptr_eq(&s1, &s2));
         assert_eq!(s1.total(), 20_000);
+    }
+
+    #[test]
+    fn warm_parallel_matches_sequential_bit_for_bit() {
+        let work = [
+            (ProtocolKind::Dir0B, TraceFilter::Full),
+            (ProtocolKind::Wti, TraceFilter::Full),
+            (ProtocolKind::DirNb { pointers: 1 }, TraceFilter::ExcludeLockSpins),
+            (ProtocolKind::Dragon, TraceFilter::Full),
+        ];
+        let seq = Workbench::paper_scaled(8_000, 11);
+        let par = Workbench::paper_scaled(8_000, 11);
+        assert_eq!(seq.warm(&work, 1), par.warm(&work, 8), "same cache-miss count");
+        for &(kind, filter) in &work {
+            for t in 0..seq.num_traces() {
+                assert_eq!(
+                    *seq.counters(kind, t, filter),
+                    *par.counters(kind, t, filter),
+                    "{kind} trace {t} {filter:?} diverged across jobs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_generates_each_trace_once() {
+        let wb = small();
+        let executed = wb.warm(&wb.paper_workload(), 8);
+        assert!(executed > 0);
+        assert_eq!(wb.store().generations(), wb.num_traces() as u64);
+        // Warming again is a no-op: everything is memoized.
+        assert_eq!(wb.warm(&wb.paper_workload(), 8), 0);
+        assert_eq!(wb.store().generations(), wb.num_traces() as u64);
+    }
+
+    #[test]
+    fn timing_summary_mentions_every_run() {
+        let wb = small();
+        let _ = wb.counters(ProtocolKind::Dir0B, 0, TraceFilter::Full);
+        let s = wb.timing_summary();
+        assert!(s.contains("Dir0B"));
+        assert!(s.contains("POPS"));
+        assert!(s.contains("refs/sec"));
     }
 
     #[test]

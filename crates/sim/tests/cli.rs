@@ -17,10 +17,8 @@ fn table1_prints_the_paper_constants() {
 
 #[test]
 fn table4_runs_at_reduced_scale() {
-    let out = dircc()
-        .args(["table4", "--refs", "30000", "--seed", "7"])
-        .output()
-        .expect("run dircc");
+    let out =
+        dircc().args(["table4", "--refs", "30000", "--seed", "7"]).output().expect("run dircc");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("rm-blk-cln"));
@@ -67,6 +65,146 @@ fn unknown_command_fails_with_usage() {
 fn missing_flag_value_fails() {
     let out = dircc().args(["table1", "--refs"]).output().expect("run dircc");
     assert!(!out.status.success());
+}
+
+/// Every experiment subcommand runs to success and prints something at a
+/// tiny trace scale.
+#[test]
+fn every_experiment_subcommand_smokes() {
+    let commands = [
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "figure1",
+        "figure2",
+        "figure3",
+        "figure4",
+        "figure5",
+        "sensitivity",
+        "spinlock",
+        "berkeley",
+        "scalability",
+        "system",
+        "finitecache",
+        "footnote2",
+        "storage",
+        "scaling",
+        "network",
+        "blocksize",
+    ];
+    for cmd in commands {
+        let out = dircc()
+            .args([cmd, "--refs", "3000", "--seed", "7", "--jobs", "2"])
+            .output()
+            .expect("run dircc");
+        assert!(out.status.success(), "{cmd} failed: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(!out.stdout.is_empty(), "{cmd} printed nothing");
+    }
+}
+
+/// `gen`/`stats`/`sharing` smoke at tiny scale (the trace-file commands).
+#[test]
+fn trace_file_subcommands_smoke() {
+    let dir = std::env::temp_dir().join(format!("dircc_cli_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("s.dcct");
+    let path_s = path.to_str().unwrap();
+    let out = dircc().args(["gen", "--refs", "3000", "--out", path_s]).output().expect("run gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for cmd in ["stats", "sharing"] {
+        let out = dircc().args([cmd, "--in", path_s]).output().expect("run dircc");
+        assert!(out.status.success(), "{cmd} failed");
+        assert!(!out.stdout.is_empty(), "{cmd} printed nothing");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `--jobs` must change wall-clock only: stdout is byte-identical for any
+/// worker count (the timing summary goes to stderr).
+#[test]
+fn jobs_do_not_change_stdout() {
+    let run = |jobs: &str| {
+        let out = dircc()
+            .args(["all", "--refs", "4000", "--seed", "3", "--jobs", jobs])
+            .output()
+            .expect("run dircc");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    assert_eq!(run("1"), run("8"), "stdout must not depend on --jobs");
+}
+
+/// The `all` output includes every experiment, footnote2 included (it was
+/// once missing from the hardcoded list).
+#[test]
+fn all_covers_footnote2() {
+    let out = dircc().args(["all", "--refs", "3000", "--seed", "3"]).output().expect("run dircc");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("footnote 2"), "all must include the footnote2 study");
+}
+
+/// A workbench run reports per-run timings on stderr.
+#[test]
+fn timing_summary_lands_on_stderr() {
+    let out =
+        dircc().args(["table4", "--refs", "3000", "--seed", "7"]).output().expect("run dircc");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("run timings"), "stderr: {err}");
+    assert!(err.contains("refs/sec"));
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("run timings"));
+}
+
+/// `--in`/`--out` must match the subcommand's data direction.
+#[test]
+fn wrong_direction_io_flags_are_rejected() {
+    let cases: [(&[&str], &str); 3] = [
+        (&["gen", "--in", "t.dcct"], "--out"),
+        (&["stats", "--out", "t.dcct"], "--in"),
+        (&["table1", "--out", "t.dcct"], "no --in/--out"),
+    ];
+    for (args, expect) in cases {
+        let out = dircc().args(args).output().expect("run dircc");
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(expect), "{args:?}: expected {expect:?} in {err}");
+    }
+}
+
+/// The usage text lists every subcommand (it was once a stale hand-written
+/// list missing footnote2, network, sharing, system and storage).
+#[test]
+fn usage_lists_every_subcommand() {
+    let out = dircc().output().expect("run dircc");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    for cmd in [
+        "table1",
+        "table5",
+        "figure1",
+        "figure5",
+        "sensitivity",
+        "spinlock",
+        "berkeley",
+        "scalability",
+        "system",
+        "finitecache",
+        "footnote2",
+        "storage",
+        "scaling",
+        "network",
+        "blocksize",
+        "all",
+        "gen",
+        "stats",
+        "sharing",
+    ] {
+        assert!(err.contains(cmd), "usage must mention {cmd}: {err}");
+    }
+    assert!(err.contains("--jobs"));
 }
 
 #[test]

@@ -202,9 +202,8 @@ impl<R: Read> BinaryReader<R> {
 
     fn read_record(&mut self) -> io::Result<Option<TraceRecord>> {
         let mut first = [0u8; 1];
-        match self.inner.read(&mut first)? {
-            0 => return Ok(None),
-            _ => {}
+        if self.inner.read(&mut first)? == 0 {
+            return Ok(None);
         }
         let mut rest = [0u8; 5];
         self.inner.read_exact(&mut rest)?;
@@ -213,13 +212,7 @@ impl<R: Read> BinaryReader<R> {
         let cpu = CpuId::new(u16::from_le_bytes([rest[1], rest[2]]));
         let pid = ProcessId::new(u16::from_le_bytes([rest[3], rest[4]]));
         let addr = Address::new(read_leb128(&mut self.inner)?);
-        Ok(Some(TraceRecord {
-            cpu,
-            pid,
-            kind,
-            addr,
-            flags: RecordFlags::from_bits(first[0]),
-        }))
+        Ok(Some(TraceRecord { cpu, pid, kind, addr, flags: RecordFlags::from_bits(first[0]) }))
     }
 }
 
@@ -315,11 +308,26 @@ mod tests {
 
     fn sample() -> Vec<TraceRecord> {
         vec![
-            TraceRecord::new(CpuId::new(0), ProcessId::new(0), AccessKind::InstrFetch, Address::new(0)),
-            TraceRecord::new(CpuId::new(1), ProcessId::new(9), AccessKind::Read, Address::new(0x1234))
-                .with_flags(RecordFlags::LOCK),
-            TraceRecord::new(CpuId::new(3), ProcessId::new(2), AccessKind::Write, Address::new(u64::MAX))
-                .with_flags(RecordFlags::SYSTEM),
+            TraceRecord::new(
+                CpuId::new(0),
+                ProcessId::new(0),
+                AccessKind::InstrFetch,
+                Address::new(0),
+            ),
+            TraceRecord::new(
+                CpuId::new(1),
+                ProcessId::new(9),
+                AccessKind::Read,
+                Address::new(0x1234),
+            )
+            .with_flags(RecordFlags::LOCK),
+            TraceRecord::new(
+                CpuId::new(3),
+                ProcessId::new(2),
+                AccessKind::Write,
+                Address::new(u64::MAX),
+            )
+            .with_flags(RecordFlags::SYSTEM),
         ]
     }
 

@@ -52,8 +52,7 @@ impl Generator {
     pub fn new(profile: Profile, seed: u64) -> Self {
         let regions = Regions::new(&profile);
         let shared = SharedState::new(&profile);
-        let procs: Vec<ProcessState> =
-            (0..profile.processes).map(ProcessState::new).collect();
+        let procs: Vec<ProcessState> = (0..profile.processes).map(ProcessState::new).collect();
         let on_cpu: Vec<u16> = (0..profile.cpus).collect();
         let ready: VecDeque<u16> = (profile.cpus..profile.processes).collect();
         Generator {
@@ -89,8 +88,7 @@ impl Generator {
         // Context switch: rotate the CPU's process with the ready queue.
         if !self.ready.is_empty() && self.rng.gen::<f64>() < self.profile.ctx_switch_prob {
             let incoming = self.ready.pop_front().expect("ready nonempty");
-            let outgoing =
-                std::mem::replace(&mut self.on_cpu[self.cur_cpu as usize], incoming);
+            let outgoing = std::mem::replace(&mut self.on_cpu[self.cur_cpu as usize], incoming);
             self.ready.push_back(outgoing);
         }
 
@@ -171,10 +169,7 @@ mod tests {
 
     #[test]
     fn more_processes_than_cpus_all_run() {
-        let p = Profile::custom()
-            .with_cpus(2)
-            .with_processes(5)
-            .with_total_refs(60_000);
+        let p = Profile::custom().with_cpus(2).with_processes(5).with_total_refs(60_000);
         let mut seen = std::collections::HashSet::new();
         for r in Generator::new(p, 3) {
             seen.insert(r.pid);
@@ -208,8 +203,7 @@ mod tests {
         // The headline Table 3/4 shape targets, with generous tolerances.
         for profile in [Profile::pops(), Profile::thor()] {
             let name = profile.name;
-            let stats: TraceStats =
-                Generator::new(profile.with_total_refs(400_000), 11).collect();
+            let stats: TraceStats = Generator::new(profile.with_total_refs(400_000), 11).collect();
             let instr = stats.instr_fraction();
             assert!((0.45..=0.53).contains(&instr), "{name}: instr fraction {instr}");
             let w = stats.write_fraction();

@@ -151,7 +151,7 @@ impl ProcessState {
                 // queue), like a real pipeline.
                 queue: u32::from(self.pid / 2) % p.queue_count,
                 remaining: sample_len(rng, p.prodcons_iters_mean),
-                produce: self.pid % 2 == 0,
+                produce: self.pid.is_multiple_of(2),
             },
             4 => Activity::Syscall { remaining: sample_len(rng, p.syscall_iters_mean) },
             _ => Activity::Private { remaining: sample_len(rng, p.private_iters_mean) },

@@ -223,7 +223,7 @@ impl Profile {
     /// Panics if `cpus` is 0 or exceeds 64 (the `CacheIdSet` width).
     #[must_use]
     pub fn with_cpus(mut self, cpus: u16) -> Self {
-        assert!(cpus >= 1 && cpus <= 64, "cpus must be in 1..=64");
+        assert!((1..=64).contains(&cpus), "cpus must be in 1..=64");
         self.cpus = cpus;
         if self.processes < cpus {
             self.processes = cpus;

@@ -86,7 +86,9 @@ impl Regions {
     /// Address inside process `pid`'s private data region.
     pub fn private(&self, pid: u16, block: u64, word: u64) -> Address {
         debug_assert!(block < self.private_blocks);
-        Address::new(PRIVATE_BASE + u64::from(pid) * PRIVATE_STRIDE + block * BLOCK + (word % 4) * 4)
+        Address::new(
+            PRIVATE_BASE + u64::from(pid) * PRIVATE_STRIDE + block * BLOCK + (word % 4) * 4,
+        )
     }
 
     /// Number of private blocks per process.
@@ -148,10 +150,7 @@ impl Regions {
     pub fn os_private(&self, pid: u16, block: u64, word: u64) -> Address {
         debug_assert!(block < self.os_blocks);
         Address::new(
-            OS_PRIVATE_BASE
-                + u64::from(pid) * OS_PRIVATE_STRIDE
-                + block * BLOCK
-                + (word % 4) * 4,
+            OS_PRIVATE_BASE + u64::from(pid) * OS_PRIVATE_STRIDE + block * BLOCK + (word % 4) * 4,
         )
     }
 }

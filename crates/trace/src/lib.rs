@@ -18,6 +18,9 @@
 //! * [`gen`] — the synthetic workload generator with calibrated profiles
 //!   `pops`, `thor` and `pero`, plus primitive sharing kernels for tests.
 //! * [`filter`] — stream adaptors, e.g. excluding lock-test reads (§5.2).
+//! * [`store`] — generate-once shared storage: each (trace, filter) stream
+//!   is materialized exactly once per process into an `Arc<[TraceRecord]>`
+//!   and replayed by slice from any thread.
 //!
 //! # Examples
 //!
@@ -39,5 +42,7 @@ pub mod gen;
 pub mod record;
 pub mod sharing;
 pub mod stats;
+pub mod store;
 
 pub use record::{RecordFlags, TraceRecord};
+pub use store::{TraceFilter, TraceStore};

@@ -135,15 +135,7 @@ impl TraceRecord {
 
 impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} {} {} {:#x} {}",
-            self.cpu,
-            self.pid,
-            self.kind.code(),
-            self.addr,
-            self.flags
-        )
+        write!(f, "{} {} {} {:#x} {}", self.cpu, self.pid, self.kind.code(), self.addr, self.flags)
     }
 }
 

@@ -176,11 +176,11 @@ mod tests {
     #[test]
     fn classifies_private_and_shared() {
         let recs = vec![
-            rec(0, AccessKind::Read, 0x100),  // private to pid 0
+            rec(0, AccessKind::Read, 0x100), // private to pid 0
             rec(0, AccessKind::Write, 0x100),
-            rec(0, AccessKind::Read, 0x200),  // shared
+            rec(0, AccessKind::Read, 0x200), // shared
             rec(1, AccessKind::Write, 0x200),
-            rec(1, AccessKind::Read, 0x300),  // private to pid 1
+            rec(1, AccessKind::Read, 0x300), // private to pid 1
         ];
         let s: SharingProfile = recs.into_iter().collect();
         assert_eq!(s.total_blocks(), 3);
@@ -239,8 +239,7 @@ mod tests {
     fn pero_shares_less_than_pops() {
         use crate::gen::{Generator, Profile};
         let frac = |p: Profile| -> f64 {
-            let s: SharingProfile =
-                Generator::new(p.with_total_refs(150_000), 3).collect();
+            let s: SharingProfile = Generator::new(p.with_total_refs(150_000), 3).collect();
             s.shared_ref_fraction()
         };
         let pops = frac(Profile::pops());

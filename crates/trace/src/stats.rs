@@ -244,13 +244,12 @@ mod tests {
 
     #[test]
     fn counts_and_fractions() {
-        let recs = vec![
+        let recs = [
             rec(0, 0, AccessKind::InstrFetch, 0x100),
             rec(0, 0, AccessKind::Read, 0x200),
             rec(1, 1, AccessKind::Write, 0x200),
             rec(1, 1, AccessKind::Read, 0x210).with_flags(RecordFlags::LOCK),
-            rec(1, 1, AccessKind::Write, 0x210)
-                .with_flags(RecordFlags::LOCK | RecordFlags::SYSTEM),
+            rec(1, 1, AccessKind::Write, 0x210).with_flags(RecordFlags::LOCK | RecordFlags::SYSTEM),
         ];
         let s: TraceStats = recs.iter().collect();
         assert_eq!(s.total(), 5);
@@ -271,7 +270,7 @@ mod tests {
     #[test]
     fn distinct_blocks_use_geometry() {
         // 0x200 and 0x20c share a 16-byte block; 0x210 does not.
-        let recs = vec![
+        let recs = [
             rec(0, 0, AccessKind::Read, 0x200),
             rec(0, 0, AccessKind::Read, 0x20c),
             rec(0, 0, AccessKind::Read, 0x210),
@@ -293,8 +292,7 @@ mod tests {
 
     #[test]
     fn per_cpu_counts() {
-        let recs =
-            vec![rec(2, 0, AccessKind::Read, 0), rec(2, 0, AccessKind::Read, 4)];
+        let recs = [rec(2, 0, AccessKind::Read, 0), rec(2, 0, AccessKind::Read, 4)];
         let s: TraceStats = recs.iter().collect();
         assert_eq!(s.refs_for_cpu(CpuId::new(2)), 2);
         assert_eq!(s.refs_for_cpu(CpuId::new(0)), 0);

@@ -1,0 +1,196 @@
+//! The shared trace store: generate once, replay by slice.
+//!
+//! The paper's methodology is one simulation run per (protocol, trace)
+//! pair, re-priced under any hardware model. That makes the experiment
+//! matrix embarrassingly parallel — but only if the trace itself is not
+//! regenerated for every run. [`TraceStore`] materializes each
+//! (trace, filter) record stream exactly once into an
+//! `Arc<[TraceRecord]>` and hands out cheap slices; concurrent requests
+//! for the same stream block on a [`OnceLock`] instead of duplicating
+//! generator work.
+//!
+//! The filtered stream ([`TraceFilter::ExcludeLockSpins`]) is derived from
+//! the full stream rather than re-running the generator, so the generator
+//! executes at most once per trace per process — observable through
+//! [`TraceStore::generations`], which tests use to pin the
+//! "generated exactly once" guarantee.
+
+use crate::filter::exclude_lock_spins;
+use crate::gen::{Generator, Profile};
+use crate::record::TraceRecord;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Trace preprocessing applied before replay.
+///
+/// Lives next to the store so every layer (trace store, workbench, CLI)
+/// shares one definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceFilter {
+    /// The full trace.
+    Full,
+    /// Lock-test reads removed (the §5.2 experiment).
+    ExcludeLockSpins,
+}
+
+impl TraceFilter {
+    /// All filters, in stable (paper) order.
+    pub const ALL: [TraceFilter; 2] = [TraceFilter::Full, TraceFilter::ExcludeLockSpins];
+
+    fn slot(self) -> usize {
+        match self {
+            TraceFilter::Full => 0,
+            TraceFilter::ExcludeLockSpins => 1,
+        }
+    }
+}
+
+/// One trace's lazily-materialized streams, one slot per filter.
+#[derive(Debug, Default)]
+struct TraceSlot {
+    streams: [OnceLock<Arc<[TraceRecord]>>; 2],
+}
+
+/// Thread-safe, generate-once storage for the synthetic trace suite.
+///
+/// ```
+/// use dircc_trace::gen::Profile;
+/// use dircc_trace::store::{TraceFilter, TraceStore};
+///
+/// let store = TraceStore::new(vec![Profile::pero().with_total_refs(1_000)], 7);
+/// let a = store.records(0, TraceFilter::Full);
+/// let b = store.records(0, TraceFilter::Full);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b), "second call reuses the slice");
+/// assert_eq!(store.generations(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TraceStore {
+    profiles: Vec<Profile>,
+    seed: u64,
+    slots: Vec<TraceSlot>,
+    /// Number of generator executions (not stream requests).
+    generations: AtomicU64,
+}
+
+impl TraceStore {
+    /// Creates a store over `profiles`, generating with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty.
+    pub fn new(profiles: Vec<Profile>, seed: u64) -> Self {
+        assert!(!profiles.is_empty(), "need at least one trace profile");
+        let slots = profiles.iter().map(|_| TraceSlot::default()).collect();
+        TraceStore { profiles, seed, slots, generations: AtomicU64::new(0) }
+    }
+
+    /// The profiles this store generates.
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+
+    /// The generation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of traces.
+    pub fn num_traces(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// The materialized record stream of one (trace, filter) pair.
+    ///
+    /// The first call per pair generates (or derives) the stream; later
+    /// calls — from any thread — return the same shared slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is out of range.
+    pub fn records(&self, trace: usize, filter: TraceFilter) -> Arc<[TraceRecord]> {
+        let slot = &self.slots[trace];
+        slot.streams[filter.slot()]
+            .get_or_init(|| match filter {
+                TraceFilter::Full => {
+                    self.generations.fetch_add(1, Ordering::Relaxed);
+                    Generator::new(self.profiles[trace].clone(), self.seed).collect()
+                }
+                TraceFilter::ExcludeLockSpins => {
+                    // Derived from the full stream: no second generator run.
+                    let full = self.records(trace, TraceFilter::Full);
+                    exclude_lock_spins(full.iter().copied()).collect()
+                }
+            })
+            .clone()
+    }
+
+    /// How many times a generator actually executed (for the
+    /// generated-exactly-once guarantee; filters don't count).
+    pub fn generations(&self) -> u64 {
+        self.generations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TraceStore {
+        TraceStore::new(
+            vec![Profile::pops().with_total_refs(5_000), Profile::thor().with_total_refs(5_000)],
+            3,
+        )
+    }
+
+    #[test]
+    fn streams_are_shared_not_regenerated() {
+        let s = store();
+        let a = s.records(0, TraceFilter::Full);
+        let b = s.records(0, TraceFilter::Full);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(s.generations(), 1);
+        assert_eq!(a.len(), 5_000);
+    }
+
+    #[test]
+    fn filtered_stream_derives_from_full_without_regenerating() {
+        let s = store();
+        let filtered = s.records(1, TraceFilter::ExcludeLockSpins);
+        let full = s.records(1, TraceFilter::Full);
+        assert_eq!(s.generations(), 1, "filter must not re-run the generator");
+        assert!(filtered.len() < full.len(), "THOR has spins to drop");
+        assert!(filtered.iter().all(|r| !r.is_lock_spin()));
+    }
+
+    #[test]
+    fn concurrent_requests_generate_once() {
+        let s = store();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for t in 0..s.num_traces() {
+                        for f in TraceFilter::ALL {
+                            let _ = s.records(t, f);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(s.generations(), s.num_traces() as u64);
+    }
+
+    #[test]
+    fn matches_a_fresh_generator() {
+        let s = store();
+        let stored = s.records(0, TraceFilter::Full);
+        let fresh: Vec<TraceRecord> =
+            Generator::new(Profile::pops().with_total_refs(5_000), 3).collect();
+        assert_eq!(&stored[..], &fresh[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn empty_profiles_rejected() {
+        let _ = TraceStore::new(vec![], 0);
+    }
+}

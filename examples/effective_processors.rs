@@ -15,10 +15,14 @@
 
 use dircc::sim::busqueue::{saturation_bound, simulate, BusLoad};
 use dircc::sim::experiments::system::system;
-use dircc::sim::Workbench;
+use dircc::sim::{default_jobs, TraceFilter, Workbench};
 
 fn main() {
     let wb = Workbench::paper_scaled(600_000, 1988);
+    // Pre-run the four headline schemes on worker threads; `system`
+    // then reads the warm memo.
+    let work: Vec<_> = wb.paper_kinds().into_iter().map(|k| (k, TraceFilter::Full)).collect();
+    wb.warm(&work, default_jobs());
     let study = system(&wb);
     println!("{study}");
     println!();

@@ -12,7 +12,7 @@
 use dircc::bus::{CostConfig, CostModel};
 use dircc::core::ProtocolKind;
 use dircc::sim::metrics::mean;
-use dircc::sim::{TraceFilter, Workbench};
+use dircc::sim::{default_jobs, TraceFilter, Workbench};
 
 fn main() {
     let wb = Workbench::paper_scaled(300_000, 5);
@@ -37,12 +37,16 @@ fn main() {
         ProtocolKind::Mesi,
     ];
 
+    // Fill the memo from worker threads; the ranking below then reads
+    // warm caches in its own (deterministic) order.
+    let work: Vec<_> = kinds.iter().map(|&k| (k, TraceFilter::Full)).collect();
+    wb.warm(&work, default_jobs());
+
     let mut rows: Vec<(String, Vec<f64>, f64)> = kinds
         .into_iter()
         .map(|kind| {
             let evals = wb.evaluations(kind, TraceFilter::Full);
-            let per_trace: Vec<f64> =
-                evals.iter().map(|e| e.cycles_per_ref(&m, &cfg)).collect();
+            let per_trace: Vec<f64> = evals.iter().map(|e| e.cycles_per_ref(&m, &cfg)).collect();
             let avg = mean(&per_trace);
             (kind.display_name(wb.n_caches()), per_trace, avg)
         })

@@ -16,7 +16,9 @@ use dircc::bus::{CostConfig, CostModel};
 use dircc::core::{build, ProtocolKind};
 use dircc::sim::engine::{run, RunConfig};
 use dircc::sim::metrics::Evaluation;
-use dircc::trace::gen::{Generator, Profile};
+use dircc::sim::{default_jobs, par_map_indexed};
+use dircc::trace::gen::Profile;
+use dircc::trace::{TraceFilter, TraceStore};
 
 const REFS: u64 = 300_000;
 
@@ -26,11 +28,11 @@ struct Row {
     broadcasts_per_kref: f64,
 }
 
-fn measure(kind: ProtocolKind, cpus: u16) -> Result<Row, String> {
-    let profile = Profile::custom().with_cpus(cpus).with_total_refs(REFS);
+fn measure(store: &TraceStore, kind: ProtocolKind, cpus: u16) -> Result<Row, String> {
     let mut protocol = build(kind, usize::from(cpus));
     let cfg = RunConfig::default().with_process_sharing();
-    let result = run(protocol.as_mut(), Generator::new(profile, 3), &cfg)?;
+    let records = store.records(0, TraceFilter::Full);
+    let result = run(protocol.as_mut(), records.iter().copied(), &cfg)?;
     let c = result.counters;
     let per_kref = |n: u64| 1000.0 * n as f64 / c.total() as f64;
     let messages_per_kref = per_kref(c.control_messages());
@@ -44,10 +46,8 @@ fn measure(kind: ProtocolKind, cpus: u16) -> Result<Row, String> {
 }
 
 fn main() -> Result<(), String> {
-    for cpus in [4u16, 8, 16, 32] {
-        println!("=== {cpus} CPUs ===");
-        println!("{:<12} {:>10} {:>12} {:>12}", "scheme", "cycles/ref", "invals/kref", "bcasts/kref");
-        let kinds = [
+    let kinds_at = |cpus: u16| {
+        [
             ProtocolKind::Dir0B,
             ProtocolKind::DirB { pointers: 1 },
             ProtocolKind::DirB { pointers: 2 },
@@ -56,9 +56,23 @@ fn main() -> Result<(), String> {
             ProtocolKind::DirNb { pointers: 4 },
             ProtocolKind::DirNb { pointers: u32::from(cpus) },
             ProtocolKind::CodedSet,
-        ];
-        for kind in kinds {
-            let row = measure(kind, cpus)?;
+        ]
+    };
+    for cpus in [4u16, 8, 16, 32] {
+        println!("=== {cpus} CPUs ===");
+        println!(
+            "{:<12} {:>10} {:>12} {:>12}",
+            "scheme", "cycles/ref", "invals/kref", "bcasts/kref"
+        );
+        // One generate-once store per machine size; the scheme runs fan
+        // out over worker threads and print in a fixed order.
+        let store =
+            TraceStore::new(vec![Profile::custom().with_cpus(cpus).with_total_refs(REFS)], 3);
+        let kinds = kinds_at(cpus);
+        let rows =
+            par_map_indexed(kinds.len(), default_jobs(), |i| measure(&store, kinds[i], cpus));
+        for (kind, row) in kinds.into_iter().zip(rows) {
+            let row = row?;
             println!(
                 "{:<12} {:>10.4} {:>12.2} {:>12.2}",
                 kind.display_name(usize::from(cpus)),

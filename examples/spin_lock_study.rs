@@ -42,8 +42,7 @@ fn main() -> Result<(), String> {
     let filtered = exclude_lock_spins(Generator::new(profile, 7));
     let d1_full = cycles_per_ref(dir1, full)?;
     let d1_filt = cycles_per_ref(dir1, filtered)?;
-    let d0_full =
-        cycles_per_ref(dir0, Generator::new(Profile::pops().with_total_refs(REFS), 7))?;
+    let d0_full = cycles_per_ref(dir0, Generator::new(Profile::pops().with_total_refs(REFS), 7))?;
     let d0_filt = cycles_per_ref(
         dir0,
         exclude_lock_spins(Generator::new(Profile::pops().with_total_refs(REFS), 7)),
@@ -56,12 +55,8 @@ fn main() -> Result<(), String> {
     println!("Part 2: contention sweep (lock-phase weight -> cycles/ref)");
     println!("  weight   Dir1NB    Dir0B   ratio");
     for weight in [0, 1, 2, 4, 8, 16] {
-        let mk = || {
-            Generator::new(
-                Profile::custom().with_lock_weight(weight).with_total_refs(REFS),
-                7,
-            )
-        };
+        let mk =
+            || Generator::new(Profile::custom().with_lock_weight(weight).with_total_refs(REFS), 7);
         let d1 = cycles_per_ref(dir1, mk())?;
         let d0 = cycles_per_ref(dir0, mk())?;
         println!("  {weight:>6}   {d1:.4}   {d0:.4}   {:>5.1}x", d1 / d0);

@@ -50,11 +50,8 @@ fn figure2_and_3_consistent() {
     let f3 = figures::figure3(&wb);
     // Figure 2 is the average of Figure 3's per-trace values.
     for r in &f2.ranges {
-        let per_trace: Vec<f64> = wb
-            .trace_names()
-            .iter()
-            .map(|t| f3.pipelined(t, &r.scheme).unwrap())
-            .collect();
+        let per_trace: Vec<f64> =
+            wb.trace_names().iter().map(|t| f3.pipelined(t, &r.scheme).unwrap()).collect();
         let avg = per_trace.iter().sum::<f64>() / per_trace.len() as f64;
         assert!(
             (avg - r.pipelined).abs() < 1e-9,
@@ -119,10 +116,7 @@ fn spinlock_exclusion_story() {
 fn sequential_invalidation_costs_almost_nothing() {
     let s = studies::scalability(&wb());
     let ratio = s.dirnnb / s.dir0b;
-    assert!(
-        (0.99..=1.05).contains(&ratio),
-        "paper: 0.0491 -> 0.0499 (+1.6%); got ratio {ratio}"
-    );
+    assert!((0.99..=1.05).contains(&ratio), "paper: 0.0491 -> 0.0499 (+1.6%); got ratio {ratio}");
 }
 
 #[test]

@@ -99,8 +99,7 @@ fn dirb_schemes_match_dir0b_event_totals() {
     for pointers in [1, 2] {
         for t in 0..wb.num_traces() {
             let dir0b = wb.counters(ProtocolKind::Dir0B, t, TraceFilter::Full);
-            let dirb =
-                wb.counters(ProtocolKind::DirB { pointers }, t, TraceFilter::Full);
+            let dirb = wb.counters(ProtocolKind::DirB { pointers }, t, TraceFilter::Full);
             assert_eq!(totals(&dir0b), totals(&dirb), "Dir{pointers}B trace {t}");
             assert!(
                 dirb.broadcasts() <= dir0b.broadcasts(),
@@ -138,10 +137,7 @@ fn more_pointers_monotonically_reduce_misses() {
             })
             .collect();
         for w in misses.windows(2) {
-            assert!(
-                w[1] <= w[0],
-                "trace {t}: misses must not grow with pointer count: {misses:?}"
-            );
+            assert!(w[1] <= w[0], "trace {t}: misses must not grow with pointer count: {misses:?}");
         }
     }
 }

@@ -44,8 +44,7 @@ fn heavy_migration_splits_the_models() {
     // Crank migration up: processor-based sharing now sees large amounts
     // of migration-induced sharing that the process model (correctly,
     // for the paper's purposes) ignores.
-    let profile =
-        Profile::pops().with_total_refs(200_000).with_migration_prob(0.05);
+    let profile = Profile::pops().with_total_refs(200_000).with_migration_prob(0.05);
     let kind = ProtocolKind::Dir0B;
     let by_proc = miss_rate(kind, profile.clone(), 9, false);
     let by_pid = miss_rate(kind, profile, 9, true);
@@ -79,10 +78,7 @@ fn process_model_is_migration_invariant() {
 fn time_shared_processes_need_the_process_model() {
     // More processes than CPUs: the process model needs one cache per
     // process, so the protocol must be sized accordingly (8 here).
-    let profile = Profile::custom()
-        .with_cpus(4)
-        .with_processes(8)
-        .with_total_refs(100_000);
+    let profile = Profile::custom().with_cpus(4).with_processes(8).with_total_refs(100_000);
     let mut p = build(ProtocolKind::Dir0B, 8);
     let cfg = RunConfig::default().with_process_sharing();
     let res = run(p.as_mut(), Generator::new(profile, 1), &cfg).expect("run");

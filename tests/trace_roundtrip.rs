@@ -7,14 +7,8 @@ use dircc::types::{AccessKind, Address, CpuId, ProcessId};
 use proptest::prelude::*;
 
 fn arb_record() -> impl Strategy<Value = TraceRecord> {
-    (
-        any::<u16>(),
-        any::<u16>(),
-        0u8..3,
-        any::<u64>(),
-        0u8..4,
-    )
-        .prop_map(|(cpu, pid, kind, addr, flags)| {
+    (any::<u16>(), any::<u16>(), 0u8..3, any::<u64>(), 0u8..4).prop_map(
+        |(cpu, pid, kind, addr, flags)| {
             let kind = match kind {
                 0 => AccessKind::InstrFetch,
                 1 => AccessKind::Read,
@@ -27,7 +21,8 @@ fn arb_record() -> impl Strategy<Value = TraceRecord> {
                 addr: Address::new(addr),
                 flags: RecordFlags::from_bits(flags),
             }
-        })
+        },
+    )
 }
 
 proptest! {

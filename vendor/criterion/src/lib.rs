@@ -1,0 +1,232 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use — groups,
+//! `bench_function`, `Bencher::iter`, throughput annotation, `sample_size`
+//! and `measurement_time` — over a plain wall-clock measurement loop with
+//! median-of-samples reporting. No statistics beyond that: the goal is a
+//! usable `cargo bench` in an offline environment, not criterion's
+//! analysis.
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness state.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement_time: Duration::from_secs(3) }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup { criterion: self, name, throughput: None }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    #[allow(dead_code)]
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the sample count for this group (accepted, unused beyond
+    /// clamping — parity helper).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            measurement_time: self.criterion.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let mut line = format!("  {id:<28}");
+        if let Some(median) = b.median() {
+            let _ = write!(line, " {:>12}/iter", fmt_duration(median));
+            if let Some(t) = self.throughput {
+                let per_sec = |n: u64| n as f64 / median.as_secs_f64();
+                match t {
+                    Throughput::Elements(n) => {
+                        let _ = write!(line, "  {:>14.0} elem/s", per_sec(n));
+                    }
+                    Throughput::Bytes(n) => {
+                        let _ = write!(line, "  {:>14.0} B/s", per_sec(n));
+                    }
+                }
+            }
+        } else {
+            line.push_str(" (no samples)");
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Ends the group (printing already happened incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing per-iteration samples.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up + calibration: how many iterations fit a sample?
+        let start = Instant::now();
+        std_black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let budget = self.measurement_time.max(Duration::from_millis(10));
+        let per_sample = budget / (self.sample_size as u32);
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let deadline = Instant::now() + budget;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let dt = t0.elapsed() / (iters as u32);
+            self.samples.push(dt);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn median(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut s = self.samples.clone();
+        s.sort();
+        Some(s[s.len() / 2])
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("add", |b| b.iter(|| black_box(2u64 + 2)));
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(10)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(10)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(10)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(10)).contains("s"));
+    }
+}

@@ -1,0 +1,491 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the proptest 1.x API its tests use:
+//!
+//! * [`Strategy`] with [`Strategy::prop_map`];
+//! * range, tuple, `any::<T>()`, `prop::bool::ANY` and
+//!   `prop::collection::vec` strategies;
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   `prop_assert!` / `prop_assert_eq!`, [`test_runner::TestCaseError`]
+//!   and [`test_runner::TestRunner`].
+//!
+//! Differences from real proptest, deliberate for an offline test shim:
+//! cases are generated from a **fixed deterministic seed** (failures
+//! reproduce across runs without a regression file), and failing inputs
+//! are reported but **not shrunk**.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod test_runner {
+    use super::*;
+
+    /// Why a test case failed.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property itself does not hold.
+        Fail(String),
+        /// The input should be discarded (unused here, kept for parity).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given reason.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Creates a rejection with the given reason.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            }
+        }
+    }
+
+    /// Runner configuration: only the knobs the workspace touches.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    /// The name proptest exports from its prelude.
+    pub use Config as ProptestConfig;
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Generates inputs and runs a property over them.
+    pub struct TestRunner {
+        config: Config,
+        rng: SmallRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a fixed deterministic seed.
+        pub fn new(config: Config) -> Self {
+            // Deterministic: reproducible failures without persistence.
+            TestRunner { config, rng: SmallRng::seed_from_u64(0x7072_6f70_7465_7374) }
+        }
+
+        /// Runs `test` against `config.cases` generated inputs.
+        ///
+        /// # Errors
+        ///
+        /// Returns the first failing case's message, with its input.
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+        ) -> Result<(), String>
+        where
+            S::Value: Debug + Clone,
+        {
+            for case in 0..self.config.cases {
+                let input = strategy.generate(&mut self.rng);
+                let shown = format!("{input:?}");
+                let outcome = catch_unwind(AssertUnwindSafe(|| test(input.clone())));
+                let failure = match outcome {
+                    Ok(Ok(())) => None,
+                    Ok(Err(TestCaseError::Reject(_))) => None,
+                    Ok(Err(TestCaseError::Fail(msg))) => Some(msg),
+                    Err(panic) => Some(panic_message(&panic)),
+                };
+                if let Some(msg) = failure {
+                    return Err(format!(
+                        "property failed at case {case}/{}: {msg}\ninput: {shown}",
+                        self.config.cases
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = panic.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = panic.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "panicked".to_string()
+        }
+    }
+}
+
+/// A value generator — real proptest's `Strategy`, minus shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (parity helper; cheap here).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// The output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy always yielding clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+        )*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Full-domain strategies for primitives — proptest's `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A full-domain primitive strategy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! any_uniform {
+    ($($ty:ty => $gen:expr),* $(,)?) => {
+        $(
+            impl Strategy for AnyStrategy<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut SmallRng) -> $ty {
+                    let f: fn(&mut SmallRng) -> $ty = $gen;
+                    f(rng)
+                }
+            }
+            impl Arbitrary for $ty {
+                type Strategy = AnyStrategy<$ty>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyStrategy(std::marker::PhantomData)
+                }
+            }
+        )*
+    };
+}
+
+any_uniform! {
+    u8 => |r| r.gen::<u8>(),
+    u16 => |r| r.gen::<u16>(),
+    u32 => |r| r.gen::<u32>(),
+    u64 => |r| r.gen::<u64>(),
+    usize => |r| r.gen::<usize>(),
+    bool => |r| r.gen::<bool>(),
+    i8 => |r| r.gen::<u8>() as i8,
+    i16 => |r| r.gen::<u16>() as i16,
+    i32 => |r| r.gen::<u32>() as i32,
+    i64 => |r| r.gen::<u64>() as i64,
+    f64 => |r| r.gen::<f64>(),
+    f32 => |r| r.gen::<f32>(),
+}
+
+/// Returns the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// The `prop::` namespace mirrored from real proptest.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::*;
+
+        /// Uniform `bool`.
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut SmallRng) -> bool {
+                rng.gen::<bool>()
+            }
+        }
+
+        /// The uniform boolean strategy.
+        pub const ANY: Any = Any;
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Generates vectors whose length is uniform in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.start..self.len.end);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Numeric strategies namespace (range syntax covers the rest).
+    pub mod num {}
+}
+
+/// Everything a proptest test file imports.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::test_runner::{ProptestConfig, TestCaseError};
+    pub use super::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let strategy = ( $($strat,)+ );
+                let result = runner.run(&strategy, |( $($arg,)+ )| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                });
+                if let ::core::result::Result::Err(e) = result {
+                    panic!("{}\n(test: {})", e, stringify!($name));
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0u16..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn mapped_tuples_compose(v in prop::collection::vec((0u8..5, prop::bool::ANY).prop_map(|(a, b)| (a, b)), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, _) in v {
+                prop_assert!(a < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_input() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::ProptestConfig::with_cases(50));
+        let result = runner.run(&(0u32..100,), |(x,)| {
+            prop_assert!(x < 10, "x too big: {x}");
+            Ok(())
+        });
+        let err = result.expect_err("property must fail");
+        assert!(err.contains("input:"), "{err}");
+    }
+
+    #[test]
+    fn panics_are_failures_not_aborts() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::ProptestConfig::with_cases(10));
+        let result = runner.run(&(0u32..2,), |(x,)| {
+            assert!(x > 100, "boom");
+            Ok(())
+        });
+        assert!(result.is_err());
+    }
+}

@@ -4,5 +4,6 @@ set -eux
 
 cargo build --release
 cargo test -q
+./target/release/dircc bench --smoke --out /tmp/BENCH_smoke.json
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check

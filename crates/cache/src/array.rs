@@ -1,7 +1,28 @@
-//! The infinite-cache array with residency oracle.
+//! The infinite-cache array with residency oracle, on dense block tables.
+//!
+//! Replay feeds protocols *interned* block addresses (dense indices in
+//! first-appearance order, see `dircc-trace`'s interner), so per-cache
+//! state and the residency oracle live in flat `Vec`s indexed by the block
+//! index — no hashing anywhere on the access path. The tables grow on
+//! demand, so hand-built test traces with small literal block numbers work
+//! without an interner.
 
 use dircc_types::{BlockAddr, CacheId, CacheIdSet};
-use std::collections::HashMap;
+
+/// Largest block index the dense tables will grow to. Dense ids from an
+/// interner are `u32` by construction; a raw (un-interned) block address
+/// beyond this bound indicates a sparse stream that must be interned
+/// before replay.
+const MAX_DENSE_INDEX: u64 = u32::MAX as u64;
+
+fn dense_index(block: BlockAddr) -> usize {
+    let i = block.index();
+    assert!(
+        i <= MAX_DENSE_INDEX,
+        "{block}: block index exceeds the dense-table bound; intern the trace first"
+    );
+    i as usize
+}
 
 /// An array of infinite caches, one per [`CacheId`], each mapping blocks to
 /// a protocol-defined state `S`, plus a residency oracle.
@@ -12,8 +33,15 @@ use std::collections::HashMap;
 /// verification, and statistics.
 #[derive(Debug, Clone)]
 pub struct CacheArray<S> {
-    caches: Vec<HashMap<BlockAddr, S>>,
-    residency: HashMap<BlockAddr, CacheIdSet>,
+    /// `caches[c][b]` is the state of block `b` in cache `c` (`None` = not
+    /// resident). Each cache's table grows on demand.
+    caches: Vec<Vec<Option<S>>>,
+    /// Per-cache resident-block counts (kept so `blocks_in` stays O(1)).
+    resident: Vec<usize>,
+    /// `residency[b]` is the set of caches holding block `b`.
+    residency: Vec<CacheIdSet>,
+    /// Number of blocks with a nonempty residency set.
+    distinct: usize,
 }
 
 impl<S> CacheArray<S> {
@@ -23,8 +51,36 @@ impl<S> CacheArray<S> {
     ///
     /// Panics if `n` is 0 or exceeds 64 (the [`CacheIdSet`] width).
     pub fn new(n: usize) -> Self {
+        Self::with_block_capacity(n, 0)
+    }
+
+    /// Creates `n` empty caches with room for `blocks` dense block indices
+    /// pre-allocated (the capacity hint an interner provides), avoiding
+    /// growth reallocations during replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds 64 (the [`CacheIdSet`] width).
+    pub fn with_block_capacity(n: usize, blocks: usize) -> Self {
         assert!((1..=64).contains(&n), "cache count must be in 1..=64");
-        CacheArray { caches: (0..n).map(|_| HashMap::new()).collect(), residency: HashMap::new() }
+        CacheArray {
+            caches: (0..n).map(|_| Vec::with_capacity(blocks)).collect(),
+            resident: vec![0; n],
+            residency: Vec::with_capacity(blocks),
+            distinct: 0,
+        }
+    }
+
+    /// Pre-allocates every table for `blocks` dense block indices.
+    pub fn reserve_blocks(&mut self, blocks: usize) {
+        for tags in &mut self.caches {
+            if tags.len() < blocks {
+                tags.reserve(blocks - tags.len());
+            }
+        }
+        if self.residency.len() < blocks {
+            self.residency.reserve(blocks - self.residency.len());
+        }
     }
 
     /// Number of caches.
@@ -42,8 +98,9 @@ impl<S> CacheArray<S> {
     /// # Panics
     ///
     /// Panics if `cache` is out of range.
+    #[inline]
     pub fn state(&self, cache: CacheId, block: BlockAddr) -> Option<&S> {
-        self.caches[cache.index()].get(&block)
+        self.caches[cache.index()].get(dense_index(block)).and_then(Option::as_ref)
     }
 
     /// Returns a mutable reference to the state of `block` in `cache`.
@@ -51,8 +108,9 @@ impl<S> CacheArray<S> {
     /// # Panics
     ///
     /// Panics if `cache` is out of range.
+    #[inline]
     pub fn state_mut(&mut self, cache: CacheId, block: BlockAddr) -> Option<&mut S> {
-        self.caches[cache.index()].get_mut(&block)
+        self.caches[cache.index()].get_mut(dense_index(block)).and_then(Option::as_mut)
     }
 
     /// Installs or updates `block` in `cache` with state `s`, returning the
@@ -61,10 +119,23 @@ impl<S> CacheArray<S> {
     /// # Panics
     ///
     /// Panics if `cache` is out of range.
+    #[inline]
     pub fn set(&mut self, cache: CacheId, block: BlockAddr, s: S) -> Option<S> {
-        let prev = self.caches[cache.index()].insert(block, s);
+        let b = dense_index(block);
+        let tags = &mut self.caches[cache.index()];
+        if tags.len() <= b {
+            tags.resize_with(b + 1, || None);
+        }
+        let prev = tags[b].replace(s);
         if prev.is_none() {
-            self.residency.entry(block).or_default().insert(cache);
+            self.resident[cache.index()] += 1;
+            if self.residency.len() <= b {
+                self.residency.resize(b + 1, CacheIdSet::new());
+            }
+            if self.residency[b].is_empty() {
+                self.distinct += 1;
+            }
+            self.residency[b].insert(cache);
         }
         prev
     }
@@ -74,25 +145,29 @@ impl<S> CacheArray<S> {
     /// # Panics
     ///
     /// Panics if `cache` is out of range.
+    #[inline]
     pub fn remove(&mut self, cache: CacheId, block: BlockAddr) -> Option<S> {
-        let prev = self.caches[cache.index()].remove(&block);
+        let b = dense_index(block);
+        let prev = self.caches[cache.index()].get_mut(b).and_then(Option::take);
         if prev.is_some() {
-            if let Some(set) = self.residency.get_mut(&block) {
-                set.remove(cache);
-                if set.is_empty() {
-                    self.residency.remove(&block);
-                }
+            self.resident[cache.index()] -= 1;
+            let set = &mut self.residency[b];
+            set.remove(cache);
+            if set.is_empty() {
+                self.distinct -= 1;
             }
         }
         prev
     }
 
     /// Returns the set of caches currently holding `block`.
+    #[inline]
     pub fn holders(&self, block: BlockAddr) -> CacheIdSet {
-        self.residency.get(&block).copied().unwrap_or_default()
+        self.residency.get(dense_index(block)).copied().unwrap_or_default()
     }
 
     /// Returns the caches holding `block`, excluding `cache`.
+    #[inline]
     pub fn other_holders(&self, cache: CacheId, block: BlockAddr) -> CacheIdSet {
         self.holders(block).without(cache)
     }
@@ -103,26 +178,34 @@ impl<S> CacheArray<S> {
     ///
     /// Panics if `cache` is out of range.
     pub fn blocks_in(&self, cache: CacheId) -> usize {
-        self.caches[cache.index()].len()
+        self.resident[cache.index()]
     }
 
     /// Returns the number of distinct blocks resident anywhere.
     pub fn distinct_blocks(&self) -> usize {
-        self.residency.len()
+        self.distinct
     }
 
-    /// Iterates over `(block, state)` pairs of one cache (arbitrary order).
+    /// Iterates over `(block, state)` pairs of one cache, in block order.
     ///
     /// # Panics
     ///
     /// Panics if `cache` is out of range.
-    pub fn iter_cache(&self, cache: CacheId) -> impl Iterator<Item = (&BlockAddr, &S)> {
-        self.caches[cache.index()].iter()
+    pub fn iter_cache(&self, cache: CacheId) -> impl Iterator<Item = (BlockAddr, &S)> {
+        self.caches[cache.index()]
+            .iter()
+            .enumerate()
+            .filter_map(|(b, s)| Some((BlockAddr::from_index(b as u64), s.as_ref()?)))
     }
 
-    /// Iterates over every block resident anywhere, with its holder set.
-    pub fn iter_blocks(&self) -> impl Iterator<Item = (&BlockAddr, &CacheIdSet)> {
-        self.residency.iter()
+    /// Iterates over every block resident anywhere, with its holder set,
+    /// in block order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockAddr, &CacheIdSet)> {
+        self.residency
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| !set.is_empty())
+            .map(|(b, set)| (BlockAddr::from_index(b as u64), set))
     }
 
     /// Checks the internal residency-oracle invariant; used by tests and
@@ -132,22 +215,41 @@ impl<S> CacheArray<S> {
     ///
     /// Returns a description of the first inconsistency found.
     pub fn check_residency(&self) -> Result<(), String> {
-        for (block, set) in &self.residency {
-            if set.is_empty() {
-                return Err(format!("{block}: empty residency entry retained"));
+        let mut distinct = 0;
+        for (b, set) in self.residency.iter().enumerate() {
+            let block = BlockAddr::from_index(b as u64);
+            if !set.is_empty() {
+                distinct += 1;
             }
             for cache in set.iter() {
-                if !self.caches[cache.index()].contains_key(block) {
+                if self.caches[cache.index()].get(b).is_none_or(Option::is_none) {
                     return Err(format!("{block}: oracle claims {cache} but tag store disagrees"));
                 }
             }
         }
+        if distinct != self.distinct {
+            return Err(format!(
+                "distinct-block count {} disagrees with oracle ({distinct})",
+                self.distinct
+            ));
+        }
         for (i, tags) in self.caches.iter().enumerate() {
             let cache = CacheId::new(i as u16);
-            for block in tags.keys() {
-                if !self.holders(*block).contains(cache) {
-                    return Err(format!("{block}: in {cache} tag store but not in oracle"));
+            let mut resident = 0;
+            for (b, s) in tags.iter().enumerate() {
+                if s.is_some() {
+                    resident += 1;
+                    let block = BlockAddr::from_index(b as u64);
+                    if !self.holders(block).contains(cache) {
+                        return Err(format!("{block}: in {cache} tag store but not in oracle"));
+                    }
                 }
+            }
+            if resident != self.resident[i] {
+                return Err(format!(
+                    "{cache}: resident count {} disagrees with tag store ({resident})",
+                    self.resident[i]
+                ));
             }
         }
         Ok(())
@@ -260,9 +362,27 @@ mod tests {
     }
 
     #[test]
+    fn capacity_hint_preallocates() {
+        let mut a: CacheArray<u8> = CacheArray::with_block_capacity(2, 128);
+        for i in 0..128 {
+            a.set(c(0), b(i), 0);
+        }
+        assert_eq!(a.blocks_in(c(0)), 128);
+        a.reserve_blocks(256);
+        a.check_residency().unwrap();
+    }
+
+    #[test]
     #[should_panic(expected = "1..=64")]
     fn zero_caches_rejected() {
         let _: CacheArray<()> = CacheArray::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense-table bound")]
+    fn sparse_block_index_rejected() {
+        let mut a: CacheArray<()> = CacheArray::new(1);
+        a.set(c(0), b(1 << 40), ());
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Dense per-block containers for directory state.
+//!
+//! Directory protocols keep one entry per block (pointer lists, dirty
+//! bits, stale-memory marks). Replay feeds them interned block addresses,
+//! so those tables can be flat vectors indexed by the dense block index —
+//! the same trick [`crate::CacheArray`] uses for per-cache tag state.
+//! Both containers grow on demand so hand-built traces with small literal
+//! block numbers work without an interner.
+
+use dircc_types::BlockAddr;
+
+fn dense_index(block: BlockAddr) -> usize {
+    let i = block.index();
+    assert!(
+        i <= u32::MAX as u64,
+        "{block}: block index exceeds the dense-table bound; intern the trace first"
+    );
+    i as usize
+}
+
+/// A map from blocks to directory entries, backed by a flat `Vec`.
+///
+/// ```
+/// use dircc_cache::BlockMap;
+/// use dircc_types::BlockAddr;
+///
+/// let mut m: BlockMap<u32> = BlockMap::new();
+/// let b = BlockAddr::from_index(3);
+/// *m.entry(b) += 7;
+/// assert_eq!(m.get(b), Some(&7));
+/// assert_eq!(m.remove(b), Some(7));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlockMap<V> {
+    slots: Vec<Option<V>>,
+    len: usize,
+}
+
+impl<V> BlockMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        BlockMap { slots: Vec::new(), len: 0 }
+    }
+
+    /// Creates an empty map with room for `blocks` dense block indices.
+    pub fn with_block_capacity(blocks: usize) -> Self {
+        BlockMap { slots: Vec::with_capacity(blocks), len: 0 }
+    }
+
+    /// Pre-allocates for `blocks` dense block indices.
+    pub fn reserve_blocks(&mut self, blocks: usize) {
+        if self.slots.len() < blocks {
+            self.slots.reserve(blocks - self.slots.len());
+        }
+    }
+
+    /// Number of entries present.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no entry is present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the entry for `block`, if present.
+    #[inline]
+    pub fn get(&self, block: BlockAddr) -> Option<&V> {
+        self.slots.get(dense_index(block)).and_then(Option::as_ref)
+    }
+
+    /// Returns the entry for `block` mutably, if present.
+    #[inline]
+    pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut V> {
+        self.slots.get_mut(dense_index(block)).and_then(Option::as_mut)
+    }
+
+    /// Returns `true` if `block` has an entry.
+    #[inline]
+    pub fn contains_key(&self, block: BlockAddr) -> bool {
+        self.get(block).is_some()
+    }
+
+    /// Inserts an entry, returning the previous one if present.
+    #[inline]
+    pub fn insert(&mut self, block: BlockAddr, value: V) -> Option<V> {
+        let b = dense_index(block);
+        if self.slots.len() <= b {
+            self.slots.resize_with(b + 1, || None);
+        }
+        let prev = self.slots[b].replace(value);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes the entry for `block`, returning it if present.
+    #[inline]
+    pub fn remove(&mut self, block: BlockAddr) -> Option<V> {
+        let prev = self.slots.get_mut(dense_index(block)).and_then(Option::take);
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+
+    /// Iterates over `(block, entry)` pairs in block order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &V)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(b, v)| Some((BlockAddr::from_index(b as u64), v.as_ref()?)))
+    }
+}
+
+impl<V: Default> BlockMap<V> {
+    /// Returns the entry for `block`, inserting a default if absent.
+    #[inline]
+    pub fn entry(&mut self, block: BlockAddr) -> &mut V {
+        let b = dense_index(block);
+        if self.slots.len() <= b {
+            self.slots.resize_with(b + 1, || None);
+        }
+        if self.slots[b].is_none() {
+            self.slots[b] = Some(V::default());
+            self.len += 1;
+        }
+        self.slots[b].as_mut().expect("slot just filled")
+    }
+}
+
+/// A set of blocks, backed by a bit vector.
+///
+/// ```
+/// use dircc_cache::BlockSet;
+/// use dircc_types::BlockAddr;
+///
+/// let mut s = BlockSet::new();
+/// let b = BlockAddr::from_index(70);
+/// assert!(s.insert(b));
+/// assert!(!s.insert(b));
+/// assert!(s.contains(b));
+/// assert!(s.remove(b));
+/// assert!(s.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlockSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BlockSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        BlockSet { words: Vec::new(), len: 0 }
+    }
+
+    /// Creates an empty set with room for `blocks` dense block indices.
+    pub fn with_block_capacity(blocks: usize) -> Self {
+        BlockSet { words: Vec::with_capacity(blocks.div_ceil(64)), len: 0 }
+    }
+
+    /// Pre-allocates for `blocks` dense block indices.
+    pub fn reserve_blocks(&mut self, blocks: usize) {
+        let words = blocks.div_ceil(64);
+        if self.words.len() < words {
+            self.words.reserve(words - self.words.len());
+        }
+    }
+
+    /// Number of blocks in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `block` is in the set.
+    #[inline]
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        let b = dense_index(block);
+        self.words.get(b / 64).is_some_and(|w| w & (1u64 << (b % 64)) != 0)
+    }
+
+    /// Inserts `block`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, block: BlockAddr) -> bool {
+        let b = dense_index(block);
+        if self.words.len() <= b / 64 {
+            self.words.resize(b / 64 + 1, 0);
+        }
+        let bit = 1u64 << (b % 64);
+        let newly = self.words[b / 64] & bit == 0;
+        self.words[b / 64] |= bit;
+        if newly {
+            self.len += 1;
+        }
+        newly
+    }
+
+    /// Iterates over the blocks in the set, in block order.
+    pub fn iter(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| BlockAddr::from_index((w * 64 + b) as u64))
+        })
+    }
+
+    /// Removes `block`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, block: BlockAddr) -> bool {
+        let b = dense_index(block);
+        let Some(word) = self.words.get_mut(b / 64) else {
+            return false;
+        };
+        let bit = 1u64 << (b % 64);
+        let present = *word & bit != 0;
+        *word &= !bit;
+        if present {
+            self.len -= 1;
+        }
+        present
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn map_insert_get_remove() {
+        let mut m: BlockMap<u8> = BlockMap::with_block_capacity(4);
+        assert_eq!(m.insert(b(2), 5), None);
+        assert_eq!(m.insert(b(2), 6), Some(5));
+        assert_eq!(m.get(b(2)), Some(&6));
+        assert!(m.contains_key(b(2)));
+        assert!(!m.contains_key(b(99)));
+        *m.get_mut(b(2)).unwrap() = 7;
+        assert_eq!(m.remove(b(2)), Some(7));
+        assert_eq!(m.remove(b(2)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn map_entry_defaults() {
+        let mut m: BlockMap<Vec<u8>> = BlockMap::new();
+        m.entry(b(3)).push(1);
+        m.entry(b(3)).push(2);
+        assert_eq!(m.get(b(3)), Some(&vec![1, 2]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn map_iterates_in_block_order() {
+        let mut m: BlockMap<u8> = BlockMap::new();
+        m.insert(b(9), 9);
+        m.insert(b(1), 1);
+        let pairs: Vec<(u64, u8)> = m.iter().map(|(blk, v)| (blk.index(), *v)).collect();
+        assert_eq!(pairs, vec![(1, 1), (9, 9)]);
+        m.reserve_blocks(64);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn set_insert_contains_remove() {
+        let mut s = BlockSet::with_block_capacity(100);
+        assert!(s.insert(b(0)));
+        assert!(s.insert(b(64)));
+        assert!(!s.insert(b(64)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(b(0)) && s.contains(b(64)));
+        assert!(!s.contains(b(1)));
+        assert!(s.remove(b(0)));
+        assert!(!s.remove(b(0)));
+        assert!(!s.remove(b(1000)));
+        assert_eq!(s.len(), 1);
+        s.reserve_blocks(1024);
+        assert!(!s.is_empty());
+    }
+}

@@ -55,6 +55,18 @@ pub struct Eviction<S> {
     pub state: S,
 }
 
+/// Result of a combined [`SetAssocCache::lookup_or_insert`] probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup<S> {
+    /// The block was already resident (LRU order refreshed).
+    Hit,
+    /// The block was inserted, evicting the LRU way if the set was full.
+    Inserted {
+        /// The LRU victim, if the set was full.
+        evicted: Option<Eviction<S>>,
+    },
+}
+
 #[derive(Debug, Clone)]
 struct Way<S> {
     block: BlockAddr,
@@ -163,6 +175,42 @@ impl<S> SetAssocCache<S> {
         };
         set.push(Way { block, state, stamp: clock });
         evicted
+    }
+
+    /// Combined probe: looks `block` up and, on a miss, inserts it with
+    /// `state` — walking the set once instead of the `get` + `insert`
+    /// double walk. Statistics and LRU stamps are updated exactly as the
+    /// two-call sequence would (the miss path advances the clock twice so
+    /// replacement order is bit-identical to `get` followed by `insert`).
+    pub fn lookup_or_insert(&mut self, block: BlockAddr, state: S) -> Lookup<S> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.set_index(block);
+        let ways = self.config.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(w) = set.iter_mut().find(|w| w.block == block) {
+            w.stamp = clock;
+            self.hits += 1;
+            return Lookup::Hit;
+        }
+        self.misses += 1;
+        self.clock += 1;
+        let clock = self.clock;
+        let evicted = if set.len() == ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            let w = set.swap_remove(lru);
+            self.evictions += 1;
+            Some(Eviction { block: w.block, state: w.state })
+        } else {
+            None
+        };
+        set.push(Way { block, state, stamp: clock });
+        Lookup::Inserted { evicted }
     }
 
     /// Removes a block (e.g. an invalidation), returning its state.
@@ -280,5 +328,30 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_sets_rejected() {
         let _ = FiniteCacheConfig::new(3, 1);
+    }
+
+    #[test]
+    fn lookup_or_insert_matches_get_then_insert() {
+        // Replay the same access sequence through the single-probe path
+        // and the historical get+insert double walk; every observable
+        // (hits, misses, evictions, eviction victims) must agree.
+        let cfg = FiniteCacheConfig::new(2, 2);
+        let mut single: SetAssocCache<u64> = SetAssocCache::new(cfg);
+        let mut double: SetAssocCache<u64> = SetAssocCache::new(cfg);
+        // A deterministic thrashing sequence with revisits.
+        let seq: Vec<u64> = (0..200).map(|i| (i * 7 + i / 3) % 11).collect();
+        for (i, &blk) in seq.iter().enumerate() {
+            let expected =
+                if double.get(b(blk)).is_none() { double.insert(b(blk), i as u64) } else { None };
+            let got = match single.lookup_or_insert(b(blk), i as u64) {
+                Lookup::Hit => None,
+                Lookup::Inserted { evicted } => evicted,
+            };
+            assert_eq!(got, expected, "step {i} block {blk}");
+        }
+        assert_eq!(single.hits(), double.hits());
+        assert_eq!(single.misses(), double.misses());
+        assert_eq!(single.evictions(), double.evictions());
+        assert_eq!(single.len(), double.len());
     }
 }

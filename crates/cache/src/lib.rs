@@ -14,6 +14,10 @@
 //! behaviour "to first order by adding the costs due to the finite cache
 //! size").
 //!
+//! [`BlockMap`] and [`BlockSet`] are dense per-block containers for
+//! directory state: replay feeds protocols *interned* (dense) block
+//! addresses, so per-block tables are flat vectors instead of hash maps.
+//!
 //! # Examples
 //!
 //! ```
@@ -28,7 +32,9 @@
 //! ```
 
 mod array;
+mod blockmap;
 mod finite;
 
 pub use array::CacheArray;
-pub use finite::{Eviction, FiniteCacheConfig, SetAssocCache};
+pub use blockmap::{BlockMap, BlockSet};
+pub use finite::{Eviction, FiniteCacheConfig, Lookup, SetAssocCache};

@@ -1,0 +1,162 @@
+//! A/B property tests: the dense (flat-vector) containers against naive
+//! map-based reference models on randomized operation sequences.
+//!
+//! `CacheArray`, `BlockMap` and `BlockSet` replaced hash maps on the
+//! replay hot path; these tests pin the claim that the dense rewrite is
+//! observationally identical to the map semantics it replaced.
+
+use dircc_cache::{BlockMap, BlockSet, CacheArray};
+use dircc_types::{BlockAddr, CacheId, CacheIdSet};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::collections::{HashMap, HashSet};
+
+const CPUS: u16 = 4;
+const BLOCKS: u64 = 48;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Set { cache: u16, block: u64, value: u8 },
+    Remove { cache: u16, block: u64 },
+    RemoveAllExcept { block: u64, keep: u16 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u8..3, 0u16..CPUS, 0u64..BLOCKS, any::<u8>()).prop_map(|(op, cache, block, value)| {
+            match op {
+                0 => Op::Set { cache, block, value },
+                1 => Op::Remove { cache, block },
+                _ => Op::RemoveAllExcept { block, keep: cache },
+            }
+        }),
+        1..200,
+    )
+}
+
+/// The reference model: per-cache hash maps, holders derived by scan.
+#[derive(Debug, Default)]
+struct MapModel {
+    caches: Vec<HashMap<u64, u8>>,
+}
+
+impl MapModel {
+    fn new(n: usize) -> Self {
+        MapModel { caches: vec![HashMap::new(); n] }
+    }
+
+    fn holders(&self, block: u64) -> CacheIdSet {
+        self.caches
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.contains_key(&block))
+            .map(|(c, _)| CacheId::new(c as u16))
+            .collect()
+    }
+
+    fn distinct_blocks(&self) -> usize {
+        self.caches.iter().flat_map(|m| m.keys()).collect::<HashSet<_>>().len()
+    }
+}
+
+fn b(i: u64) -> BlockAddr {
+    BlockAddr::from_index(i)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_array_matches_the_map_model(ops in arb_ops()) {
+        let mut dense: CacheArray<u8> = CacheArray::new(usize::from(CPUS));
+        let mut model = MapModel::new(usize::from(CPUS));
+        for op in &ops {
+            match *op {
+                Op::Set { cache, block, value } => {
+                    dense.set(CacheId::new(cache), b(block), value);
+                    model.caches[usize::from(cache)].insert(block, value);
+                }
+                Op::Remove { cache, block } => {
+                    let got = dense.remove(CacheId::new(cache), b(block));
+                    let want = model.caches[usize::from(cache)].remove(&block);
+                    prop_assert_eq!(got, want);
+                }
+                Op::RemoveAllExcept { block, keep } => {
+                    dense.remove_all_except(b(block), Some(CacheId::new(keep)));
+                    for (c, m) in model.caches.iter_mut().enumerate() {
+                        if c != usize::from(keep) {
+                            m.remove(&block);
+                        }
+                    }
+                }
+            }
+            // Full observational equality after every step.
+            for cache in 0..CPUS {
+                for block in 0..BLOCKS {
+                    prop_assert_eq!(
+                        dense.state(CacheId::new(cache), b(block)),
+                        model.caches[usize::from(cache)].get(&block),
+                        "state({cache}, {block})",
+                    );
+                }
+                prop_assert_eq!(
+                    dense.blocks_in(CacheId::new(cache)),
+                    model.caches[usize::from(cache)].len()
+                );
+            }
+            for block in 0..BLOCKS {
+                prop_assert_eq!(dense.holders(b(block)), model.holders(block));
+            }
+            prop_assert_eq!(dense.distinct_blocks(), model.distinct_blocks());
+            dense.check_residency().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    #[test]
+    fn block_map_matches_hash_map(ops in prop::collection::vec(
+        (0u8..2, 0u64..BLOCKS, any::<u8>()), 1..200)
+    ) {
+        let mut dense: BlockMap<u8> = BlockMap::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for &(op, block, value) in &ops {
+            if op == 0 {
+                prop_assert_eq!(dense.insert(b(block), value), model.insert(block, value));
+            } else {
+                prop_assert_eq!(dense.remove(b(block)), model.remove(&block));
+            }
+            prop_assert_eq!(dense.len(), model.len());
+            for blk in 0..BLOCKS {
+                prop_assert_eq!(dense.get(b(blk)), model.get(&blk));
+            }
+            let mut got: Vec<(u64, u8)> = dense.iter().map(|(k, v)| (k.index(), *v)).collect();
+            let mut want: Vec<(u64, u8)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn block_set_matches_hash_set(ops in prop::collection::vec(
+        (0u8..2, 0u64..BLOCKS), 1..200)
+    ) {
+        let mut dense = BlockSet::new();
+        let mut model: HashSet<u64> = HashSet::new();
+        for &(op, block) in &ops {
+            if op == 0 {
+                prop_assert_eq!(dense.insert(b(block)), model.insert(block));
+            } else {
+                prop_assert_eq!(dense.remove(b(block)), model.remove(&block));
+            }
+            prop_assert_eq!(dense.len(), model.len());
+            for blk in 0..BLOCKS {
+                prop_assert_eq!(dense.contains(b(blk)), model.contains(&blk));
+            }
+            let mut got: Vec<u64> = dense.iter().map(|blk| blk.index()).collect();
+            let mut want: Vec<u64> = model.iter().copied().collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -15,9 +15,8 @@
 
 use crate::event::{Event, EvictOutcome, MissContext, Outcome, WriteHitContext};
 use crate::protocol::{Protocol, ProtocolKind};
-use dircc_cache::CacheArray;
+use dircc_cache::{BlockMap, CacheArray};
 use dircc_types::{AccessKind, BlockAddr, CacheId, CacheIdSet};
-use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Copy {
@@ -70,7 +69,7 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub struct CodedSet {
     caches: CacheArray<Copy>,
-    dir: HashMap<BlockAddr, Entry>,
+    dir: BlockMap<Entry>,
     wasted_invalidates: u64,
 }
 
@@ -81,7 +80,7 @@ impl CodedSet {
     ///
     /// Panics if `n_caches` is out of `1..=64`.
     pub fn new(n_caches: usize) -> Self {
-        CodedSet { caches: CacheArray::new(n_caches), dir: HashMap::new(), wasted_invalidates: 0 }
+        CodedSet { caches: CacheArray::new(n_caches), dir: BlockMap::new(), wasted_invalidates: 0 }
     }
 
     /// Invalidation messages sent to caches that did not actually hold the
@@ -98,7 +97,7 @@ impl CodedSet {
             } else {
                 MissContext::MemoryOnly
             }
-        } else if self.dir.get(&block).is_some_and(|e| e.dirty) {
+        } else if self.dir.get(block).is_some_and(|e| e.dirty) {
             MissContext::DirtyElsewhere
         } else {
             MissContext::CleanElsewhere { copies: holders.len() as u32 }
@@ -108,7 +107,7 @@ impl CodedSet {
     /// Sends directed invalidates to the whole coded set (minus the
     /// requester). Returns the number of messages sent.
     fn invalidate_coded(&mut self, block: BlockAddr, except: Option<CacheId>) -> u32 {
-        let Some(entry) = self.dir.get(&block) else { return 0 };
+        let Some(entry) = self.dir.get(block) else { return 0 };
         let mut targets = entry.code.members(self.caches.num_caches());
         if let Some(c) = except {
             targets.remove(c);
@@ -135,9 +134,9 @@ impl CodedSet {
             out.control_messages += 1;
             out = out.with_write_back();
             self.caches.set(owner, block, Copy::Clean);
-            self.dir.get_mut(&block).expect("entry exists").dirty = false;
+            self.dir.get_mut(block).expect("entry exists").dirty = false;
         }
-        match self.dir.get_mut(&block) {
+        match self.dir.get_mut(block) {
             Some(entry) => entry.code.widen(cache),
             None => {
                 self.dir.insert(block, Entry { code: Code::singleton(cache), dirty: false });
@@ -210,9 +209,9 @@ impl Protocol for CodedSet {
             return EvictOutcome::SILENT;
         };
         if self.caches.holders(block).is_empty() {
-            self.dir.remove(&block);
+            self.dir.remove(block);
         } else if copy == Copy::Dirty {
-            self.dir.get_mut(&block).expect("entry exists").dirty = false;
+            self.dir.get_mut(block).expect("entry exists").dirty = false;
         }
         if copy == Copy::Dirty {
             EvictOutcome::WRITE_BACK
@@ -222,14 +221,19 @@ impl Protocol for CodedSet {
         }
     }
 
+    fn reserve_blocks(&mut self, blocks: usize) {
+        self.caches.reserve_blocks(blocks);
+        self.dir.reserve_blocks(blocks);
+    }
+
     fn holders(&self, block: BlockAddr) -> CacheIdSet {
         self.caches.holders(block)
     }
 
     fn check_invariants(&self) -> Result<(), String> {
         self.caches.check_residency()?;
-        for (block, entry) in &self.dir {
-            let holders = self.caches.holders(*block);
+        for (block, entry) in self.dir.iter() {
+            let holders = self.caches.holders(block);
             let coded = entry.code.members(self.caches.num_caches());
             if !holders.is_subset_of(coded) {
                 return Err(format!("{block}: holders {holders} not covered by coded set {coded}"));
@@ -242,7 +246,7 @@ impl Protocol for CodedSet {
                     return Err(format!("{block}: dirty entry must have an exact code"));
                 }
                 let owner = holders.sole().expect("one holder");
-                if self.caches.state(owner, *block) != Some(&Copy::Dirty) {
+                if self.caches.state(owner, block) != Some(&Copy::Dirty) {
                     return Err(format!("{block}: dirty entry but clean copy"));
                 }
             }

@@ -12,9 +12,8 @@
 
 use crate::event::{Event, EvictOutcome, MissContext, Outcome, WriteHitContext};
 use crate::protocol::{Protocol, ProtocolKind};
-use dircc_cache::CacheArray;
+use dircc_cache::{BlockMap, CacheArray};
 use dircc_types::{AccessKind, BlockAddr, CacheId, CacheIdSet};
-use std::collections::HashMap;
 
 /// Per-cache copy state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +47,7 @@ enum DirState {
 #[derive(Debug, Clone)]
 pub struct Dir0B {
     caches: CacheArray<Copy>,
-    dir: HashMap<BlockAddr, DirState>,
+    dir: BlockMap<DirState>,
 }
 
 impl Dir0B {
@@ -58,11 +57,11 @@ impl Dir0B {
     ///
     /// Panics if `n_caches` is out of `1..=64`.
     pub fn new(n_caches: usize) -> Self {
-        Dir0B { caches: CacheArray::new(n_caches), dir: HashMap::new() }
+        Dir0B { caches: CacheArray::new(n_caches), dir: BlockMap::new() }
     }
 
     fn dir_state(&self, block: BlockAddr) -> DirState {
-        self.dir.get(&block).copied().unwrap_or(DirState::NotCached)
+        self.dir.get(block).copied().unwrap_or(DirState::NotCached)
     }
 
     fn classify_miss(&self, block: BlockAddr, first_ref: bool) -> MissContext {
@@ -209,6 +208,11 @@ impl Protocol for Dir0B {
         EvictOutcome::SILENT
     }
 
+    fn reserve_blocks(&mut self, blocks: usize) {
+        self.caches.reserve_blocks(blocks);
+        self.dir.reserve_blocks(blocks);
+    }
+
     fn holders(&self, block: BlockAddr) -> CacheIdSet {
         self.caches.holders(block)
     }
@@ -216,7 +220,7 @@ impl Protocol for Dir0B {
     fn check_invariants(&self) -> Result<(), String> {
         self.caches.check_residency()?;
         for (block, holders) in self.caches.iter_blocks() {
-            let state = self.dir_state(*block);
+            let state = self.dir_state(block);
             match state {
                 DirState::NotCached => {
                     return Err(format!("{block}: cached but directory says NotCached"));
@@ -239,7 +243,7 @@ impl Protocol for Dir0B {
             }
             // Copy states must agree with the directory.
             for h in holders.iter() {
-                let copy = self.caches.state(h, *block).expect("holder has state");
+                let copy = self.caches.state(h, block).expect("holder has state");
                 let expect_dirty = state == DirState::DirtyOne;
                 if (*copy == Copy::Dirty) != expect_dirty {
                     return Err(format!("{block}: copy state in {h} disagrees with {state:?}"));
@@ -247,8 +251,8 @@ impl Protocol for Dir0B {
             }
         }
         // Directory entries claiming residency must have holders.
-        for (block, state) in &self.dir {
-            if *state != DirState::NotCached && self.caches.holders(*block).is_empty() {
+        for (block, state) in self.dir.iter() {
+            if *state != DirState::NotCached && self.caches.holders(block).is_empty() {
                 return Err(format!("{block}: directory {state:?} but nothing cached"));
             }
         }

@@ -14,9 +14,8 @@
 
 use crate::event::{Event, EvictOutcome, MissContext, Outcome, WriteHitContext};
 use crate::protocol::{Protocol, ProtocolKind};
-use dircc_cache::CacheArray;
+use dircc_cache::{BlockMap, CacheArray};
 use dircc_types::{AccessKind, BlockAddr, CacheId, CacheIdSet};
-use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Copy {
@@ -45,7 +44,7 @@ struct Entry {
 pub struct DirB {
     pointers: u32,
     caches: CacheArray<Copy>,
-    dir: HashMap<BlockAddr, Entry>,
+    dir: BlockMap<Entry>,
 }
 
 impl DirB {
@@ -58,7 +57,7 @@ impl DirB {
     /// states) or `n_caches` is out of `1..=64`.
     pub fn new(pointers: u32, n_caches: usize) -> Self {
         assert!(pointers >= 1, "use Dir0B for the zero-pointer broadcast scheme");
-        DirB { pointers, caches: CacheArray::new(n_caches), dir: HashMap::new() }
+        DirB { pointers, caches: CacheArray::new(n_caches), dir: BlockMap::new() }
     }
 
     /// The §6 `Dir1B` scheme: one pointer plus a broadcast bit.
@@ -79,7 +78,7 @@ impl DirB {
             } else {
                 MissContext::MemoryOnly
             }
-        } else if self.dir.get(&block).is_some_and(|e| e.dirty) {
+        } else if self.dir.get(block).is_some_and(|e| e.dirty) {
             MissContext::DirtyElsewhere
         } else {
             MissContext::CleanElsewhere { copies: holders.len() as u32 }
@@ -90,7 +89,7 @@ impl DirB {
     /// the broadcast bit.
     fn add_sharer(&mut self, block: BlockAddr, cache: CacheId) {
         let pointers = self.pointers as usize;
-        let entry = self.dir.entry(block).or_default();
+        let entry = self.dir.entry(block);
         entry.dirty = false;
         if entry.ptrs.len() < pointers {
             entry.ptrs.push(cache);
@@ -104,7 +103,7 @@ impl DirB {
     /// messages when pointers cover everyone, broadcast otherwise. Updates
     /// the outcome's delivery accounting and empties the entry.
     fn invalidate_others(&mut self, block: BlockAddr, except: Option<CacheId>, out: &mut Outcome) {
-        let entry = self.dir.entry(block).or_default();
+        let entry = self.dir.entry(block);
         let broadcast = entry.broadcast;
         let victims = match except {
             Some(c) => self.caches.holders(block).without(c),
@@ -125,7 +124,7 @@ impl DirB {
     }
 
     fn set_sole_dirty(&mut self, block: BlockAddr, cache: CacheId) {
-        let entry = self.dir.entry(block).or_default();
+        let entry = self.dir.entry(block);
         entry.ptrs.clear();
         entry.ptrs.push(cache);
         entry.broadcast = false;
@@ -146,7 +145,7 @@ impl DirB {
             out.control_messages += 1;
             out = out.with_write_back();
             self.caches.set(owner, block, Copy::Clean);
-            self.dir.entry(block).or_default().dirty = false;
+            self.dir.entry(block).dirty = false;
         }
         self.add_sharer(block, cache);
         out
@@ -208,14 +207,14 @@ impl Protocol for DirB {
         let Some(copy) = self.caches.remove(cache, block) else {
             return EvictOutcome::SILENT;
         };
-        let entry = self.dir.get_mut(&block).expect("held block has an entry");
+        let entry = self.dir.get_mut(block).expect("held block has an entry");
         let was_pointed = entry.ptrs.contains(&cache);
         entry.ptrs.retain(|c| *c != cache);
         if copy == Copy::Dirty {
             entry.dirty = false;
         }
         if self.caches.holders(block).is_empty() {
-            self.dir.remove(&block);
+            self.dir.remove(block);
         }
         if copy == Copy::Dirty {
             EvictOutcome::WRITE_BACK
@@ -229,14 +228,19 @@ impl Protocol for DirB {
         }
     }
 
+    fn reserve_blocks(&mut self, blocks: usize) {
+        self.caches.reserve_blocks(blocks);
+        self.dir.reserve_blocks(blocks);
+    }
+
     fn holders(&self, block: BlockAddr) -> CacheIdSet {
         self.caches.holders(block)
     }
 
     fn check_invariants(&self) -> Result<(), String> {
         self.caches.check_residency()?;
-        for (block, entry) in &self.dir {
-            let holders = self.caches.holders(*block);
+        for (block, entry) in self.dir.iter() {
+            let holders = self.caches.holders(block);
             let ptr_set: CacheIdSet = entry.ptrs.iter().copied().collect();
             if ptr_set.len() != entry.ptrs.len() {
                 return Err(format!("{block}: duplicate pointers"));
@@ -259,12 +263,12 @@ impl Protocol for DirB {
                     return Err(format!("{block}: dirty entry must be one pointed holder"));
                 }
                 let owner = entry.ptrs[0];
-                if self.caches.state(owner, *block) != Some(&Copy::Dirty) {
+                if self.caches.state(owner, block) != Some(&Copy::Dirty) {
                     return Err(format!("{block}: dirty entry but clean copy"));
                 }
             } else {
                 for h in holders.iter() {
-                    if self.caches.state(h, *block) != Some(&Copy::Clean) {
+                    if self.caches.state(h, block) != Some(&Copy::Clean) {
                         return Err(format!("{block}: clean entry but dirty copy in {h}"));
                     }
                 }

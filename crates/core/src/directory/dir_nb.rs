@@ -17,9 +17,9 @@
 
 use crate::event::{Event, EvictOutcome, MissContext, Outcome, WriteHitContext};
 use crate::protocol::{Protocol, ProtocolKind};
-use dircc_cache::CacheArray;
+use dircc_cache::{BlockMap, CacheArray};
 use dircc_types::{AccessKind, BlockAddr, CacheId, CacheIdSet};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Per-cache copy state (multiple clean copies, at most one dirty copy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +51,7 @@ struct Entry {
 pub struct DirNb {
     pointers: u32,
     caches: CacheArray<Copy>,
-    dir: HashMap<BlockAddr, Entry>,
+    dir: BlockMap<Entry>,
 }
 
 impl DirNb {
@@ -65,7 +65,7 @@ impl DirNb {
     /// access") or `n_caches` is out of `1..=64`.
     pub fn new(pointers: u32, n_caches: usize) -> Self {
         assert!(pointers >= 1, "Dir0NB does not make sense (paper, section 2)");
-        DirNb { pointers, caches: CacheArray::new(n_caches), dir: HashMap::new() }
+        DirNb { pointers, caches: CacheArray::new(n_caches), dir: BlockMap::new() }
     }
 
     /// The paper's `Dir1NB`: a single pointer, at most one cached copy.
@@ -85,7 +85,7 @@ impl DirNb {
     }
 
     fn entry(&mut self, block: BlockAddr) -> &mut Entry {
-        self.dir.entry(block).or_default()
+        self.dir.entry(block)
     }
 
     fn classify_miss(&self, block: BlockAddr, first_ref: bool) -> MissContext {
@@ -96,7 +96,7 @@ impl DirNb {
             } else {
                 MissContext::MemoryOnly
             }
-        } else if self.dir.get(&block).is_some_and(|e| e.dirty) {
+        } else if self.dir.get(block).is_some_and(|e| e.dirty) {
             MissContext::DirtyElsewhere
         } else {
             MissContext::CleanElsewhere { copies: holders.len() as u32 }
@@ -118,7 +118,7 @@ impl DirNb {
         let mut evictions = 0;
         // Evict until a pointer is free (a single eviction in practice).
         loop {
-            let entry = self.dir.entry(block).or_default();
+            let entry = self.dir.entry(block);
             if entry.ptrs.len() < pointers {
                 break;
             }
@@ -129,7 +129,7 @@ impl DirNb {
                 control += 1;
             }
         }
-        let entry = self.dir.entry(block).or_default();
+        let entry = self.dir.entry(block);
         entry.ptrs.push_back(cache);
         entry.dirty = false;
         self.caches.set(cache, block, Copy::Clean);
@@ -148,7 +148,7 @@ impl DirNb {
                 control += 1;
             }
         }
-        self.dir.remove(&block);
+        self.dir.remove(block);
         control
     }
 
@@ -270,13 +270,13 @@ impl Protocol for DirNb {
         let Some(copy) = self.caches.remove(cache, block) else {
             return EvictOutcome::SILENT;
         };
-        let entry = self.dir.get_mut(&block).expect("held block has an entry");
+        let entry = self.dir.get_mut(block).expect("held block has an entry");
         entry.ptrs.retain(|c| *c != cache);
         if copy == Copy::Dirty {
             entry.dirty = false;
         }
         if entry.ptrs.is_empty() {
-            self.dir.remove(&block);
+            self.dir.remove(block);
         }
         if copy == Copy::Dirty {
             EvictOutcome::WRITE_BACK
@@ -286,14 +286,19 @@ impl Protocol for DirNb {
         }
     }
 
+    fn reserve_blocks(&mut self, blocks: usize) {
+        self.caches.reserve_blocks(blocks);
+        self.dir.reserve_blocks(blocks);
+    }
+
     fn holders(&self, block: BlockAddr) -> CacheIdSet {
         self.caches.holders(block)
     }
 
     fn check_invariants(&self) -> Result<(), String> {
         self.caches.check_residency()?;
-        for (block, entry) in &self.dir {
-            let holders = self.caches.holders(*block);
+        for (block, entry) in self.dir.iter() {
+            let holders = self.caches.holders(block);
             let ptr_set: CacheIdSet = entry.ptrs.iter().copied().collect();
             if ptr_set != holders {
                 return Err(format!(
@@ -315,12 +320,12 @@ impl Protocol for DirNb {
                     return Err(format!("{block}: dirty with {} pointers", entry.ptrs.len()));
                 }
                 let owner = entry.ptrs[0];
-                if self.caches.state(owner, *block) != Some(&Copy::Dirty) {
+                if self.caches.state(owner, block) != Some(&Copy::Dirty) {
                     return Err(format!("{block}: directory dirty but {owner} copy is clean"));
                 }
             } else {
                 for c in entry.ptrs.iter() {
-                    if self.caches.state(*c, *block) != Some(&Copy::Clean) {
+                    if self.caches.state(*c, block) != Some(&Copy::Clean) {
                         return Err(format!("{block}: directory clean but {c} copy is dirty"));
                     }
                 }

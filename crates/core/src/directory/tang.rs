@@ -62,6 +62,10 @@ impl Protocol for Tang {
         self.inner.evict(cache, block)
     }
 
+    fn reserve_blocks(&mut self, blocks: usize) {
+        self.inner.reserve_blocks(blocks);
+    }
+
     fn holders(&self, block: BlockAddr) -> CacheIdSet {
         self.inner.holders(block)
     }

@@ -76,6 +76,15 @@ pub fn build(kind: ProtocolKind, n_caches: usize) -> Box<dyn Protocol> {
     }
 }
 
+/// As [`build`], but pre-sizes every per-block table for a replay that
+/// will touch `blocks` distinct (dense) blocks — pass the interner's
+/// count to avoid rehash/regrow churn in the replay hot loop.
+pub fn build_sized(kind: ProtocolKind, n_caches: usize, blocks: usize) -> Box<dyn Protocol> {
+    let mut p = build(kind, n_caches);
+    p.reserve_blocks(blocks);
+    p
+}
+
 /// The four schemes of the paper's main evaluation (§3), in its order:
 /// `Dir1NB`, `WTI`, `Dir0B`, `Dragon`.
 pub fn paper_schemes(n_caches: usize) -> Vec<Box<dyn Protocol>> {

@@ -170,6 +170,13 @@ pub trait Protocol {
         panic!("{} does not support finite-cache eviction", self.name())
     }
 
+    /// Pre-sizes per-block state tables for a replay expected to touch
+    /// `blocks` distinct (dense) blocks — the interner's count. Purely a
+    /// capacity hint; a no-op by default.
+    fn reserve_blocks(&mut self, blocks: usize) {
+        let _ = blocks;
+    }
+
     /// Which caches currently hold a valid copy of `block`.
     fn holders(&self, block: BlockAddr) -> CacheIdSet;
 

@@ -153,6 +153,10 @@ impl Protocol for Berkeley {
         }
     }
 
+    fn reserve_blocks(&mut self, blocks: usize) {
+        self.caches.reserve_blocks(blocks);
+    }
+
     fn holders(&self, block: BlockAddr) -> CacheIdSet {
         self.caches.holders(block)
     }
@@ -163,7 +167,7 @@ impl Protocol for Berkeley {
         for (block, holders) in self.caches.iter_blocks() {
             let owners = holders
                 .iter()
-                .filter(|c| self.caches.state(*c, *block) == Some(&Copy::Owned))
+                .filter(|c| self.caches.state(*c, block) == Some(&Copy::Owned))
                 .count();
             if owners > 1 {
                 return Err(format!("{block}: {owners} owners"));

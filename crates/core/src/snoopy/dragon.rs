@@ -15,9 +15,8 @@
 
 use crate::event::{Event, EvictOutcome, MissContext, Outcome, WriteHitContext};
 use crate::protocol::{Protocol, ProtocolKind};
-use dircc_cache::CacheArray;
+use dircc_cache::{BlockSet, CacheArray};
 use dircc_types::{AccessKind, BlockAddr, CacheId, CacheIdSet};
-use std::collections::HashSet;
 
 /// The Dragon update protocol.
 ///
@@ -34,7 +33,7 @@ pub struct Dragon {
     caches: CacheArray<()>,
     /// Blocks whose memory copy is stale (written at least once; with
     /// infinite caches a written block is never flushed back).
-    memory_stale: HashSet<BlockAddr>,
+    memory_stale: BlockSet,
 }
 
 impl Dragon {
@@ -44,7 +43,7 @@ impl Dragon {
     ///
     /// Panics if `n_caches` is out of `1..=64`.
     pub fn new(n_caches: usize) -> Self {
-        Dragon { caches: CacheArray::new(n_caches), memory_stale: HashSet::new() }
+        Dragon { caches: CacheArray::new(n_caches), memory_stale: BlockSet::new() }
     }
 
     fn classify_miss(&self, block: BlockAddr, first_ref: bool) -> MissContext {
@@ -55,7 +54,7 @@ impl Dragon {
             } else {
                 MissContext::MemoryOnly
             }
-        } else if self.memory_stale.contains(&block) {
+        } else if self.memory_stale.contains(block) {
             // An owner (shared-dirty) copy exists; it supplies the data.
             MissContext::DirtyElsewhere
         } else {
@@ -98,7 +97,7 @@ impl Protocol for Dragon {
                 let others = self.caches.other_holders(cache, block);
                 let mut out = if hit {
                     let event = if others.is_empty() {
-                        if self.memory_stale.contains(&block) {
+                        if self.memory_stale.contains(block) {
                             Event::WriteHit(WriteHitContext::Dirty)
                         } else {
                             Event::WriteHit(WriteHitContext::CleanExclusive)
@@ -134,11 +133,16 @@ impl Protocol for Dragon {
         }
         // Update protocol: every copy is current, so the *last* copy of a
         // stale-memory block must flush on its way out.
-        if self.caches.holders(block).is_empty() && self.memory_stale.remove(&block) {
+        if self.caches.holders(block).is_empty() && self.memory_stale.remove(block) {
             EvictOutcome::WRITE_BACK
         } else {
             EvictOutcome::SILENT
         }
+    }
+
+    fn reserve_blocks(&mut self, blocks: usize) {
+        self.caches.reserve_blocks(blocks);
+        self.memory_stale.reserve_blocks(blocks);
     }
 
     fn holders(&self, block: BlockAddr) -> CacheIdSet {
@@ -149,8 +153,8 @@ impl Protocol for Dragon {
         self.caches.check_residency()?;
         // A stale-memory block must still be cached somewhere (infinite
         // caches: the writer's copy cannot have vanished).
-        for block in &self.memory_stale {
-            if self.caches.holders(*block).is_empty() {
+        for block in self.memory_stale.iter() {
+            if self.caches.holders(block).is_empty() {
                 return Err(format!("{block}: memory stale but no cached copy"));
             }
         }

@@ -13,9 +13,8 @@
 
 use crate::event::{Event, EvictOutcome, MissContext, Outcome, WriteHitContext};
 use crate::protocol::{Protocol, ProtocolKind};
-use dircc_cache::CacheArray;
+use dircc_cache::{BlockSet, CacheArray};
 use dircc_types::{AccessKind, BlockAddr, CacheId, CacheIdSet};
-use std::collections::HashSet;
 
 /// The Firefly update protocol.
 ///
@@ -32,7 +31,7 @@ pub struct Firefly {
     caches: CacheArray<()>,
     /// Blocks whose sole copy is dirty (memory stale). Shared blocks are
     /// never stale: shared writes update memory.
-    memory_stale: HashSet<BlockAddr>,
+    memory_stale: BlockSet,
 }
 
 impl Firefly {
@@ -42,7 +41,7 @@ impl Firefly {
     ///
     /// Panics if `n_caches` is out of `1..=64`.
     pub fn new(n_caches: usize) -> Self {
-        Firefly { caches: CacheArray::new(n_caches), memory_stale: HashSet::new() }
+        Firefly { caches: CacheArray::new(n_caches), memory_stale: BlockSet::new() }
     }
 
     fn classify_miss(&self, block: BlockAddr, first_ref: bool) -> MissContext {
@@ -53,7 +52,7 @@ impl Firefly {
             } else {
                 MissContext::MemoryOnly
             }
-        } else if self.memory_stale.contains(&block) {
+        } else if self.memory_stale.contains(block) {
             MissContext::DirtyElsewhere
         } else {
             MissContext::CleanElsewhere { copies: holders.len() as u32 }
@@ -87,7 +86,7 @@ impl Protocol for Firefly {
                 out.cache_supplied = !self.caches.holders(block).is_empty();
                 // The supply transfer also refreshes memory if it was
                 // stale (the previous owner's data goes on the bus).
-                if self.memory_stale.remove(&block) {
+                if self.memory_stale.remove(block) {
                     out.memory_updated = true;
                 }
                 self.caches.set(cache, block, ());
@@ -98,7 +97,7 @@ impl Protocol for Firefly {
                 let others = self.caches.other_holders(cache, block);
                 let mut out = if hit {
                     let event = if others.is_empty() {
-                        if self.memory_stale.contains(&block) {
+                        if self.memory_stale.contains(block) {
                             Event::WriteHit(WriteHitContext::Dirty)
                         } else {
                             Event::WriteHit(WriteHitContext::CleanExclusive)
@@ -122,7 +121,7 @@ impl Protocol for Firefly {
                     // Shared: the update is a bus write that memory snarfs.
                     out.updates = 1;
                     out.memory_updated = true;
-                    self.memory_stale.remove(&block);
+                    self.memory_stale.remove(block);
                 }
                 self.caches.set(cache, block, ());
                 out
@@ -136,11 +135,16 @@ impl Protocol for Firefly {
             return EvictOutcome::SILENT;
         }
         // Only a sole holder can be stale (shared writes update memory).
-        if self.memory_stale.remove(&block) {
+        if self.memory_stale.remove(block) {
             EvictOutcome::WRITE_BACK
         } else {
             EvictOutcome::SILENT
         }
+    }
+
+    fn reserve_blocks(&mut self, blocks: usize) {
+        self.caches.reserve_blocks(blocks);
+        self.memory_stale.reserve_blocks(blocks);
     }
 
     fn holders(&self, block: BlockAddr) -> CacheIdSet {
@@ -149,8 +153,8 @@ impl Protocol for Firefly {
 
     fn check_invariants(&self) -> Result<(), String> {
         self.caches.check_residency()?;
-        for block in &self.memory_stale {
-            let holders = self.caches.holders(*block);
+        for block in self.memory_stale.iter() {
+            let holders = self.caches.holders(block);
             if holders.len() != 1 {
                 return Err(format!(
                     "{block}: memory stale requires exactly one (dirty) holder, found {}",

@@ -177,6 +177,10 @@ impl Protocol for Mesi {
         }
     }
 
+    fn reserve_blocks(&mut self, blocks: usize) {
+        self.caches.reserve_blocks(blocks);
+    }
+
     fn holders(&self, block: BlockAddr) -> CacheIdSet {
         self.caches.holders(block)
     }
@@ -188,7 +192,7 @@ impl Protocol for Mesi {
                 .iter()
                 .filter(|c| {
                     matches!(
-                        self.caches.state(*c, *block),
+                        self.caches.state(*c, block),
                         Some(&Copy::Modified) | Some(&Copy::Exclusive)
                     )
                 })

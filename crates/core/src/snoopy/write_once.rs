@@ -167,6 +167,10 @@ impl Protocol for WriteOnce {
         }
     }
 
+    fn reserve_blocks(&mut self, blocks: usize) {
+        self.caches.reserve_blocks(blocks);
+    }
+
     fn holders(&self, block: BlockAddr) -> CacheIdSet {
         self.caches.holders(block)
     }
@@ -178,7 +182,7 @@ impl Protocol for WriteOnce {
                 .iter()
                 .filter(|c| {
                     matches!(
-                        self.caches.state(*c, *block),
+                        self.caches.state(*c, block),
                         Some(&Copy::Reserved) | Some(&Copy::Dirty)
                     )
                 })

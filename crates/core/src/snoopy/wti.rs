@@ -116,6 +116,10 @@ impl Protocol for Wti {
         EvictOutcome::SILENT
     }
 
+    fn reserve_blocks(&mut self, blocks: usize) {
+        self.caches.reserve_blocks(blocks);
+    }
+
     fn holders(&self, block: BlockAddr) -> CacheIdSet {
         self.caches.holders(block)
     }

@@ -16,12 +16,26 @@
 //!   the globally latest write, stale copies must never survive a write in
 //!   an invalidation protocol, and data must never be supplied from stale
 //!   memory.
+//!
+//! # Dense block ids
+//!
+//! The engine *interns* blocks: each distinct block is renamed to a dense
+//! index in first-appearance order before it reaches the protocol, so every
+//! per-block table downstream (tag arrays, directory entries, verifier
+//! state) is a flat vector instead of a hash map. [`run`] interns on the
+//! fly — one hash probe per reference, doubling as the first-reference
+//! check — while [`run_indexed`] replays a prebuilt dense-id stream (from
+//! [`dircc_trace::TraceStore::dense_blocks`]) with *zero* hashing in the
+//! loop. Renaming is a bijection and protocols only compare blocks for
+//! identity, so both paths produce bit-identical counters; finite tag
+//! stores still hash on the **original** address because set selection
+//! uses raw address bits.
 
-use dircc_cache::{FiniteCacheConfig, SetAssocCache};
+use dircc_cache::{FiniteCacheConfig, Lookup, SetAssocCache};
 use dircc_core::{CoherenceStyle, Event, EventCounters, Protocol};
 use dircc_trace::TraceRecord;
 use dircc_types::{AccessKind, BlockAddr, BlockGeometry, CacheId};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// How trace CPUs map onto protocol caches (§4.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -104,28 +118,73 @@ pub struct RunResult {
 pub const MAX_VIOLATIONS: usize = 16;
 
 /// Value-level coherence verifier state.
-#[derive(Debug, Default)]
+///
+/// The engine hands the verifier *dense* block addresses, so all three
+/// tables are flat vectors indexed by block. Absent entries read as
+/// version 0 (the block's initial state), exactly as the former hash-map
+/// representation defaulted.
+#[derive(Debug)]
 struct Verifier {
     /// Monotonic version per block, bumped on every write.
-    version: HashMap<BlockAddr, u64>,
-    /// Version each cached copy holds.
-    copy: HashMap<(u16, BlockAddr), u64>,
+    version: Vec<u64>,
+    /// Version each cached copy holds, one table per cache.
+    copy: Vec<Vec<u64>>,
     /// Version main memory holds.
-    memory: HashMap<BlockAddr, u64>,
+    memory: Vec<u64>,
+}
+
+fn table_get(table: &[u64], b: BlockAddr) -> u64 {
+    table.get(b.index() as usize).copied().unwrap_or(0)
+}
+
+fn table_set(table: &mut Vec<u64>, b: BlockAddr, ver: u64) {
+    let i = b.index() as usize;
+    if table.len() <= i {
+        table.resize(i + 1, 0);
+    }
+    table[i] = ver;
 }
 
 impl Verifier {
+    fn new(n_caches: usize, blocks: usize) -> Self {
+        Verifier {
+            version: Vec::with_capacity(blocks),
+            copy: vec![Vec::with_capacity(blocks); n_caches],
+            memory: Vec::with_capacity(blocks),
+        }
+    }
+
     fn mem_version(&self, b: BlockAddr) -> u64 {
-        self.memory.get(&b).copied().unwrap_or(0)
+        table_get(&self.memory, b)
     }
 
     fn cur_version(&self, b: BlockAddr) -> u64 {
-        self.version.get(&b).copied().unwrap_or(0)
+        table_get(&self.version, b)
+    }
+
+    fn copy_version(&self, cache: CacheId, b: BlockAddr) -> u64 {
+        table_get(&self.copy[cache.index()], b)
+    }
+
+    fn set_version(&mut self, b: BlockAddr, ver: u64) {
+        table_set(&mut self.version, b, ver);
+    }
+
+    fn set_memory(&mut self, b: BlockAddr, ver: u64) {
+        table_set(&mut self.memory, b, ver);
+    }
+
+    fn set_copy(&mut self, cache: CacheId, b: BlockAddr, ver: u64) {
+        table_set(&mut self.copy[cache.index()], b, ver);
     }
 }
 
 /// Replays `records` through `protocol`, returning counters and any
 /// verifier findings.
+///
+/// Blocks are interned on the fly: the interning map doubles as the
+/// first-reference set, so the loop pays exactly one hash probe per data
+/// reference and the protocol sees dense block addresses throughout.
 ///
 /// # Errors
 ///
@@ -137,16 +196,84 @@ pub fn run<P: Protocol + ?Sized, I: IntoIterator<Item = TraceRecord>>(
     records: I,
     cfg: &RunConfig,
 ) -> Result<RunResult, String> {
+    let mut interner: HashMap<u64, u32> = HashMap::new();
+    run_core(protocol, records, cfg, 0, move |orig, _| {
+        let next = u32::try_from(interner.len()).expect("more than u32::MAX distinct blocks");
+        let mut first_ref = false;
+        let id = *interner.entry(orig.index()).or_insert_with(|| {
+            first_ref = true;
+            next
+        });
+        (BlockAddr::from_index(u64::from(id)), first_ref)
+    })
+}
+
+/// Replays `records` through `protocol` using a prebuilt dense-id stream
+/// (one id per record, aligned with `records`, as produced by
+/// [`dircc_trace::TraceStore::dense_blocks`]). `num_blocks` is the
+/// interner's distinct-block count and sizes the first-reference bit
+/// vector up front.
+///
+/// This is the zero-hashing hot path: the replay loop performs no hash
+/// probe at all for infinite-cache runs. Counters are bit-identical to
+/// [`run`] on the same records — pinned by this crate's equality tests.
+///
+/// # Errors
+///
+/// As [`run`]; additionally errs if `dense` is not aligned with `records`.
+pub fn run_indexed<P: Protocol + ?Sized>(
+    protocol: &mut P,
+    records: &[TraceRecord],
+    dense: &[u32],
+    num_blocks: usize,
+    cfg: &RunConfig,
+) -> Result<RunResult, String> {
+    if records.len() != dense.len() {
+        return Err(format!(
+            "dense-id stream has {} entries for {} records; rebuild it from the same stream",
+            dense.len(),
+            records.len()
+        ));
+    }
+    let mut seen = vec![0u64; num_blocks.div_ceil(64)];
+    run_core(protocol, records.iter().copied(), cfg, num_blocks, move |_, idx| {
+        let id = dense[idx];
+        let (word, bit) = (id as usize / 64, 1u64 << (id % 64));
+        if word >= seen.len() {
+            seen.resize(word + 1, 0);
+        }
+        let first_ref = seen[word] & bit == 0;
+        seen[word] |= bit;
+        (BlockAddr::from_index(u64::from(id)), first_ref)
+    })
+}
+
+/// The shared replay loop. `resolve(orig_block, record_index)` returns the
+/// dense block address and whether this is the block's global first
+/// reference; `block_capacity` pre-sizes the verifier's dense tables.
+fn run_core<P, I, F>(
+    protocol: &mut P,
+    records: I,
+    cfg: &RunConfig,
+    block_capacity: usize,
+    mut resolve: F,
+) -> Result<RunResult, String>
+where
+    P: Protocol + ?Sized,
+    I: IntoIterator<Item = TraceRecord>,
+    F: FnMut(BlockAddr, usize) -> (BlockAddr, bool),
+{
     let mut counters = EventCounters::new();
-    let mut seen: HashSet<BlockAddr> = HashSet::new();
-    let mut verifier = cfg.verify.then(Verifier::default);
+    let n = protocol.num_caches();
+    let mut verifier = cfg.verify.then(|| Verifier::new(n, block_capacity));
     let mut violations = Vec::new();
     let mut refs = 0u64;
-    let n = protocol.num_caches();
     // Finite-mode tag stores mirror each cache's resident blocks; LRU
     // victims are evicted from the protocol. Tags invalidated by remote
-    // writes linger until replaced (as in real caches).
-    let mut tag_stores: Option<Vec<SetAssocCache<()>>> =
+    // writes linger until replaced (as in real caches). Set selection uses
+    // raw address bits, so the stores are keyed on the ORIGINAL block
+    // address and carry the dense address as their state.
+    let mut tag_stores: Option<Vec<SetAssocCache<BlockAddr>>> =
         cfg.finite_cache.map(|fc| (0..n).map(|_| SetAssocCache::new(fc)).collect());
 
     for r in records {
@@ -162,12 +289,13 @@ pub fn run<P: Protocol + ?Sized, I: IntoIterator<Item = TraceRecord>>(
         if usize::from(cache_idx) >= n {
             return Err(format!(
                 "reference {refs}: cache index {cache_idx} out of range for {n} caches \
-                 (did you size the protocol for the sharing model?)"
+                 ({}, {}, {:?} at {}; did you size the protocol for the sharing model?)",
+                r.cpu, r.pid, r.kind, r.addr
             ));
         }
         let cache = CacheId::new(cache_idx);
-        let block = cfg.geometry.block_of(r.addr);
-        let first_ref = seen.insert(block);
+        let orig_block = cfg.geometry.block_of(r.addr);
+        let (block, first_ref) = resolve(orig_block, (refs - 1) as usize);
         let out = protocol.access(cache, r.kind, block, first_ref);
         counters.observe(&out);
 
@@ -176,18 +304,17 @@ pub fn run<P: Protocol + ?Sized, I: IntoIterator<Item = TraceRecord>>(
         }
         if let Some(stores) = tag_stores.as_mut() {
             let store = &mut stores[cache.index()];
-            if store.get(block).is_none() {
-                if let Some(victim) = store.insert(block, ()) {
-                    let evo = protocol.evict(cache, victim.block);
-                    counters.observe_eviction(&evo);
-                    if evo.write_back {
-                        if let Some(v) = verifier.as_mut() {
-                            // The evicted copy holds the latest data in
-                            // every protocol that answers WRITE_BACK.
-                            let ver =
-                                v.copy.get(&(cache.raw(), victim.block)).copied().unwrap_or(0);
-                            v.memory.insert(victim.block, ver);
-                        }
+            if let Lookup::Inserted { evicted: Some(victim) } =
+                store.lookup_or_insert(orig_block, block)
+            {
+                let evo = protocol.evict(cache, victim.state);
+                counters.observe_eviction(&evo);
+                if evo.write_back {
+                    if let Some(v) = verifier.as_mut() {
+                        // The evicted copy holds the latest data in
+                        // every protocol that answers WRITE_BACK.
+                        let ver = v.copy_version(cache, victim.state);
+                        v.set_memory(victim.state, ver);
                     }
                 }
             }
@@ -228,16 +355,16 @@ fn verify_access<P: Protocol + ?Sized>(
     match kind {
         AccessKind::Write => {
             let new_ver = v.cur_version(block) + 1;
-            v.version.insert(block, new_ver);
-            v.copy.insert((cache.raw(), block), new_ver);
+            v.set_version(block, new_ver);
+            v.set_copy(cache, block, new_ver);
             if out.memory_updated {
-                v.memory.insert(block, new_ver);
+                v.set_memory(block, new_ver);
             }
             match protocol.style() {
                 CoherenceStyle::Update => {
                     // Updates reach every current holder.
                     for h in holders.iter() {
-                        v.copy.insert((h.raw(), block), new_ver);
+                        v.set_copy(h, block, new_ver);
                     }
                 }
                 CoherenceStyle::Invalidate => {
@@ -255,7 +382,7 @@ fn verify_access<P: Protocol + ?Sized>(
             let cur = v.cur_version(block);
             match out.event {
                 Event::ReadHit => {
-                    let held = v.copy.get(&(cache.raw(), block)).copied().unwrap_or(0);
+                    let held = v.copy_version(cache, block);
                     if held != cur {
                         report(format!(
                             "read hit observed version {held} of {block}, latest is {cur}"
@@ -265,7 +392,7 @@ fn verify_access<P: Protocol + ?Sized>(
                 Event::ReadMiss(_) => {
                     // Where did the data come from?
                     if out.memory_updated {
-                        v.memory.insert(block, cur);
+                        v.set_memory(block, cur);
                     }
                     let supplied = if out.cache_supplied || out.write_back {
                         cur
@@ -277,7 +404,7 @@ fn verify_access<P: Protocol + ?Sized>(
                             "miss on {block} supplied version {supplied}, latest is {cur}"
                         ));
                     }
-                    v.copy.insert((cache.raw(), block), supplied);
+                    v.set_copy(cache, block, supplied);
                 }
                 other => report(format!("read classified as {other}")),
             }

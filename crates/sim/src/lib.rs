@@ -44,7 +44,7 @@ pub mod par;
 pub mod report;
 pub mod workbench;
 
-pub use engine::{run, RunConfig, RunResult, SharingModel};
+pub use engine::{run, run_indexed, RunConfig, RunResult, SharingModel};
 pub use metrics::Evaluation;
 pub use par::{default_jobs, par_map_indexed};
 pub use workbench::{RunTiming, TraceFilter, Workbench};

@@ -10,6 +10,7 @@
 //! dircc all                          # everything, in paper order
 //! dircc gen --profile pops --out t.dcct   # write a binary trace
 //! dircc stats --in t.dcct                 # Table 3 stats of a trace file
+//! dircc bench [--smoke] [--out FILE]      # replay-throughput benchmark
 //! ```
 //!
 //! Common flags: `--refs N` (references per trace; default = paper scale),
@@ -58,6 +59,8 @@ enum Kind {
     Sharing,
     /// Every `in_all` experiment, in table order.
     All,
+    /// Replay-throughput benchmark over the calibrated paper matrix.
+    Bench,
 }
 
 struct CommandSpec {
@@ -93,6 +96,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec { name: "network", kind: Kind::Network, io: Io::None, in_all: false },
     CommandSpec { name: "blocksize", kind: Kind::BlockSize, io: Io::None, in_all: false },
     CommandSpec { name: "all", kind: Kind::All, io: Io::None, in_all: false },
+    CommandSpec { name: "bench", kind: Kind::Bench, io: Io::Writes, in_all: false },
     CommandSpec { name: "gen", kind: Kind::Gen, io: Io::Writes, in_all: false },
     CommandSpec { name: "stats", kind: Kind::Stats, io: Io::Reads, in_all: false },
     CommandSpec { name: "sharing", kind: Kind::Sharing, io: Io::Reads, in_all: false },
@@ -110,6 +114,7 @@ struct Args {
     profile: String,
     out: Option<String>,
     input: Option<String>,
+    smoke: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -123,6 +128,7 @@ fn parse_args() -> Result<Args, String> {
         profile: "pops".to_string(),
         out: None,
         input: None,
+        smoke: false,
     };
     while let Some(flag) = args.next() {
         let mut value =
@@ -142,6 +148,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--profile" => parsed.profile = value("--profile")?,
             "--out" => parsed.out = Some(value("--out")?),
+            "--smoke" => parsed.smoke = true,
             "--in" => parsed.input = Some(value("--in")?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -157,6 +164,9 @@ fn validate_io(args: &Args) -> Result<(), String> {
     let Some(spec) = spec_for(&args.command) else {
         return Ok(()); // unknown commands error later, with the usage text
     };
+    if args.smoke && spec.name != "bench" {
+        return Err(format!("--smoke only applies to bench, not {}", spec.name));
+    }
     match spec.io {
         Io::None => {
             if args.out.is_some() || args.input.is_some() {
@@ -173,7 +183,7 @@ fn validate_io(args: &Args) -> Result<(), String> {
         }
         Io::Writes => {
             if args.input.is_some() {
-                return Err(format!("{} writes a trace; pass --out FILE, not --in", spec.name));
+                return Err(format!("{} writes a file; pass --out FILE, not --in", spec.name));
             }
         }
     }
@@ -183,7 +193,7 @@ fn validate_io(args: &Args) -> Result<(), String> {
 fn usage() -> String {
     // Derived from COMMANDS so the list can never go stale.
     let mut lines = vec!["usage: dircc <command> [--refs N] [--seed S] [--jobs N] \
-         [--profile pops|thor|pero|custom] [--out FILE | --in FILE]"
+         [--profile pops|thor|pero|custom] [--out FILE | --in FILE] [--smoke]"
         .to_string()];
     let mut line = String::from("commands:");
     for c in COMMANDS {
@@ -357,6 +367,70 @@ fn run_workbench_command(args: &Args, all: bool) -> Result<(), String> {
     result
 }
 
+/// `dircc bench`: replays the calibrated paper matrix (the same
+/// (protocol, filter) x trace work list `dircc all` warms), then writes a
+/// machine-readable throughput report. Replay wall-clock sums CPU time
+/// across workers, so `--jobs 1` is the number to quote. `--smoke` runs a
+/// tiny matrix for CI.
+fn bench(args: &Args) -> Result<(), String> {
+    let wb = match (args.refs, args.smoke) {
+        (Some(n), _) => Workbench::paper_scaled(n, args.seed),
+        (None, true) => Workbench::paper_scaled(20_000, args.seed),
+        (None, false) => Workbench::paper(args.seed),
+    };
+    let executed = wb.warm(&wb.paper_workload(), args.jobs);
+    let timings = wb.timings();
+
+    use std::fmt::Write as _;
+    let mut json = String::from("{\n  \"runs\": [\n");
+    let (mut total_refs, mut total_wall) = (0u64, std::time::Duration::ZERO);
+    for (i, t) in timings.iter().enumerate() {
+        let filter = match t.filter {
+            TraceFilter::Full => "full",
+            TraceFilter::ExcludeLockSpins => "no-spins",
+        };
+        let _ = write!(
+            json,
+            "    {{\"scheme\": \"{}\", \"trace\": \"{}\", \"filter\": \"{}\", \
+             \"refs\": {}, \"wall_ms\": {:.3}, \"refs_per_sec\": {:.0}}}",
+            t.scheme,
+            t.trace,
+            filter,
+            t.refs,
+            t.wall.as_secs_f64() * 1e3,
+            t.refs_per_sec()
+        );
+        json.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+        total_refs += t.refs;
+        total_wall += t.wall;
+    }
+    let total_rps =
+        if total_wall.is_zero() { 0.0 } else { total_refs as f64 / total_wall.as_secs_f64() };
+    let _ = write!(
+        json,
+        "  ],\n  \"totals\": {{\"runs\": {}, \"refs\": {}, \"wall_ms\": {:.3}, \
+         \"refs_per_sec\": {:.0}}}\n}}\n",
+        executed,
+        total_refs,
+        total_wall.as_secs_f64() * 1e3,
+        total_rps
+    );
+
+    let path = args.out.clone().unwrap_or_else(|| "BENCH_replay.json".to_string());
+    std::fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "bench: {executed} runs, {total_refs} refs, {:.1} ms replay (cpu), \
+         {:.1}M refs/sec -> {path}",
+        total_wall.as_secs_f64() * 1e3,
+        total_rps / 1e6
+    );
+    let summary = wb.timing_summary();
+    if !summary.is_empty() {
+        eprint!("{summary}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -393,6 +467,7 @@ fn main() -> ExitCode {
         }
         Kind::Workbench => run_workbench_command(&args, false),
         Kind::All => run_workbench_command(&args, true),
+        Kind::Bench => bench(&args),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -13,9 +13,9 @@
 //! counters depend only on (profile, seed, protocol, filter), never on
 //! which thread computed them or in what order.
 
-use crate::engine::{run, RunConfig};
+use crate::engine::{run_indexed, RunConfig};
 use crate::metrics::Evaluation;
-use dircc_core::{build, EventCounters, ProtocolKind};
+use dircc_core::{build_sized, EventCounters, ProtocolKind};
 use dircc_trace::gen::Profile;
 use dircc_trace::stats::TraceStats;
 use dircc_trace::store::TraceStore;
@@ -176,16 +176,23 @@ impl Workbench {
             Arc::clone(memo.entry(key).or_default())
         };
         cell.get_or_init(|| {
-            let records = self.store.records(trace, filter);
-            let mut protocol = build(kind, self.n_caches());
             // The paper classifies sharing per process ("a block is
             // considered shared only if it is accessed by more than one
             // process"), which excludes migration-induced sharing from the
             // study.
             let cfg = RunConfig::default().with_process_sharing();
+            // Dense replay: the store's interner renames blocks to dense
+            // u32 ids once per trace; the replay loop then runs with zero
+            // hashing and every per-block table pre-sized. Bit-identical
+            // to un-interned replay (renaming is a bijection; pinned by
+            // the engine's equality tests).
+            let records = self.store.records(trace, filter);
+            let dense = self.store.dense_blocks(trace, filter, cfg.geometry);
+            let num_blocks = self.store.interner(trace, cfg.geometry).num_blocks();
+            let mut protocol = build_sized(kind, self.n_caches(), num_blocks);
             let start = Instant::now();
-            let result =
-                run(protocol.as_mut(), records.iter().copied(), &cfg).expect("trace replay failed");
+            let result = run_indexed(protocol.as_mut(), &records, &dense, num_blocks, &cfg)
+                .expect("trace replay failed");
             self.timings.lock().expect("timings poisoned").push(RunTiming {
                 scheme: kind.display_name(self.n_caches()),
                 trace: self.store.profiles()[trace].name.to_string(),

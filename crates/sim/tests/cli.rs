@@ -219,3 +219,48 @@ fn determinism_across_invocations() {
     };
     assert_eq!(run(), run());
 }
+
+/// `dircc bench --smoke` writes the machine-readable throughput report
+/// with every schema field present, plus the totals row.
+#[test]
+fn bench_smoke_writes_the_replay_report() {
+    let dir = std::env::temp_dir().join(format!("dircc_bench_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_replay.json");
+    let path_s = path.to_str().unwrap();
+
+    let out = dircc()
+        .args(["bench", "--smoke", "--jobs", "2", "--out", path_s])
+        .output()
+        .expect("run bench");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let headline = String::from_utf8_lossy(&out.stdout);
+    assert!(headline.contains("bench: 42 runs"), "{headline}");
+    assert!(headline.contains("refs/sec"), "{headline}");
+
+    let json = std::fs::read_to_string(&path).expect("report written");
+    for field in [
+        "\"runs\"",
+        "\"scheme\"",
+        "\"trace\"",
+        "\"filter\"",
+        "\"refs\"",
+        "\"wall_ms\"",
+        "\"refs_per_sec\"",
+        "\"totals\"",
+    ] {
+        assert!(json.contains(field), "report must carry {field}: {json}");
+    }
+    assert!(json.contains("\"Dir1NB\"") && json.contains("\"POPS\""), "{json}");
+    assert!(json.trim_end().ends_with('}'), "well-formed JSON object");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `--smoke` is bench-specific; other commands must reject it.
+#[test]
+fn smoke_flag_is_rejected_outside_bench() {
+    let out = dircc().args(["table1", "--smoke"]).output().expect("run dircc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--smoke only applies to bench"));
+}

@@ -1,0 +1,152 @@
+//! Block interning: dense ids for the blocks a trace actually touches.
+//!
+//! Trace addresses are sparse — whatever the generator's region layout
+//! produces. Replaying through hash-mapped per-block state pays a
+//! SipHash probe for every table on every reference. A [`BlockInterner`]
+//! makes one pass over a stored stream and assigns each distinct block a
+//! dense [`BlockId`] in first-appearance order; replay then renames blocks
+//! to their dense ids, so every per-block structure (tag arrays, directory
+//! entries, first-reference set, verifier tables) becomes a flat vector.
+//!
+//! The renaming is a bijection per (trace, geometry). Protocols only ever
+//! compare blocks for identity, so dense replay produces bit-identical
+//! event counts — pinned by `dircc-sim`'s interned-vs-raw equality tests.
+
+use crate::record::TraceRecord;
+use dircc_types::{BlockAddr, BlockGeometry, BlockId};
+use std::collections::HashMap;
+
+/// A dense renaming of the blocks in one (trace, geometry) stream.
+#[derive(Debug, Clone)]
+pub struct BlockInterner {
+    geometry: BlockGeometry,
+    ids: HashMap<u64, u32>,
+}
+
+impl BlockInterner {
+    /// Builds an interner over every *data* reference in `records`
+    /// (instruction fetches never reach block-level state), assigning
+    /// dense ids in first-appearance order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream touches more than `u32::MAX` distinct blocks.
+    pub fn from_records<'a, I>(records: I, geometry: BlockGeometry) -> Self
+    where
+        I: IntoIterator<Item = &'a TraceRecord>,
+    {
+        let mut ids: HashMap<u64, u32> = HashMap::new();
+        for r in records {
+            if !r.is_data() {
+                continue;
+            }
+            let block = geometry.block_of(r.addr).index();
+            let next = ids.len();
+            ids.entry(block).or_insert_with(|| {
+                u32::try_from(next).expect("more than u32::MAX distinct blocks")
+            });
+        }
+        BlockInterner { geometry, ids }
+    }
+
+    /// The geometry the interner was built with.
+    pub fn geometry(&self) -> BlockGeometry {
+        self.geometry
+    }
+
+    /// Number of distinct blocks interned — the exact capacity hint for
+    /// dense per-block tables.
+    pub fn num_blocks(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns the dense id of `block`, if the stream touches it.
+    #[inline]
+    pub fn get(&self, block: BlockAddr) -> Option<BlockId> {
+        self.ids.get(&block.index()).map(|&id| BlockId::new(id))
+    }
+
+    /// Maps each record of `records` to the dense id of its block, aligned
+    /// one-to-one with the input (instruction fetches, which carry no
+    /// block-level state, map to a placeholder id 0 that replay never
+    /// reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a data record's block was not interned (i.e. `records` is
+    /// not drawn from the stream this interner was built over).
+    pub fn dense_stream(&self, records: &[TraceRecord]) -> Vec<u32> {
+        records
+            .iter()
+            .map(|r| {
+                if !r.is_data() {
+                    return 0;
+                }
+                let block = self.geometry.block_of(r.addr);
+                self.ids
+                    .get(&block.index())
+                    .copied()
+                    .unwrap_or_else(|| panic!("{block}: not in the interned stream"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{Generator, Profile};
+    use crate::stats::TraceStats;
+
+    fn trace() -> Vec<TraceRecord> {
+        Generator::new(Profile::pops().with_total_refs(20_000), 7).collect()
+    }
+
+    #[test]
+    fn ids_are_dense_and_first_appearance_ordered() {
+        let records = trace();
+        let geometry = BlockGeometry::PAPER;
+        let interner = BlockInterner::from_records(&records, geometry);
+        assert!(interner.num_blocks() > 0);
+        assert_eq!(interner.geometry(), geometry);
+        // First data record's block must be id 0; ids cover 0..n densely.
+        let first_block =
+            records.iter().find(|r| r.is_data()).map(|r| geometry.block_of(r.addr)).unwrap();
+        assert_eq!(interner.get(first_block), Some(BlockId::new(0)));
+        let mut seen = vec![false; interner.num_blocks()];
+        for r in records.iter().filter(|r| r.is_data()) {
+            let id = interner.get(geometry.block_of(r.addr)).expect("every data block interned");
+            seen[id.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every dense id in 0..n is used");
+    }
+
+    #[test]
+    fn count_matches_trace_stats() {
+        let records = trace();
+        let interner = BlockInterner::from_records(&records, BlockGeometry::PAPER);
+        let stats: TraceStats = records.iter().collect();
+        assert_eq!(interner.num_blocks(), stats.distinct_data_blocks());
+    }
+
+    #[test]
+    fn dense_stream_aligns_with_records() {
+        let records = trace();
+        let geometry = BlockGeometry::PAPER;
+        let interner = BlockInterner::from_records(&records, geometry);
+        let dense = interner.dense_stream(&records);
+        assert_eq!(dense.len(), records.len());
+        for (r, &id) in records.iter().zip(&dense) {
+            if r.is_data() {
+                assert_eq!(interner.get(geometry.block_of(r.addr)), Some(BlockId::new(id)));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_block_is_none() {
+        let records = trace();
+        let interner = BlockInterner::from_records(&records, BlockGeometry::PAPER);
+        assert_eq!(interner.get(BlockAddr::from_index(u64::MAX >> 5)), None);
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`store`] — generate-once shared storage: each (trace, filter) stream
 //!   is materialized exactly once per process into an `Arc<[TraceRecord]>`
 //!   and replayed by slice from any thread.
+//! * [`intern`] — dense block ids: a [`BlockInterner`](intern::BlockInterner)
+//!   renames a stream's sparse block addresses to first-appearance-order
+//!   `u32` ids so replay state lives in flat vectors instead of hash maps.
 //!
 //! # Examples
 //!
@@ -39,10 +42,12 @@
 pub mod codec;
 pub mod filter;
 pub mod gen;
+pub mod intern;
 pub mod record;
 pub mod sharing;
 pub mod stats;
 pub mod store;
 
+pub use intern::BlockInterner;
 pub use record::{RecordFlags, TraceRecord};
 pub use store::{TraceFilter, TraceStore};

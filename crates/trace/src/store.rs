@@ -17,9 +17,12 @@
 
 use crate::filter::exclude_lock_spins;
 use crate::gen::{Generator, Profile};
+use crate::intern::BlockInterner;
 use crate::record::TraceRecord;
+use dircc_types::BlockGeometry;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Trace preprocessing applied before replay.
 ///
@@ -51,6 +54,10 @@ struct TraceSlot {
     streams: [OnceLock<Arc<[TraceRecord]>>; 2],
 }
 
+/// A mutex-guarded map of memo cells: the cell is cloned out under the
+/// lock and initialized outside it, so builders never serialize.
+type MemoMap<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
+
 /// Thread-safe, generate-once storage for the synthetic trace suite.
 ///
 /// ```
@@ -70,6 +77,10 @@ pub struct TraceStore {
     slots: Vec<TraceSlot>,
     /// Number of generator executions (not stream requests).
     generations: AtomicU64,
+    /// Memoized dense renamings, one per (trace, geometry).
+    interners: MemoMap<(usize, BlockGeometry), Arc<BlockInterner>>,
+    /// Memoized per-record dense-id streams, one per (trace, filter, geometry).
+    dense: MemoMap<(usize, usize, BlockGeometry), Arc<[u32]>>,
 }
 
 impl TraceStore {
@@ -81,7 +92,14 @@ impl TraceStore {
     pub fn new(profiles: Vec<Profile>, seed: u64) -> Self {
         assert!(!profiles.is_empty(), "need at least one trace profile");
         let slots = profiles.iter().map(|_| TraceSlot::default()).collect();
-        TraceStore { profiles, seed, slots, generations: AtomicU64::new(0) }
+        TraceStore {
+            profiles,
+            seed,
+            slots,
+            generations: AtomicU64::new(0),
+            interners: Mutex::new(HashMap::new()),
+            dense: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The profiles this store generates.
@@ -128,6 +146,54 @@ impl TraceStore {
     /// generated-exactly-once guarantee; filters don't count).
     pub fn generations(&self) -> u64 {
         self.generations.load(Ordering::Relaxed)
+    }
+
+    /// The dense block renaming of one trace under `geometry`, built once
+    /// over the full stream and shared thereafter.
+    ///
+    /// Built over [`TraceFilter::Full`] so every derived (filtered) stream
+    /// of the same trace maps through the same renaming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is out of range.
+    pub fn interner(&self, trace: usize, geometry: BlockGeometry) -> Arc<BlockInterner> {
+        assert!(trace < self.slots.len(), "trace {trace} out of range");
+        let cell = {
+            let mut map = self.interners.lock().expect("interner memo poisoned");
+            map.entry((trace, geometry)).or_default().clone()
+        };
+        cell.get_or_init(|| {
+            let records = self.records(trace, TraceFilter::Full);
+            Arc::new(BlockInterner::from_records(records.iter(), geometry))
+        })
+        .clone()
+    }
+
+    /// The per-record dense block ids of one (trace, filter) stream under
+    /// `geometry`, aligned one-to-one with
+    /// [`records(trace, filter)`](TraceStore::records). Materialized once
+    /// and shared thereafter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is out of range.
+    pub fn dense_blocks(
+        &self,
+        trace: usize,
+        filter: TraceFilter,
+        geometry: BlockGeometry,
+    ) -> Arc<[u32]> {
+        let cell = {
+            let mut map = self.dense.lock().expect("dense memo poisoned");
+            map.entry((trace, filter.slot(), geometry)).or_default().clone()
+        };
+        cell.get_or_init(|| {
+            let interner = self.interner(trace, geometry);
+            let records = self.records(trace, filter);
+            interner.dense_stream(&records).into()
+        })
+        .clone()
     }
 }
 
@@ -192,5 +258,38 @@ mod tests {
     #[should_panic(expected = "at least one trace")]
     fn empty_profiles_rejected() {
         let _ = TraceStore::new(vec![], 0);
+    }
+
+    #[test]
+    fn interner_is_memoized_per_geometry() {
+        let s = store();
+        let a = s.interner(0, BlockGeometry::PAPER);
+        let b = s.interner(0, BlockGeometry::PAPER);
+        assert!(Arc::ptr_eq(&a, &b), "same (trace, geometry) shares the interner");
+        let wide = s.interner(0, BlockGeometry::new(5));
+        assert!(!Arc::ptr_eq(&a, &wide));
+        assert!(wide.num_blocks() <= a.num_blocks(), "wider blocks cannot increase count");
+        assert_eq!(s.generations(), 1, "interning reuses the stored stream");
+    }
+
+    #[test]
+    fn dense_blocks_align_with_records_for_every_filter() {
+        let s = store();
+        let geometry = BlockGeometry::PAPER;
+        let interner = s.interner(1, geometry);
+        for f in TraceFilter::ALL {
+            let records = s.records(1, f);
+            let dense = s.dense_blocks(1, f, geometry);
+            assert_eq!(dense.len(), records.len());
+            let again = s.dense_blocks(1, f, geometry);
+            assert!(Arc::ptr_eq(&dense, &again), "dense stream is memoized");
+            for (r, &id) in records.iter().zip(dense.iter()) {
+                if r.is_data() {
+                    let expect = interner.get(geometry.block_of(r.addr)).unwrap();
+                    assert_eq!(expect.raw(), id);
+                }
+            }
+        }
+        assert_eq!(s.generations(), 1);
     }
 }

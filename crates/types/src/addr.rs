@@ -92,6 +92,51 @@ impl fmt::Display for BlockAddr {
     }
 }
 
+/// A dense block index assigned by an interner.
+///
+/// [`BlockAddr`]s are sparse — whatever block numbers a trace's address
+/// stream happens to touch. A `BlockId` is the dense renaming of those
+/// blocks in first-appearance order (`0..num_blocks`), which lets every
+/// per-block table in the replay hot path be a flat `Vec` instead of a
+/// hash map. The mapping is bijective per (trace, geometry), so replaying
+/// with dense ids produces bit-identical event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    /// Creates a dense block id.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        BlockId(raw)
+    }
+
+    /// Returns the raw dense index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the dense index widened to `usize` for container indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reinterprets the dense id as a [`BlockAddr`], the currency of the
+    /// protocol API. The result is only meaningful to components fed by
+    /// the same interner.
+    #[inline]
+    pub const fn as_block_addr(self) -> BlockAddr {
+        BlockAddr::from_index(self.0 as u64)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk#{}", self.0)
+    }
+}
+
 /// Index of a word within a block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct WordIndex(u8);
@@ -248,5 +293,15 @@ mod tests {
         let a: Address = 42u64.into();
         let r: u64 = a.into();
         assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn block_id_round_trips() {
+        let id = BlockId::new(7);
+        assert_eq!(id.raw(), 7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.as_block_addr(), BlockAddr::from_index(7));
+        assert_eq!(id.to_string(), "blk#7");
+        assert!(BlockId::new(1) < BlockId::new(2));
     }
 }

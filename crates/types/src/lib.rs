@@ -9,6 +9,9 @@
 //! * [`Address`] / [`BlockAddr`] — byte addresses and cache-block addresses,
 //!   related through a [`BlockGeometry`] (the paper uses 4-word / 16-byte
 //!   blocks throughout).
+//! * [`BlockId`] — a dense (interned) block index; the replay hot path
+//!   renames sparse block addresses to dense ids so per-block state lives
+//!   in flat vectors instead of hash maps.
 //! * [`CacheId`] / [`CpuId`] / [`ProcessId`] — the three identity spaces the
 //!   paper distinguishes: hardware caches, CPUs that issue references, and
 //!   software processes (sharing is classified *per process* in the paper).
@@ -34,7 +37,7 @@ mod ids;
 mod set;
 
 pub use access::AccessKind;
-pub use addr::{Address, BlockAddr, BlockGeometry, WordIndex};
+pub use addr::{Address, BlockAddr, BlockGeometry, BlockId, WordIndex};
 pub use ids::{CacheId, CpuId, ProcessId};
 pub use set::{CacheIdSet, CacheIdSetIter};
 

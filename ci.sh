@@ -4,6 +4,12 @@ set -eux
 
 cargo build --release
 cargo test -q
+# Correctness gate: bounded exhaustive model check of every protocol.
+./target/release/dircc check --smoke
+# Perf gate: replay throughput report, then compare the deterministic
+# per-run counters against the checked-in baseline (wall-clock drift is
+# reported but never fails).
 ./target/release/dircc bench --smoke --out /tmp/BENCH_smoke.json
+./target/release/dircc benchcmp --smoke --in BENCH_smoke.json
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check

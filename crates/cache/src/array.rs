@@ -208,6 +208,23 @@ impl<S> CacheArray<S> {
             .map(|(b, set)| (BlockAddr::from_index(b as u64), set))
     }
 
+    /// Appends a canonical, self-delimiting encoding of every resident
+    /// copy to `out`: a resident-block count, then per block (in block
+    /// order) the block index, the holder bitset, and one `code(state)`
+    /// word per holder in cache-id order. Two arrays encode equally iff
+    /// they hold the same blocks in the same caches with `code`-equal
+    /// states — the building block for `Protocol::encode_state`.
+    pub fn encode_states(&self, out: &mut Vec<u64>, mut code: impl FnMut(&S) -> u64) {
+        out.push(self.distinct as u64);
+        for (block, holders) in self.iter_blocks() {
+            out.push(block.index());
+            out.push(holders.bits());
+            for cache in holders.iter() {
+                out.push(code(self.state(cache, block).expect("oracle-listed holder has state")));
+            }
+        }
+    }
+
     /// Checks the internal residency-oracle invariant; used by tests and
     /// the protocol invariant checkers.
     ///
@@ -383,6 +400,26 @@ mod tests {
     fn sparse_block_index_rejected() {
         let mut a: CacheArray<()> = CacheArray::new(1);
         a.set(c(0), b(1 << 40), ());
+    }
+
+    #[test]
+    fn encode_states_is_canonical() {
+        let mut a: CacheArray<u8> = CacheArray::new(3);
+        a.set(c(0), b(1), 7);
+        a.set(c(2), b(1), 9);
+        let mut x = Vec::new();
+        a.encode_states(&mut x, |s| u64::from(*s));
+        // 1 block; block 1 held by caches {0, 2} with states 7 and 9.
+        assert_eq!(x, vec![1, 1, 0b101, 7, 9]);
+
+        // A grown-then-emptied table encodes identically to a fresh one.
+        let mut grown: CacheArray<u8> = CacheArray::new(3);
+        grown.set(c(1), b(5), 3);
+        grown.remove(c(1), b(5));
+        let (mut g, mut f) = (Vec::new(), Vec::new());
+        grown.encode_states(&mut g, |s| u64::from(*s));
+        CacheArray::<u8>::new(3).encode_states(&mut f, |s| u64::from(*s));
+        assert_eq!(g, f);
     }
 
     #[test]

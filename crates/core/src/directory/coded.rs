@@ -258,6 +258,24 @@ impl Protocol for CodedSet {
         }
         Ok(())
     }
+
+    fn encode_state(&self, out: &mut Vec<u64>) {
+        self.caches.encode_states(out, |s| u64::from(*s == Copy::Dirty));
+        // `wasted_invalidates` is a monotonic statistic, not state.
+        out.push(self.dir.len() as u64);
+        for (block, entry) in self.dir.iter() {
+            out.push(block.index());
+            out.push(u64::from(entry.dirty));
+            // Value bits under a 'both' digit are don't-cares; mask them
+            // so equivalent codes encode equally.
+            out.push(u64::from(entry.code.value & !entry.code.both_mask));
+            out.push(u64::from(entry.code.both_mask));
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -258,6 +258,27 @@ impl Protocol for Dir0B {
         }
         Ok(())
     }
+
+    fn encode_state(&self, out: &mut Vec<u64>) {
+        self.caches.encode_states(out, |s| u64::from(*s == Copy::Dirty));
+        // Eviction leaves explicit NotCached entries behind; an absent
+        // entry means the same thing, so both normalise to "skipped".
+        let live: Vec<_> = self.dir.iter().filter(|(_, s)| **s != DirState::NotCached).collect();
+        out.push(live.len() as u64);
+        for (block, state) in live {
+            out.push(block.index());
+            out.push(match state {
+                DirState::NotCached => unreachable!("filtered above"),
+                DirState::CleanOne => 1,
+                DirState::CleanMany => 2,
+                DirState::DirtyOne => 3,
+            });
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -281,6 +281,24 @@ impl Protocol for DirB {
         }
         Ok(())
     }
+
+    fn encode_state(&self, out: &mut Vec<u64>) {
+        self.caches.encode_states(out, |s| u64::from(*s == Copy::Dirty));
+        // Unlike Dir_i_NB there is no FIFO eviction, so pointer order is
+        // irrelevant; a bitset canonicalises arrival-order permutations.
+        out.push(self.dir.len() as u64);
+        for (block, entry) in self.dir.iter() {
+            let ptr_set: CacheIdSet = entry.ptrs.iter().copied().collect();
+            out.push(block.index());
+            out.push(u64::from(entry.dirty));
+            out.push(u64::from(entry.broadcast));
+            out.push(ptr_set.bits());
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -339,6 +339,23 @@ impl Protocol for DirNb {
         }
         Ok(())
     }
+
+    fn encode_state(&self, out: &mut Vec<u64>) {
+        self.caches.encode_states(out, |s| u64::from(*s == Copy::Dirty));
+        // Pointer order is behavior (the front is the FIFO eviction
+        // victim), so the entries encode in insertion order.
+        out.push(self.dir.len() as u64);
+        for (block, entry) in self.dir.iter() {
+            out.push(block.index());
+            out.push(u64::from(entry.dirty));
+            out.push(entry.ptrs.len() as u64);
+            out.extend(entry.ptrs.iter().map(|c| u64::from(c.raw())));
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

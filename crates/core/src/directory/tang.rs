@@ -73,6 +73,14 @@ impl Protocol for Tang {
     fn check_invariants(&self) -> Result<(), String> {
         self.inner.check_invariants()
     }
+
+    fn encode_state(&self, out: &mut Vec<u64>) {
+        self.inner.encode_state(out);
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,16 @@ impl Protocol for YenFu {
     fn check_invariants(&self) -> Result<(), String> {
         self.inner.check_invariants()
     }
+
+    fn encode_state(&self, out: &mut Vec<u64>) {
+        // The single bit is derived from the holder set, so the full-map
+        // state is the complete state.
+        self.inner.encode_state(out);
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

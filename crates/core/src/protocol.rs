@@ -180,6 +180,38 @@ pub trait Protocol {
     /// Which caches currently hold a valid copy of `block`.
     fn holders(&self, block: BlockAddr) -> CacheIdSet;
 
+    /// Appends a canonical encoding of the complete protocol state to
+    /// `out`, for state-space deduplication in `dircc-check`.
+    ///
+    /// Two states of the *same* protocol type must produce equal
+    /// encodings if and only if they behave identically under every
+    /// future op sequence. The encoding must therefore be
+    /// self-delimiting (length-prefix variable sections), must
+    /// normalise representation artifacts that cannot affect behavior
+    /// (e.g. tombstone directory entries), and must exclude monotonic
+    /// statistics counters.
+    ///
+    /// Only used by the bounded model checker; the default
+    /// implementation panics so protocols opt in explicitly.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation always panics.
+    fn encode_state(&self, out: &mut Vec<u64>) {
+        let _ = out;
+        panic!("{} does not support state encoding", self.name())
+    }
+
+    /// Clones the protocol behind the trait object, for forking a state
+    /// during exhaustive exploration.
+    ///
+    /// # Panics
+    ///
+    /// The default implementation always panics.
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        panic!("{} does not support cloning", self.name())
+    }
+
     /// Verifies every internal invariant (single-writer, directory/cache
     /// agreement, pointer-occupancy bounds, …).
     ///

@@ -164,6 +164,16 @@ impl Protocol for Firefly {
         }
         Ok(())
     }
+
+    fn encode_state(&self, out: &mut Vec<u64>) {
+        self.caches.encode_states(out, |()| 0);
+        out.push(self.memory_stale.len() as u64);
+        out.extend(self.memory_stale.iter().map(|b| b.index()));
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

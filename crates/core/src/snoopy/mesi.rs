@@ -206,6 +206,18 @@ impl Protocol for Mesi {
         }
         Ok(())
     }
+
+    fn encode_state(&self, out: &mut Vec<u64>) {
+        self.caches.encode_states(out, |s| match s {
+            Copy::Shared => 0,
+            Copy::Exclusive => 1,
+            Copy::Modified => 2,
+        });
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

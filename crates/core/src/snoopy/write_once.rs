@@ -196,6 +196,18 @@ impl Protocol for WriteOnce {
         }
         Ok(())
     }
+
+    fn encode_state(&self, out: &mut Vec<u64>) {
+        self.caches.encode_states(out, |s| match s {
+            Copy::Valid => 0,
+            Copy::Reserved => 1,
+            Copy::Dirty => 2,
+        });
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -127,6 +127,15 @@ impl Protocol for Wti {
     fn check_invariants(&self) -> Result<(), String> {
         self.caches.check_residency()
     }
+
+    fn encode_state(&self, out: &mut Vec<u64>) {
+        // Write-through: residency is the whole state.
+        self.caches.encode_states(out, |()| 0);
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Protocol> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

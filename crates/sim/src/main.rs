@@ -11,7 +11,15 @@
 //! dircc gen --profile pops --out t.dcct   # write a binary trace
 //! dircc stats --in t.dcct                 # Table 3 stats of a trace file
 //! dircc bench [--smoke] [--out FILE]      # replay-throughput benchmark
+//! dircc benchcmp [--smoke] [--in FILE]    # bench-regression gate
+//! dircc check [--smoke] [--cpus N] [--blocks M] [--depth D] [--scheme S]
 //! ```
+//!
+//! `dircc check` exhaustively explores every protocol's state space up to
+//! the given bounds (see the `dircc-check` crate) and prints a per-scheme
+//! PASS/FAIL table; any violation prints a minimal counterexample and
+//! fails the process. `dircc benchcmp` re-runs the bench matrix and fails
+//! if any deterministic per-run counter drifts from a checked-in baseline.
 //!
 //! Common flags: `--refs N` (references per trace; default = paper scale),
 //! `--seed S` (default 1988), `--jobs N` (worker threads; default = the
@@ -19,6 +27,7 @@
 //! stdout is byte-identical for any thread count; per-run wall-clock
 //! timings go to stderr.
 
+use dircc_check::{check_protocol, CheckConfig};
 use dircc_core::ProtocolKind;
 use dircc_sim::experiments::{extensions, figures, network, studies, system, tables};
 use dircc_sim::{default_jobs, TraceFilter, Workbench};
@@ -61,6 +70,10 @@ enum Kind {
     All,
     /// Replay-throughput benchmark over the calibrated paper matrix.
     Bench,
+    /// Regression gate: fresh bench counters vs a checked-in baseline.
+    BenchCmp,
+    /// Bounded exhaustive model check of every protocol.
+    Check,
 }
 
 struct CommandSpec {
@@ -97,6 +110,8 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec { name: "blocksize", kind: Kind::BlockSize, io: Io::None, in_all: false },
     CommandSpec { name: "all", kind: Kind::All, io: Io::None, in_all: false },
     CommandSpec { name: "bench", kind: Kind::Bench, io: Io::Writes, in_all: false },
+    CommandSpec { name: "benchcmp", kind: Kind::BenchCmp, io: Io::Reads, in_all: false },
+    CommandSpec { name: "check", kind: Kind::Check, io: Io::None, in_all: false },
     CommandSpec { name: "gen", kind: Kind::Gen, io: Io::Writes, in_all: false },
     CommandSpec { name: "stats", kind: Kind::Stats, io: Io::Reads, in_all: false },
     CommandSpec { name: "sharing", kind: Kind::Sharing, io: Io::Reads, in_all: false },
@@ -115,6 +130,10 @@ struct Args {
     out: Option<String>,
     input: Option<String>,
     smoke: bool,
+    cpus: Option<usize>,
+    blocks: Option<usize>,
+    depth: Option<usize>,
+    scheme: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -129,6 +148,10 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         input: None,
         smoke: false,
+        cpus: None,
+        blocks: None,
+        depth: None,
+        scheme: None,
     };
     while let Some(flag) = args.next() {
         let mut value =
@@ -149,6 +172,17 @@ fn parse_args() -> Result<Args, String> {
             "--profile" => parsed.profile = value("--profile")?,
             "--out" => parsed.out = Some(value("--out")?),
             "--smoke" => parsed.smoke = true,
+            "--cpus" => {
+                parsed.cpus = Some(value("--cpus")?.parse().map_err(|e| format!("--cpus: {e}"))?)
+            }
+            "--blocks" => {
+                parsed.blocks =
+                    Some(value("--blocks")?.parse().map_err(|e| format!("--blocks: {e}"))?)
+            }
+            "--depth" => {
+                parsed.depth = Some(value("--depth")?.parse().map_err(|e| format!("--depth: {e}"))?)
+            }
+            "--scheme" => parsed.scheme = Some(value("--scheme")?),
             "--in" => parsed.input = Some(value("--in")?),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -164,8 +198,22 @@ fn validate_io(args: &Args) -> Result<(), String> {
     let Some(spec) = spec_for(&args.command) else {
         return Ok(()); // unknown commands error later, with the usage text
     };
-    if args.smoke && spec.name != "bench" {
-        return Err(format!("--smoke only applies to bench, not {}", spec.name));
+    if args.smoke && !matches!(spec.name, "bench" | "benchcmp" | "check") {
+        return Err(format!(
+            "--smoke only applies to bench, benchcmp and check, not {}",
+            spec.name
+        ));
+    }
+    if spec.name != "check"
+        && (args.cpus.is_some()
+            || args.blocks.is_some()
+            || args.depth.is_some()
+            || args.scheme.is_some())
+    {
+        return Err(format!(
+            "--cpus/--blocks/--depth/--scheme only apply to check, not {}",
+            spec.name
+        ));
     }
     match spec.io {
         Io::None => {
@@ -193,7 +241,8 @@ fn validate_io(args: &Args) -> Result<(), String> {
 fn usage() -> String {
     // Derived from COMMANDS so the list can never go stale.
     let mut lines = vec!["usage: dircc <command> [--refs N] [--seed S] [--jobs N] \
-         [--profile pops|thor|pero|custom] [--out FILE | --in FILE] [--smoke]"
+         [--profile pops|thor|pero|custom] [--out FILE | --in FILE] [--smoke] \
+         [--cpus N] [--blocks M] [--depth D] [--scheme S]"
         .to_string()];
     let mut line = String::from("commands:");
     for c in COMMANDS {
@@ -385,10 +434,7 @@ fn bench(args: &Args) -> Result<(), String> {
     let mut json = String::from("{\n  \"runs\": [\n");
     let (mut total_refs, mut total_wall) = (0u64, std::time::Duration::ZERO);
     for (i, t) in timings.iter().enumerate() {
-        let filter = match t.filter {
-            TraceFilter::Full => "full",
-            TraceFilter::ExcludeLockSpins => "no-spins",
-        };
+        let filter = filter_label(t.filter);
         let _ = write!(
             json,
             "    {{\"scheme\": \"{}\", \"trace\": \"{}\", \"filter\": \"{}\", \
@@ -417,6 +463,11 @@ fn bench(args: &Args) -> Result<(), String> {
     );
 
     let path = args.out.clone().unwrap_or_else(|| "BENCH_replay.json".to_string());
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+    }
     std::fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?;
     println!(
         "bench: {executed} runs, {total_refs} refs, {:.1} ms replay (cpu), \
@@ -429,6 +480,184 @@ fn bench(args: &Args) -> Result<(), String> {
         eprint!("{summary}");
     }
     Ok(())
+}
+
+/// `dircc check`: bounded exhaustive model check of every scheme (or a
+/// single one via `--scheme`). Any invariant violation prints a minimal
+/// counterexample and fails the process.
+fn check(args: &Args) -> Result<(), String> {
+    let base = if args.smoke { CheckConfig::smoke() } else { CheckConfig::default() };
+    let cfg = CheckConfig {
+        cpus: args.cpus.unwrap_or(base.cpus),
+        blocks: args.blocks.unwrap_or(base.blocks),
+        depth: args.depth.unwrap_or(base.depth),
+    };
+    if cfg.cpus == 0 || cfg.cpus > 64 {
+        return Err("--cpus must be in 1..=64".to_string());
+    }
+    if cfg.blocks == 0 || cfg.blocks > 64 {
+        return Err("--blocks must be in 1..=64".to_string());
+    }
+    if cfg.depth == 0 {
+        return Err("--depth must be at least 1".to_string());
+    }
+    let mut kinds = dircc_check::default_kinds().to_vec();
+    if let Some(want) = &args.scheme {
+        let want = want.to_ascii_lowercase();
+        kinds.retain(|k| dircc_core::build(*k, cfg.cpus).name().to_ascii_lowercase() == want);
+        if kinds.is_empty() {
+            let names: Vec<String> = dircc_check::default_kinds()
+                .iter()
+                .map(|k| dircc_core::build(*k, cfg.cpus).name().to_string())
+                .collect();
+            return Err(format!(
+                "unknown scheme {}; one of: {}",
+                args.scheme.as_ref().unwrap(),
+                names.join(" ")
+            ));
+        }
+    }
+    println!("model check: {} cpus x {} blocks, depth {}", cfg.cpus, cfg.blocks, cfg.depth);
+    println!("{:<12} {:>10} {:>12}  result", "scheme", "states", "transitions");
+    let reports =
+        dircc_sim::par_map_indexed(kinds.len(), args.jobs, |i| check_protocol(kinds[i], &cfg));
+    let mut failed = 0usize;
+    for r in &reports {
+        println!(
+            "{:<12} {:>10} {:>12}  {}",
+            r.name,
+            r.states,
+            r.transitions,
+            if r.passed() { "PASS" } else { "FAIL" }
+        );
+        if let Some(ce) = &r.counterexample {
+            println!("  counterexample: {ce}");
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        Err(format!("model check: {failed} of {} scheme(s) FAILED", reports.len()))
+    } else {
+        println!("model check: all {} scheme(s) PASS", reports.len());
+        Ok(())
+    }
+}
+
+/// One run row of a `dircc bench` JSON report.
+struct BenchRun {
+    scheme: String,
+    trace: String,
+    filter: String,
+    refs: u64,
+    wall_ms: f64,
+}
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the per-run rows from a `dircc bench` JSON report (one run
+/// object per line, hand-rolled to match the hand-rolled writer).
+fn parse_bench_runs(text: &str) -> Vec<BenchRun> {
+    text.lines()
+        .filter(|l| l.contains("\"scheme\""))
+        .filter_map(|l| {
+            Some(BenchRun {
+                scheme: json_str_field(l, "scheme")?,
+                trace: json_str_field(l, "trace")?,
+                filter: json_str_field(l, "filter")?,
+                refs: json_num_field(l, "refs")? as u64,
+                wall_ms: json_num_field(l, "wall_ms")?,
+            })
+        })
+        .collect()
+}
+
+fn filter_label(filter: TraceFilter) -> &'static str {
+    match filter {
+        TraceFilter::Full => "full",
+        TraceFilter::ExcludeLockSpins => "no-spins",
+    }
+}
+
+/// `dircc benchcmp`: re-runs the bench matrix and compares the
+/// deterministic per-run fields (scheme, trace, filter, refs) against a
+/// baseline report (`--in`, default `BENCH_smoke.json` with `--smoke`,
+/// else `BENCH_replay.json`). Runs are matched by sorted key — a bench
+/// report lists runs in completion order, which varies with `--jobs`.
+/// Any drift fails the process; wall-clock changes are reported but
+/// never fatal.
+fn benchcmp(args: &Args) -> Result<(), String> {
+    let path = args.input.clone().unwrap_or_else(|| {
+        if args.smoke {
+            "BENCH_smoke.json".to_string()
+        } else {
+            "BENCH_replay.json".to_string()
+        }
+    });
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let baseline = parse_bench_runs(&text);
+    if baseline.is_empty() {
+        return Err(format!("{path}: no runs found (not a dircc bench report?)"));
+    }
+
+    let wb = match (args.refs, args.smoke) {
+        (Some(n), _) => Workbench::paper_scaled(n, args.seed),
+        (None, true) => Workbench::paper_scaled(20_000, args.seed),
+        (None, false) => Workbench::paper(args.seed),
+    };
+    wb.warm(&wb.paper_workload(), args.jobs);
+    let timings = wb.timings();
+
+    let mut drift = Vec::new();
+    if timings.len() != baseline.len() {
+        drift.push(format!("run count: baseline {}, fresh {}", baseline.len(), timings.len()));
+    }
+    let mut base_keys: Vec<(String, String, String, u64)> = baseline
+        .iter()
+        .map(|b| (b.scheme.clone(), b.trace.clone(), b.filter.clone(), b.refs))
+        .collect();
+    let mut fresh_keys: Vec<(String, String, String, u64)> = timings
+        .iter()
+        .map(|t| (t.scheme.clone(), t.trace.clone(), filter_label(t.filter).to_string(), t.refs))
+        .collect();
+    base_keys.sort();
+    fresh_keys.sort();
+    for (b, f) in base_keys.iter().zip(fresh_keys.iter()) {
+        if b != f {
+            drift.push(format!(
+                "baseline {}/{}/{} refs={} vs fresh {}/{}/{} refs={}",
+                b.0, b.1, b.2, b.3, f.0, f.1, f.2, f.3
+            ));
+        }
+    }
+    let base_wall: f64 = baseline.iter().map(|r| r.wall_ms).sum();
+    let fresh_wall: f64 = timings.iter().map(|t| t.wall.as_secs_f64() * 1e3).sum();
+    let delta = if base_wall > 0.0 { 100.0 * (fresh_wall - base_wall) / base_wall } else { 0.0 };
+    println!(
+        "benchcmp: wall {base_wall:.1} ms -> {fresh_wall:.1} ms ({delta:+.1}%, informational)"
+    );
+    if drift.is_empty() {
+        println!("benchcmp: PASS — {} run(s) match {path}", baseline.len());
+        Ok(())
+    } else {
+        for d in &drift {
+            eprintln!("benchcmp: drift: {d}");
+        }
+        Err(format!("benchcmp: {} drifted run(s) vs {path}", drift.len()))
+    }
 }
 
 fn main() -> ExitCode {
@@ -468,6 +697,8 @@ fn main() -> ExitCode {
         Kind::Workbench => run_workbench_command(&args, false),
         Kind::All => run_workbench_command(&args, true),
         Kind::Bench => bench(&args),
+        Kind::BenchCmp => benchcmp(&args),
+        Kind::Check => check(&args),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -198,6 +198,9 @@ fn usage_lists_every_subcommand() {
         "network",
         "blocksize",
         "all",
+        "bench",
+        "benchcmp",
+        "check",
         "gen",
         "stats",
         "sharing",
@@ -257,10 +260,109 @@ fn bench_smoke_writes_the_replay_report() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// `--smoke` is bench-specific; other commands must reject it.
+/// `--smoke` belongs to bench/benchcmp/check; other commands reject it.
 #[test]
 fn smoke_flag_is_rejected_outside_bench() {
     let out = dircc().args(["table1", "--smoke"]).output().expect("run dircc");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--smoke only applies to bench"));
+}
+
+/// `dircc bench --out` creates missing parent directories instead of
+/// failing (it used to surface a raw ENOENT).
+#[test]
+fn bench_out_creates_parent_directories() {
+    let dir = std::env::temp_dir().join(format!("dircc_bench_mkdir_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("nested/deeper/BENCH.json");
+    let path_s = path.to_str().unwrap();
+
+    let out = dircc()
+        .args(["bench", "--refs", "2000", "--jobs", "2", "--out", path_s])
+        .output()
+        .expect("run bench");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(path.exists(), "report must land at the nested path");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `dircc check --smoke` model-checks every scheme and prints the
+/// PASS/FAIL table.
+#[test]
+fn check_smoke_passes_every_scheme() {
+    let out = dircc().args(["check", "--smoke", "--jobs", "2"]).output().expect("run check");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("model check: all 12 scheme(s) PASS"), "{text}");
+    for scheme in ["Dir1NB", "Dir0B", "Dir1B", "DirCodedNB", "Tang", "YenFu", "WTI", "MESI"] {
+        assert!(text.contains(scheme), "table must list {scheme}: {text}");
+    }
+    assert!(!text.contains("FAIL"), "{text}");
+}
+
+/// `--scheme` narrows the check to one protocol; unknown names error out
+/// with the full list.
+#[test]
+fn check_scheme_filter() {
+    let out = dircc()
+        .args(["check", "--scheme", "mesi", "--depth", "4", "--jobs", "1"])
+        .output()
+        .expect("run check");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("MESI") && text.contains("all 1 scheme(s) PASS"), "{text}");
+
+    let out = dircc().args(["check", "--scheme", "bogus"]).output().expect("run check");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown scheme bogus") && err.contains("Berkeley"), "{err}");
+}
+
+/// The model-check bounds flags belong to `check` alone.
+#[test]
+fn check_flags_are_rejected_elsewhere() {
+    for flag in ["--cpus", "--blocks", "--depth"] {
+        let out = dircc().args(["table1", flag, "2"]).output().expect("run dircc");
+        assert!(!out.status.success(), "{flag} must be rejected outside check");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("only apply to check"));
+    }
+}
+
+/// `dircc benchcmp` passes against a fresh baseline and fails once a
+/// deterministic counter is perturbed.
+#[test]
+fn benchcmp_detects_injected_drift() {
+    let dir = std::env::temp_dir().join(format!("dircc_benchcmp_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_smoke.json");
+    let path_s = path.to_str().unwrap();
+
+    let out = dircc()
+        .args(["bench", "--refs", "2000", "--jobs", "2", "--out", path_s])
+        .output()
+        .expect("run bench");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = dircc()
+        .args(["benchcmp", "--refs", "2000", "--jobs", "2", "--in", path_s])
+        .output()
+        .expect("run benchcmp");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("benchcmp: PASS"));
+
+    // Perturb one run's refs counter: the gate must fail loudly.
+    let json = std::fs::read_to_string(&path).unwrap();
+    let drifted = json.replacen("\"refs\": 2000,", "\"refs\": 1999,", 1);
+    assert_ne!(json, drifted, "the perturbation must hit a run row");
+    std::fs::write(&path, drifted).unwrap();
+
+    let out = dircc()
+        .args(["benchcmp", "--refs", "2000", "--jobs", "2", "--in", path_s])
+        .output()
+        .expect("run benchcmp");
+    assert!(!out.status.success(), "drifted baseline must fail the gate");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("drift"), "names the drift");
+
+    std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -8,8 +8,14 @@ cargo test -q
 ./target/release/dircc check --smoke
 # Perf gate: replay throughput report, then compare the deterministic
 # per-run counters against the checked-in baseline (wall-clock drift is
-# reported but never fails).
+# reported but never fails). Because the bench runs through the engine's
+# no-op recorder, this doubles as the observability drift gate: any
+# counter perturbation from the instrumentation layer fails here.
 ./target/release/dircc bench --smoke --out /tmp/BENCH_smoke.json
 ./target/release/dircc benchcmp --smoke --in BENCH_smoke.json
+# Observability smoke: windowed time series + span profile of the
+# scalability work list.
+./target/release/dircc profile scaling --smoke \
+    --out /tmp/PROFILE_timeseries.jsonl --spans /tmp/PROFILE_spans.json
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check

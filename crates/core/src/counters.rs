@@ -135,6 +135,56 @@ impl EventCounters {
         }
     }
 
+    /// Field-wise difference against an `earlier` snapshot of the same
+    /// run (`self − earlier`) — the raw material of windowed time-series
+    /// recording: the deltas of consecutive snapshots partition a run, so
+    /// merging them reconstructs the final counters exactly.
+    ///
+    /// Counters are monotonic, so every field of a genuine earlier
+    /// snapshot is ≤ the corresponding field of `self`; passing anything
+    /// else is a logic error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field of `earlier` exceeds the corresponding field
+    /// of `self` (i.e. `earlier` is not an earlier snapshot of this run).
+    #[must_use]
+    pub fn diff(&self, earlier: &EventCounters) -> EventCounters {
+        fn sub(a: u64, b: u64) -> u64 {
+            a.checked_sub(b).expect("diff: argument is not an earlier snapshot of this run")
+        }
+        let mut inval_hist = [0u64; MAX_HISTOGRAM];
+        for (d, (a, b)) in
+            inval_hist.iter_mut().zip(self.inval_hist.iter().zip(earlier.inval_hist.iter()))
+        {
+            *d = sub(*a, *b);
+        }
+        EventCounters {
+            instr: sub(self.instr, earlier.instr),
+            read_hit: sub(self.read_hit, earlier.read_hit),
+            rm_first: sub(self.rm_first, earlier.rm_first),
+            rm_clean: sub(self.rm_clean, earlier.rm_clean),
+            rm_dirty: sub(self.rm_dirty, earlier.rm_dirty),
+            rm_memory: sub(self.rm_memory, earlier.rm_memory),
+            wh_dirty: sub(self.wh_dirty, earlier.wh_dirty),
+            wh_clean_exclusive: sub(self.wh_clean_exclusive, earlier.wh_clean_exclusive),
+            wh_clean_shared: sub(self.wh_clean_shared, earlier.wh_clean_shared),
+            wm_first: sub(self.wm_first, earlier.wm_first),
+            wm_clean: sub(self.wm_clean, earlier.wm_clean),
+            wm_dirty: sub(self.wm_dirty, earlier.wm_dirty),
+            wm_memory: sub(self.wm_memory, earlier.wm_memory),
+            control_messages: sub(self.control_messages, earlier.control_messages),
+            broadcasts: sub(self.broadcasts, earlier.broadcasts),
+            write_backs: sub(self.write_backs, earlier.write_backs),
+            cache_supplies: sub(self.cache_supplies, earlier.cache_supplies),
+            updates: sub(self.updates, earlier.updates),
+            aux_messages: sub(self.aux_messages, earlier.aux_messages),
+            directory_evictions: sub(self.directory_evictions, earlier.directory_evictions),
+            cache_evictions: sub(self.cache_evictions, earlier.cache_evictions),
+            inval_hist,
+        }
+    }
+
     /// Total references observed (instructions + data).
     pub fn total(&self) -> u64 {
         self.instr + self.data_refs()
@@ -433,6 +483,39 @@ mod tests {
         let mut d = EventCounters::new();
         d.merge(&c);
         assert_eq!(d.cache_evictions(), 3);
+    }
+
+    #[test]
+    fn diff_inverts_merge() {
+        let mut early = EventCounters::new();
+        early.observe(&quiet(Event::ReadHit));
+        early.observe(&quiet(Event::WriteMiss(MissContext::CleanElsewhere { copies: 2 })));
+        let mut late = early.clone();
+        late.observe(&quiet(Event::Instr));
+        late.observe(&quiet(Event::WriteHit(WriteHitContext::CleanShared { others: 1 })));
+        late.observe_eviction(&EvictOutcome::WRITE_BACK);
+        let delta = late.diff(&early);
+        assert_eq!(delta.total(), 2);
+        assert_eq!(delta.instr(), 1);
+        assert_eq!(delta.wh_distrib(), 1);
+        assert_eq!(delta.cache_evictions(), 1);
+        assert_eq!(delta.write_backs(), 1);
+        assert_eq!(delta.inval_histogram()[1], 1);
+        assert_eq!(delta.inval_histogram()[2], 0, "early histogram entries subtract out");
+        // merge(diff) round-trips.
+        let mut rebuilt = early.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, late);
+        // Diffing against itself is zero.
+        assert_eq!(late.diff(&late), EventCounters::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier snapshot")]
+    fn diff_rejects_a_later_snapshot() {
+        let mut late = EventCounters::new();
+        late.observe(&quiet(Event::ReadHit));
+        let _ = EventCounters::new().diff(&late);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   Tang, Yen-Fu) and the snoopy comparison points (WTI, Dragon,
 //!   Berkeley);
 //! * [`bus`] — the paper's pipelined and non-pipelined bus cost models;
+//! * [`obs`] — zero-cost observability: the [`Recorder`](obs::Recorder)
+//!   hook, windowed time series, span profiling and structured export;
 //! * [`check`] — bounded exhaustive model checking of every protocol
 //!   (SWMR, directory/cache agreement, data-value coherence);
 //! * [`sim`] — the replay engine, metrics and the experiment runners that
@@ -41,6 +43,7 @@ pub use dircc_bus as bus;
 pub use dircc_cache as cache;
 pub use dircc_check as check;
 pub use dircc_core as core;
+pub use dircc_obs as obs;
 pub use dircc_sim as sim;
 pub use dircc_trace as trace;
 pub use dircc_types as types;

@@ -1,0 +1,57 @@
+//! # dircc-obs
+//!
+//! Observability for the dircc replay engine and workbench, built so the
+//! hot path pays nothing when it is off.
+//!
+//! The paper's methodology reduces every protocol to end-of-run event
+//! frequencies — one [`EventCounters`](dircc_core::EventCounters) per
+//! (scheme, trace, filter) run. That answers aggregate questions only.
+//! This crate adds the time axis back without touching the aggregate
+//! numbers:
+//!
+//! * [`Recorder`] — a statically-dispatched per-reference hook the engine
+//!   is generic over. The default method bodies are empty, so the
+//!   [`NoopRecorder`] monomorphizes to nothing and the replay loop stays
+//!   byte- and speed-identical when observability is off (the repo's
+//!   `benchcmp` gate pins the counters).
+//! * [`WindowedRecorder`] — samples counter *deltas* every K references,
+//!   yielding a time-resolved miss mix, traffic trajectory, and
+//!   write-to-clean invalidation fan-out histogram per window. The window
+//!   deltas partition the run: summed, they reconstruct the final
+//!   [`EventCounters`](dircc_core::EventCounters) exactly.
+//! * [`SpanLog`] — a thread-safe wall-clock span collector for the
+//!   workbench's internal phases (generate / filter / intern / replay /
+//!   price), exportable as Chrome trace-event JSON loadable in Perfetto
+//!   or `chrome://tracing`.
+//! * [`export`] — the structured sinks: Chrome trace-event JSON for spans
+//!   and a JSONL schema for the windowed time series (documented in
+//!   `EXPERIMENTS.md`).
+//!
+//! # Example
+//!
+//! Windowed recording around a counter stream:
+//!
+//! ```
+//! use dircc_core::{Event, EventCounters, Outcome};
+//! use dircc_obs::{Recorder, WindowedRecorder};
+//!
+//! let mut counters = EventCounters::new();
+//! let mut rec = WindowedRecorder::new(2);
+//! for refs in 1..=5u64 {
+//!     counters.observe(&Outcome::quiet(Event::ReadHit));
+//!     rec.record(refs, &counters);
+//! }
+//! rec.finish(5, &counters);
+//! let samples = rec.into_samples();
+//! assert_eq!(samples.len(), 3, "two full windows plus the remainder");
+//! let total: u64 = samples.iter().map(|s| s.counters.total()).sum();
+//! assert_eq!(total, counters.total(), "window deltas partition the run");
+//! ```
+
+pub mod export;
+pub mod recorder;
+pub mod span;
+
+pub use export::{chrome_trace, window_jsonl_line};
+pub use recorder::{NoopRecorder, Recorder, WindowSample, WindowedRecorder};
+pub use span::{RunMeta, Span, SpanLog, SpanTimer};

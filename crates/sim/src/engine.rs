@@ -30,9 +30,20 @@
 //! identity, so both paths produce bit-identical counters; finite tag
 //! stores still hash on the **original** address because set selection
 //! uses raw address bits.
+//!
+//! # Observability
+//!
+//! Both entry points have `_with` variants ([`run_with`],
+//! [`run_indexed_with`]) that take a [`Recorder`] — a statically
+//! dispatched per-reference hook called after every counter mutation.
+//! The plain entry points pass [`NoopRecorder`], whose empty inline
+//! methods monomorphize away, so the hot loop is byte- and
+//! speed-identical with observability off (the `benchcmp` CI gate pins
+//! the counters against the checked-in baseline).
 
 use dircc_cache::{FiniteCacheConfig, Lookup, SetAssocCache};
 use dircc_core::{CoherenceStyle, Event, EventCounters, Protocol};
+use dircc_obs::{NoopRecorder, Recorder};
 use dircc_trace::TraceRecord;
 use dircc_types::{AccessKind, BlockAddr, BlockGeometry, CacheId};
 use std::collections::HashMap;
@@ -196,16 +207,45 @@ pub fn run<P: Protocol + ?Sized, I: IntoIterator<Item = TraceRecord>>(
     records: I,
     cfg: &RunConfig,
 ) -> Result<RunResult, String> {
+    run_with(protocol, records, cfg, &mut NoopRecorder)
+}
+
+/// [`run`] with a [`Recorder`] observing the cumulative counters after
+/// every reference (e.g. a
+/// [`WindowedRecorder`](dircc_obs::WindowedRecorder) sampling
+/// time-resolved deltas). Counters are unaffected by the recorder.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_with<P, I, R>(
+    protocol: &mut P,
+    records: I,
+    cfg: &RunConfig,
+    recorder: &mut R,
+) -> Result<RunResult, String>
+where
+    P: Protocol + ?Sized,
+    I: IntoIterator<Item = TraceRecord>,
+    R: Recorder,
+{
     let mut interner: HashMap<u64, u32> = HashMap::new();
-    run_core(protocol, records, cfg, 0, move |orig, _| {
-        let next = u32::try_from(interner.len()).expect("more than u32::MAX distinct blocks");
-        let mut first_ref = false;
-        let id = *interner.entry(orig.index()).or_insert_with(|| {
-            first_ref = true;
-            next
-        });
-        (BlockAddr::from_index(u64::from(id)), first_ref)
-    })
+    run_core(
+        protocol,
+        records,
+        cfg,
+        0,
+        move |orig, _| {
+            let next = u32::try_from(interner.len()).expect("more than u32::MAX distinct blocks");
+            let mut first_ref = false;
+            let id = *interner.entry(orig.index()).or_insert_with(|| {
+                first_ref = true;
+                next
+            });
+            (BlockAddr::from_index(u64::from(id)), first_ref)
+        },
+        recorder,
+    )
 }
 
 /// Replays `records` through `protocol` using a prebuilt dense-id stream
@@ -228,6 +268,23 @@ pub fn run_indexed<P: Protocol + ?Sized>(
     num_blocks: usize,
     cfg: &RunConfig,
 ) -> Result<RunResult, String> {
+    run_indexed_with(protocol, records, dense, num_blocks, cfg, &mut NoopRecorder)
+}
+
+/// [`run_indexed`] with a [`Recorder`] observing the cumulative counters
+/// after every reference. Counters are unaffected by the recorder.
+///
+/// # Errors
+///
+/// As [`run_indexed`].
+pub fn run_indexed_with<P: Protocol + ?Sized, R: Recorder>(
+    protocol: &mut P,
+    records: &[TraceRecord],
+    dense: &[u32],
+    num_blocks: usize,
+    cfg: &RunConfig,
+    recorder: &mut R,
+) -> Result<RunResult, String> {
     if records.len() != dense.len() {
         return Err(format!(
             "dense-id stream has {} entries for {} records; rebuild it from the same stream",
@@ -236,32 +293,44 @@ pub fn run_indexed<P: Protocol + ?Sized>(
         ));
     }
     let mut seen = vec![0u64; num_blocks.div_ceil(64)];
-    run_core(protocol, records.iter().copied(), cfg, num_blocks, move |_, idx| {
-        let id = dense[idx];
-        let (word, bit) = (id as usize / 64, 1u64 << (id % 64));
-        if word >= seen.len() {
-            seen.resize(word + 1, 0);
-        }
-        let first_ref = seen[word] & bit == 0;
-        seen[word] |= bit;
-        (BlockAddr::from_index(u64::from(id)), first_ref)
-    })
+    run_core(
+        protocol,
+        records.iter().copied(),
+        cfg,
+        num_blocks,
+        move |_, idx| {
+            let id = dense[idx];
+            let (word, bit) = (id as usize / 64, 1u64 << (id % 64));
+            if word >= seen.len() {
+                seen.resize(word + 1, 0);
+            }
+            let first_ref = seen[word] & bit == 0;
+            seen[word] |= bit;
+            (BlockAddr::from_index(u64::from(id)), first_ref)
+        },
+        recorder,
+    )
 }
 
 /// The shared replay loop. `resolve(orig_block, record_index)` returns the
 /// dense block address and whether this is the block's global first
-/// reference; `block_capacity` pre-sizes the verifier's dense tables.
-fn run_core<P, I, F>(
+/// reference; `block_capacity` pre-sizes the verifier's dense tables. The
+/// recorder sees the cumulative counters once per record, after every
+/// counter mutation that record caused (eviction traffic included), so
+/// windowed deltas partition the run exactly.
+fn run_core<P, I, F, R>(
     protocol: &mut P,
     records: I,
     cfg: &RunConfig,
     block_capacity: usize,
     mut resolve: F,
+    recorder: &mut R,
 ) -> Result<RunResult, String>
 where
     P: Protocol + ?Sized,
     I: IntoIterator<Item = TraceRecord>,
     F: FnMut(BlockAddr, usize) -> (BlockAddr, bool),
+    R: Recorder,
 {
     let mut counters = EventCounters::new();
     let n = protocol.num_caches();
@@ -280,6 +349,7 @@ where
         refs += 1;
         if r.kind == AccessKind::InstrFetch {
             counters.observe(&dircc_core::Outcome::quiet(Event::Instr));
+            recorder.record(refs, &counters);
             continue;
         }
         let cache_idx = match cfg.sharing {
@@ -319,6 +389,7 @@ where
                 }
             }
         }
+        recorder.record(refs, &counters);
         if cfg.check_invariants_every > 0 && refs.is_multiple_of(cfg.check_invariants_every) {
             protocol
                 .check_invariants()
@@ -328,6 +399,7 @@ where
     if cfg.check_invariants_every > 0 {
         protocol.check_invariants().map_err(|e| format!("final invariant violation: {e}"))?;
     }
+    recorder.finish(refs, &counters);
     Ok(RunResult { counters, refs, violations })
 }
 
@@ -627,6 +699,63 @@ mod tests {
         let mut broken = Broken { caches: dircc_cache::CacheArray::new(4) };
         let res = run(&mut broken, patterns::ping_pong(5), &RunConfig::verifying(0)).unwrap();
         assert!(!res.violations.is_empty(), "stale copies must be detected");
+    }
+
+    #[test]
+    fn noop_recorder_is_bit_identical_to_the_plain_entry_point() {
+        let trace = patterns::migratory(4, 80);
+        let mut p = build(ProtocolKind::Berkeley, 4);
+        let plain = run(p.as_mut(), trace.clone(), &RunConfig::default()).unwrap();
+        let mut p = build(ProtocolKind::Berkeley, 4);
+        let mut rec = dircc_obs::NoopRecorder;
+        let with = run_with(p.as_mut(), trace, &RunConfig::default(), &mut rec).unwrap();
+        assert_eq!(plain.counters, with.counters);
+        assert_eq!(plain.refs, with.refs);
+    }
+
+    #[test]
+    fn windowed_recorder_reconstructs_final_counters() {
+        use dircc_cache::FiniteCacheConfig;
+        // Finite caches so eviction traffic flows through the counters
+        // too; instruction fetches so every record kind is covered.
+        let trace = patterns::with_instr_stream(patterns::migratory(4, 120));
+        let cfg = RunConfig::default().with_finite_caches(FiniteCacheConfig::new(2, 2));
+        let mut p = build(ProtocolKind::WriteOnce, 4);
+        let mut rec = dircc_obs::WindowedRecorder::new(17);
+        let res = run_with(p.as_mut(), trace.clone(), &cfg, &mut rec).unwrap();
+        let samples = rec.into_samples();
+        assert!(samples.len() > 2, "windowing at 17 refs must produce several windows");
+        assert_eq!(samples.last().unwrap().end_ref, res.refs);
+        let mut sum = EventCounters::new();
+        for s in &samples {
+            sum.merge(&s.counters);
+        }
+        assert_eq!(sum, res.counters, "window deltas must partition the run exactly");
+        // The recorder never perturbs the run itself.
+        let mut p = build(ProtocolKind::WriteOnce, 4);
+        let plain = run(p.as_mut(), trace, &cfg).unwrap();
+        assert_eq!(plain.counters, res.counters);
+    }
+
+    #[test]
+    fn windowed_recorder_works_on_the_indexed_path() {
+        use dircc_trace::gen::Profile;
+        use dircc_trace::store::{TraceFilter, TraceStore};
+        let store = TraceStore::new(vec![Profile::pops().with_total_refs(5_000)], 11);
+        let cfg = RunConfig::default().with_process_sharing();
+        let records = store.records(0, TraceFilter::Full);
+        let dense = store.dense_blocks(0, TraceFilter::Full, cfg.geometry);
+        let num_blocks = store.interner(0, cfg.geometry).num_blocks();
+        let mut p = dircc_core::build_sized(ProtocolKind::Dir0B, 4, num_blocks);
+        let mut rec = dircc_obs::WindowedRecorder::new(512);
+        let res =
+            run_indexed_with(p.as_mut(), &records, &dense, num_blocks, &cfg, &mut rec).unwrap();
+        let mut sum = EventCounters::new();
+        for s in rec.samples() {
+            sum.merge(&s.counters);
+        }
+        assert_eq!(sum, res.counters);
+        assert_eq!(rec.samples().len(), 5_000usize.div_ceil(512));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! * [`metrics`] — bus-cycles-per-reference and per-transaction metrics;
 //! * [`workbench`] — the three synthetic paper traces plus memoized runs,
 //!   with a [`Workbench::warm`](workbench::Workbench::warm) fan-out that
-//!   fills the memo from worker threads;
+//!   fills the memo from worker threads, phase spans in a shared
+//!   [`dircc_obs::SpanLog`], and optional windowed time series
+//!   ([`Workbench::with_window`](workbench::Workbench::with_window));
 //! * [`experiments`] — one runner per paper table, figure and study;
 //! * [`par`] — the deterministic indexed parallel map the sweeps use;
 //! * [`report`] — plain-text table/bar formatting.
@@ -44,7 +46,11 @@ pub mod par;
 pub mod report;
 pub mod workbench;
 
-pub use engine::{run, run_indexed, RunConfig, RunResult, SharingModel};
+pub use engine::{
+    run, run_indexed, run_indexed_with, run_with, RunConfig, RunResult, SharingModel,
+};
 pub use metrics::Evaluation;
 pub use par::{default_jobs, par_map_indexed};
-pub use workbench::{RunTiming, TraceFilter, Workbench};
+pub use workbench::{
+    filter_from_label, filter_label, RunSeries, RunTiming, TraceFilter, Workbench,
+};

@@ -13,6 +13,7 @@
 //! dircc bench [--smoke] [--out FILE]      # replay-throughput benchmark
 //! dircc benchcmp [--smoke] [--in FILE]    # bench-regression gate
 //! dircc check [--smoke] [--cpus N] [--blocks M] [--depth D] [--scheme S]
+//! dircc profile <experiment> [--window K] [--out FILE] [--spans FILE]
 //! ```
 //!
 //! `dircc check` exhaustively explores every protocol's state space up to
@@ -20,17 +21,23 @@
 //! PASS/FAIL table; any violation prints a minimal counterexample and
 //! fails the process. `dircc benchcmp` re-runs the bench matrix and fails
 //! if any deterministic per-run counter drifts from a checked-in baseline.
+//! `dircc profile` replays an experiment's work list with windowed
+//! counter sampling: it writes a JSONL time series (one line per window),
+//! a Chrome trace-event span profile of every workbench phase, and prints
+//! a per-run cycles-per-reference sparkline.
 //!
 //! Common flags: `--refs N` (references per trace; default = paper scale),
 //! `--seed S` (default 1988), `--jobs N` (worker threads; default = the
 //! machine's available parallelism). Results are independent of `--jobs`:
-//! stdout is byte-identical for any thread count; per-run wall-clock
-//! timings go to stderr.
+//! stdout is byte-identical for any thread count; the per-run wall-clock
+//! timing summary goes to stderr, and only with `--verbose`.
 
+use dircc_bus::{CostConfig, CostModel};
 use dircc_check::{check_protocol, CheckConfig};
 use dircc_core::ProtocolKind;
+use dircc_obs::{chrome_trace, window_jsonl_line, RunMeta};
 use dircc_sim::experiments::{extensions, figures, network, studies, system, tables};
-use dircc_sim::{default_jobs, TraceFilter, Workbench};
+use dircc_sim::{default_jobs, filter_label, report, Evaluation, TraceFilter, Workbench};
 use dircc_trace::codec::{BinaryReader, BinaryWriter};
 use dircc_trace::gen::{Generator, Profile};
 use dircc_trace::sharing::SharingProfile;
@@ -74,6 +81,8 @@ enum Kind {
     BenchCmp,
     /// Bounded exhaustive model check of every protocol.
     Check,
+    /// Windowed time-series + span profile of one experiment's work list.
+    Profile,
 }
 
 struct CommandSpec {
@@ -112,6 +121,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec { name: "bench", kind: Kind::Bench, io: Io::Writes, in_all: false },
     CommandSpec { name: "benchcmp", kind: Kind::BenchCmp, io: Io::Reads, in_all: false },
     CommandSpec { name: "check", kind: Kind::Check, io: Io::None, in_all: false },
+    CommandSpec { name: "profile", kind: Kind::Profile, io: Io::Writes, in_all: false },
     CommandSpec { name: "gen", kind: Kind::Gen, io: Io::Writes, in_all: false },
     CommandSpec { name: "stats", kind: Kind::Stats, io: Io::Reads, in_all: false },
     CommandSpec { name: "sharing", kind: Kind::Sharing, io: Io::Reads, in_all: false },
@@ -123,6 +133,8 @@ fn spec_for(command: &str) -> Option<&'static CommandSpec> {
 
 struct Args {
     command: String,
+    /// Positional argument (the experiment `dircc profile` targets).
+    target: Option<String>,
     refs: Option<u64>,
     seed: u64,
     jobs: usize,
@@ -130,6 +142,9 @@ struct Args {
     out: Option<String>,
     input: Option<String>,
     smoke: bool,
+    verbose: bool,
+    window: Option<u64>,
+    spans_out: Option<String>,
     cpus: Option<usize>,
     blocks: Option<usize>,
     depth: Option<usize>,
@@ -141,6 +156,7 @@ fn parse_args() -> Result<Args, String> {
     let command = args.next().ok_or_else(usage)?;
     let mut parsed = Args {
         command,
+        target: None,
         refs: None,
         seed: 1988,
         jobs: default_jobs(),
@@ -148,6 +164,9 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         input: None,
         smoke: false,
+        verbose: false,
+        window: None,
+        spans_out: None,
         cpus: None,
         blocks: None,
         depth: None,
@@ -172,6 +191,15 @@ fn parse_args() -> Result<Args, String> {
             "--profile" => parsed.profile = value("--profile")?,
             "--out" => parsed.out = Some(value("--out")?),
             "--smoke" => parsed.smoke = true,
+            "--verbose" => parsed.verbose = true,
+            "--window" => {
+                parsed.window =
+                    Some(value("--window")?.parse().map_err(|e| format!("--window: {e}"))?);
+                if parsed.window == Some(0) {
+                    return Err("--window must be at least 1".to_string());
+                }
+            }
+            "--spans" => parsed.spans_out = Some(value("--spans")?),
             "--cpus" => {
                 parsed.cpus = Some(value("--cpus")?.parse().map_err(|e| format!("--cpus: {e}"))?)
             }
@@ -184,6 +212,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--scheme" => parsed.scheme = Some(value("--scheme")?),
             "--in" => parsed.input = Some(value("--in")?),
+            other if !other.starts_with('-') && parsed.target.is_none() => {
+                parsed.target = Some(other.to_string());
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -198,11 +229,23 @@ fn validate_io(args: &Args) -> Result<(), String> {
     let Some(spec) = spec_for(&args.command) else {
         return Ok(()); // unknown commands error later, with the usage text
     };
-    if args.smoke && !matches!(spec.name, "bench" | "benchcmp" | "check") {
+    if args.smoke && !matches!(spec.name, "bench" | "benchcmp" | "check" | "profile") {
         return Err(format!(
-            "--smoke only applies to bench, benchcmp and check, not {}",
+            "--smoke only applies to bench, benchcmp, check and profile, not {}",
             spec.name
         ));
+    }
+    if spec.name != "profile" {
+        if args.window.is_some() || args.spans_out.is_some() {
+            return Err(format!("--window/--spans only apply to profile, not {}", spec.name));
+        }
+        if args.target.is_some() {
+            return Err(format!(
+                "{} takes no positional argument (got {})",
+                spec.name,
+                args.target.as_deref().unwrap_or("")
+            ));
+        }
     }
     if spec.name != "check"
         && (args.cpus.is_some()
@@ -240,9 +283,9 @@ fn validate_io(args: &Args) -> Result<(), String> {
 
 fn usage() -> String {
     // Derived from COMMANDS so the list can never go stale.
-    let mut lines = vec!["usage: dircc <command> [--refs N] [--seed S] [--jobs N] \
-         [--profile pops|thor|pero|custom] [--out FILE | --in FILE] [--smoke] \
-         [--cpus N] [--blocks M] [--depth D] [--scheme S]"
+    let mut lines = vec!["usage: dircc <command> [target] [--refs N] [--seed S] [--jobs N] \
+         [--profile pops|thor|pero|custom] [--out FILE | --in FILE] [--smoke] [--verbose] \
+         [--window K] [--spans FILE] [--cpus N] [--blocks M] [--depth D] [--scheme S]"
         .to_string()];
     let mut line = String::from("commands:");
     for c in COMMANDS {
@@ -386,9 +429,9 @@ fn run_experiment(command: &str, wb: &Workbench) -> Result<String, String> {
 }
 
 /// Runs one workbench command (or, for `all`, every `in_all` command in
-/// table order), pre-warming the memo over `args.jobs` threads. The
-/// timing summary goes to stderr so stdout stays byte-identical across
-/// `--jobs` values.
+/// table order), pre-warming the memo over `args.jobs` threads. With
+/// `--verbose` the timing summary goes to stderr, so stdout stays
+/// byte-identical across `--jobs` values either way.
 fn run_workbench_command(args: &Args, all: bool) -> Result<(), String> {
     let wb = workbench(args);
     if let Some(work) = workload_for(&args.command, &wb) {
@@ -409,9 +452,11 @@ fn run_workbench_command(args: &Args, all: bool) -> Result<(), String> {
     } else {
         run_experiment(&args.command, &wb).map(|s| println!("{s}"))
     };
-    let summary = wb.timing_summary();
-    if !summary.is_empty() {
-        eprint!("{summary}");
+    if args.verbose {
+        let summary = wb.timing_summary();
+        if !summary.is_empty() {
+            eprint!("{summary}");
+        }
     }
     result
 }
@@ -463,21 +508,18 @@ fn bench(args: &Args) -> Result<(), String> {
     );
 
     let path = args.out.clone().unwrap_or_else(|| "BENCH_replay.json".to_string());
-    if let Some(parent) = std::path::Path::new(&path).parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
-        }
-    }
-    std::fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?;
+    write_output(&path, &json)?;
     println!(
         "bench: {executed} runs, {total_refs} refs, {:.1} ms replay (cpu), \
          {:.1}M refs/sec -> {path}",
         total_wall.as_secs_f64() * 1e3,
         total_rps / 1e6
     );
-    let summary = wb.timing_summary();
-    if !summary.is_empty() {
-        eprint!("{summary}");
+    if args.verbose {
+        let summary = wb.timing_summary();
+        if !summary.is_empty() {
+            eprint!("{summary}");
+        }
     }
     Ok(())
 }
@@ -585,11 +627,121 @@ fn parse_bench_runs(text: &str) -> Vec<BenchRun> {
         .collect()
 }
 
-fn filter_label(filter: TraceFilter) -> &'static str {
-    match filter {
-        TraceFilter::Full => "full",
-        TraceFilter::ExcludeLockSpins => "no-spins",
+/// Writes `contents` to `path`, creating parent directories as needed.
+fn write_output(path: &str, contents: &str) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
     }
+    std::fs::write(path, contents).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The (protocol, filter) work list a `dircc profile` target names.
+fn profile_workload(
+    target: &str,
+    wb: &Workbench,
+) -> Result<Vec<(ProtocolKind, TraceFilter)>, String> {
+    match target {
+        "all" | "bench" => Ok(wb.paper_workload()),
+        "scaling" | "scalability" => {
+            Ok(workload_for("scalability", wb).expect("scalability has a workload"))
+        }
+        "headline" => Ok(wb.paper_kinds().into_iter().map(|k| (k, TraceFilter::Full)).collect()),
+        other => Err(format!(
+            "unknown profile target {other}; one of: all bench scaling scalability headline"
+        )),
+    }
+}
+
+/// `dircc profile <experiment>`: replays the experiment's work list with
+/// windowed counter sampling. Writes one JSONL line per window (`--out`,
+/// default `PROFILE_timeseries.jsonl`) and a Chrome trace-event span
+/// profile of every workbench phase (`--spans`, default
+/// `PROFILE_spans.json`), then prints one cycles-per-reference sparkline
+/// per run. stdout is byte-identical across `--jobs`; counters are
+/// unaffected by the instrumentation (pinned by `benchcmp`).
+fn profile(args: &Args) -> Result<(), String> {
+    let target = args.target.clone().ok_or_else(|| {
+        format!(
+            "profile needs a target experiment; one of: all bench scaling scalability headline\n{}",
+            usage()
+        )
+    })?;
+    let wb = match (args.refs, args.smoke) {
+        (Some(n), _) => Workbench::paper_scaled(n, args.seed),
+        (None, true) => Workbench::paper_scaled(20_000, args.seed),
+        (None, false) => Workbench::paper(args.seed),
+    };
+    let total_refs = wb.profiles()[0].total_refs;
+    let window = args.window.unwrap_or_else(|| (total_refs / 64).max(1));
+    let wb = wb.with_window(window);
+    let work = profile_workload(&target, &wb)?;
+    let executed = wb.warm(&work, args.jobs);
+    let series = wb.time_series();
+    let (model, cost_cfg) = (CostModel::pipelined(), CostConfig::PAPER);
+
+    // Series complete in scheduler order; walk the work list instead so
+    // the JSONL file and the stdout table are independent of --jobs.
+    println!("profile {target}: {executed} runs, window {window} refs");
+    let mut jsonl = String::new();
+    let mut windows_written = 0usize;
+    for &(kind, filter) in &work {
+        for trace in 0..wb.num_traces() {
+            let s = series
+                .iter()
+                .find(|s| s.kind == kind && s.trace == trace && s.filter == filter)
+                .ok_or("profile: a warmed run left no time series")?;
+            let label = filter_label(filter);
+            let meta = RunMeta {
+                scheme: s.scheme.clone(),
+                trace: s.trace_name.clone(),
+                filter: label.to_string(),
+                refs: s.refs,
+            };
+            // Price each window's delta under the paper's pipelined model
+            // (the fifth phase, `price`, in the span profile).
+            let cprs: Vec<f64> = wb.span_log().time("price", Some(meta), || {
+                s.windows
+                    .iter()
+                    .map(|w| {
+                        Evaluation::new(s.scheme.clone(), kind, wb.n_caches(), w.counters.clone())
+                            .cycles_per_ref(&model, &cost_cfg)
+                    })
+                    .collect()
+            });
+            for (w, cpr) in s.windows.iter().zip(&cprs) {
+                jsonl.push_str(&window_jsonl_line(&s.scheme, &s.trace_name, label, w, *cpr));
+                jsonl.push('\n');
+                windows_written += 1;
+            }
+            let max = cprs.iter().copied().fold(0.0f64, f64::max);
+            println!(
+                "  {:<10} {:<6} {:<9} {:>4} windows  max {:>7.4} cyc/ref  |{}|",
+                s.scheme,
+                s.trace_name,
+                label,
+                s.windows.len(),
+                max,
+                report::sparkline(&cprs, max)
+            );
+        }
+    }
+
+    let out_path = args.out.clone().unwrap_or_else(|| "PROFILE_timeseries.jsonl".to_string());
+    write_output(&out_path, &jsonl)?;
+    let spans = wb.span_log().spans();
+    let spans_path = args.spans_out.clone().unwrap_or_else(|| "PROFILE_spans.json".to_string());
+    write_output(&spans_path, &chrome_trace(&spans))?;
+    println!("time series -> {out_path} ({windows_written} windows)");
+    println!("spans       -> {spans_path} ({} spans)", spans.len());
+    if args.verbose {
+        let summary = wb.timing_summary();
+        if !summary.is_empty() {
+            eprint!("{summary}");
+        }
+    }
+    Ok(())
 }
 
 /// `dircc benchcmp`: re-runs the bench matrix and compares the
@@ -699,6 +851,7 @@ fn main() -> ExitCode {
         Kind::Bench => bench(&args),
         Kind::BenchCmp => benchcmp(&args),
         Kind::Check => check(&args),
+        Kind::Profile => profile(&args),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -119,4 +119,43 @@ mod tests {
         assert_eq!(mean(&[]), 0.0);
         assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
     }
+
+    #[test]
+    fn hit_only_run_has_refs_but_no_transactions() {
+        // total() > 0 but zero bus transactions: only the per-transaction
+        // ratio degenerates; per-ref stays a well-defined 0/total.
+        let mut c = EventCounters::new();
+        for _ in 0..8 {
+            c.observe(&Outcome::quiet(Event::ReadHit));
+        }
+        let e = Evaluation::new("Dir0B", ProtocolKind::Dir0B, 4, c);
+        let (m, cfg) = (CostModel::pipelined(), CostConfig::PAPER);
+        assert_eq!(e.cycles_per_transaction(&m, &cfg), 0.0, "0 transactions");
+        assert_eq!(e.transactions_per_ref(), 0.0);
+        assert_eq!(e.cycles_per_ref(&m, &cfg), 0.0);
+        assert!(e.cycles_per_ref(&m, &cfg).is_finite(), "never NaN");
+    }
+
+    #[test]
+    fn empty_breakdown_per_ref_is_all_zero() {
+        let e = Evaluation::new("x", ProtocolKind::Dragon, 4, EventCounters::new());
+        let b = e.breakdown_per_ref(&CostModel::pipelined(), &CostConfig::PAPER);
+        assert_eq!(b.total(), 0.0, "0-ref run prices to zero, not NaN");
+    }
+
+    #[test]
+    fn evaluation_round_trips_through_window_deltas() {
+        // The obs layer reports windows as counter deltas; pricing the
+        // merged deltas must equal pricing the original run exactly.
+        let e = eval_with_misses(10);
+        let (m, cfg) = (CostModel::pipelined(), CostConfig::PAPER);
+        let empty = EventCounters::new();
+        let delta = e.counters.diff(&empty); // whole run as one delta
+        let mut merged = EventCounters::new();
+        merged.merge(&delta);
+        let rt = Evaluation::new(e.name.clone(), e.kind, e.n_caches, merged);
+        assert_eq!(rt.cycles_per_ref(&m, &cfg), e.cycles_per_ref(&m, &cfg));
+        assert_eq!(rt.cycles_per_transaction(&m, &cfg), e.cycles_per_transaction(&m, &cfg));
+        assert_eq!(rt.transactions_per_ref(), e.transactions_per_ref());
+    }
 }

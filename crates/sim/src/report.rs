@@ -96,12 +96,27 @@ pub fn cycles(x: f64) -> String {
 
 /// Renders a horizontal ASCII bar of `value` scaled so that `max` spans
 /// `width` characters (used for figure-style output).
+///
+/// Degenerate inputs clamp to an empty bar: negative, zero or NaN values
+/// and non-positive or NaN maxima all render as `""`. (NaN is checked
+/// explicitly — `NaN <= 0.0` is false, so an ordering guard alone would
+/// let NaN through to `.round() as usize`.)
 pub fn bar(value: f64, max: f64, width: usize) -> String {
-    if max <= 0.0 || value <= 0.0 {
+    if max.is_nan() || value.is_nan() || max <= 0.0 || value <= 0.0 {
         return String::new();
     }
     let n = ((value / max) * width as f64).round() as usize;
     "#".repeat(n.min(width))
+}
+
+/// Block characters indexed by an eighth-resolution level (0..=8).
+const SPARK_LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a one-character-per-value sparkline scaled so
+/// that `max` is a full block. Built on [`bar`], so it inherits its
+/// clamping: degenerate values render as a space, overshoot as `█`.
+pub fn sparkline(values: &[f64], max: f64) -> String {
+    values.iter().map(|&v| SPARK_LEVELS[bar(v, max, 8).len()]).collect()
 }
 
 #[cfg(test)]
@@ -135,5 +150,23 @@ mod tests {
         assert_eq!(bar(5.0, 10.0, 10), "#####");
         assert_eq!(bar(0.0, 10.0, 10), "");
         assert_eq!(bar(20.0, 10.0, 10), "##########", "clamped at width");
+    }
+
+    #[test]
+    fn bar_clamps_degenerate_inputs() {
+        assert_eq!(bar(-3.0, 10.0, 10), "", "negative value");
+        assert_eq!(bar(5.0, 0.0, 10), "", "zero max");
+        assert_eq!(bar(5.0, -1.0, 10), "", "negative max");
+        assert_eq!(bar(f64::NAN, 10.0, 10), "", "NaN value");
+        assert_eq!(bar(5.0, f64::NAN, 10), "", "NaN max");
+        assert_eq!(bar(20.0, 10.0, 10).len(), 10, "value > max clamps at width");
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        assert_eq!(sparkline(&[0.0, 4.0, 8.0], 8.0), " ▄█");
+        assert_eq!(sparkline(&[], 8.0), "");
+        assert_eq!(sparkline(&[f64::NAN, -1.0], 8.0), "  ", "degenerates render as spaces");
+        assert_eq!(sparkline(&[100.0], 8.0), "█", "overshoot clamps to a full block");
     }
 }

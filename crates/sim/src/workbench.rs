@@ -12,17 +12,30 @@
 //! lock-free reads of the same `Arc`s. Results are deterministic: a run's
 //! counters depend only on (profile, seed, protocol, filter), never on
 //! which thread computed them or in what order.
+//!
+//! # Observability
+//!
+//! Every actually-executed run records its internal phases (`generate`,
+//! `filter`, `intern`, `replay`) into a shared [`SpanLog`] — the single
+//! timing path: the per-run wall-clock summary ([`Workbench::timings`],
+//! [`Workbench::timing_summary`]) is derived from the `replay` spans, and
+//! the whole log exports as Chrome trace-event JSON via `dircc profile`.
+//! With [`Workbench::with_window`], each run additionally samples counter
+//! deltas every K references into a [`RunSeries`]; the replay itself then
+//! uses a [`WindowedRecorder`], but counters stay bit-identical (pinned
+//! by tests and the `benchcmp` gate).
 
-use crate::engine::{run_indexed, RunConfig};
+use crate::engine::{run_indexed, run_indexed_with, RunConfig};
 use crate::metrics::Evaluation;
 use dircc_core::{build_sized, EventCounters, ProtocolKind};
+use dircc_obs::{RunMeta, SpanLog, WindowSample, WindowedRecorder};
 use dircc_trace::gen::Profile;
 use dircc_trace::stats::TraceStats;
 use dircc_trace::store::TraceStore;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 pub use dircc_trace::store::TraceFilter;
 
@@ -33,7 +46,22 @@ struct MemoKey {
     filter: TraceFilter,
 }
 
-/// Wall-clock record of one actually-executed simulation run.
+/// The stable label a [`TraceFilter`] carries in reports, span metadata
+/// and JSONL output.
+pub fn filter_label(filter: TraceFilter) -> &'static str {
+    match filter {
+        TraceFilter::Full => "full",
+        TraceFilter::ExcludeLockSpins => "no-spins",
+    }
+}
+
+/// Inverse of [`filter_label`].
+pub fn filter_from_label(label: &str) -> Option<TraceFilter> {
+    TraceFilter::ALL.into_iter().find(|f| filter_label(*f) == label)
+}
+
+/// Wall-clock record of one actually-executed simulation run, derived
+/// from its `replay` span.
 #[derive(Debug, Clone)]
 pub struct RunTiming {
     /// Protocol display name.
@@ -46,6 +74,26 @@ pub struct RunTiming {
     pub refs: u64,
     /// Wall-clock duration of the replay.
     pub wall: Duration,
+}
+
+/// The windowed time series of one actually-executed run.
+#[derive(Debug, Clone)]
+pub struct RunSeries {
+    /// Taxonomy point of the run.
+    pub kind: ProtocolKind,
+    /// Protocol display name.
+    pub scheme: String,
+    /// Trace index.
+    pub trace: usize,
+    /// Trace name.
+    pub trace_name: String,
+    /// Filter the run used.
+    pub filter: TraceFilter,
+    /// Total references replayed.
+    pub refs: u64,
+    /// Counter deltas per window; they partition the run, so merging
+    /// them reconstructs the run's final [`EventCounters`] exactly.
+    pub windows: Vec<WindowSample>,
 }
 
 impl RunTiming {
@@ -65,7 +113,9 @@ pub struct Workbench {
     store: TraceStore,
     memo: Mutex<HashMap<MemoKey, Arc<OnceLock<Arc<EventCounters>>>>>,
     stats_memo: Mutex<HashMap<usize, Arc<OnceLock<Arc<TraceStats>>>>>,
-    timings: Mutex<Vec<RunTiming>>,
+    spans: SpanLog,
+    window: Option<u64>,
+    series: Mutex<Vec<RunSeries>>,
 }
 
 impl Workbench {
@@ -98,8 +148,26 @@ impl Workbench {
             store: TraceStore::new(profiles, seed),
             memo: Mutex::new(HashMap::new()),
             stats_memo: Mutex::new(HashMap::new()),
-            timings: Mutex::new(Vec::new()),
+            spans: SpanLog::new(),
+            window: None,
+            series: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Enables windowed time-series recording: every subsequently executed
+    /// run samples its counter delta each `window` references (plus a
+    /// partial tail window) into a [`RunSeries`].
+    ///
+    /// Counters are unaffected — the windowed replay is bit-identical to
+    /// the plain one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn with_window(mut self, window: u64) -> Self {
+        assert!(window > 0, "window size must be at least 1 reference");
+        self.window = Some(window);
+        self
     }
 
     /// Number of caches (= CPUs) in the simulated machine.
@@ -181,28 +249,75 @@ impl Workbench {
             // process"), which excludes migration-induced sharing from the
             // study.
             let cfg = RunConfig::default().with_process_sharing();
+            let scheme = kind.display_name(self.n_caches());
+            let trace_name = self.store.profiles()[trace].name.to_string();
+            let meta = |refs: u64| RunMeta {
+                scheme: scheme.clone(),
+                trace: trace_name.clone(),
+                filter: filter_label(filter).to_string(),
+                refs,
+            };
+            // Phase spans wrap the store calls even when they hit warm
+            // memos (duration ~0 then), so every executed run contributes
+            // all four phases to the exported trace.
+            let _ = self
+                .spans
+                .time("generate", Some(meta(0)), || self.store.records(trace, TraceFilter::Full));
+            let records =
+                self.spans.time("filter", Some(meta(0)), || self.store.records(trace, filter));
             // Dense replay: the store's interner renames blocks to dense
             // u32 ids once per trace; the replay loop then runs with zero
             // hashing and every per-block table pre-sized. Bit-identical
             // to un-interned replay (renaming is a bijection; pinned by
             // the engine's equality tests).
-            let records = self.store.records(trace, filter);
-            let dense = self.store.dense_blocks(trace, filter, cfg.geometry);
-            let num_blocks = self.store.interner(trace, cfg.geometry).num_blocks();
-            let mut protocol = build_sized(kind, self.n_caches(), num_blocks);
-            let start = Instant::now();
-            let result = run_indexed(protocol.as_mut(), &records, &dense, num_blocks, &cfg)
-                .expect("trace replay failed");
-            self.timings.lock().expect("timings poisoned").push(RunTiming {
-                scheme: kind.display_name(self.n_caches()),
-                trace: self.store.profiles()[trace].name.to_string(),
-                filter,
-                refs: result.refs,
-                wall: start.elapsed(),
+            let (dense, num_blocks) = self.spans.time("intern", Some(meta(0)), || {
+                let dense = self.store.dense_blocks(trace, filter, cfg.geometry);
+                let num_blocks = self.store.interner(trace, cfg.geometry).num_blocks();
+                (dense, num_blocks)
             });
+            let mut protocol = build_sized(kind, self.n_caches(), num_blocks);
+            let timer = self.spans.start();
+            let result = if let Some(window) = self.window {
+                let mut recorder = WindowedRecorder::new(window);
+                let result = run_indexed_with(
+                    protocol.as_mut(),
+                    &records,
+                    &dense,
+                    num_blocks,
+                    &cfg,
+                    &mut recorder,
+                )
+                .expect("trace replay failed");
+                self.series.lock().expect("series poisoned").push(RunSeries {
+                    kind,
+                    scheme: scheme.clone(),
+                    trace,
+                    trace_name: trace_name.clone(),
+                    filter,
+                    refs: result.refs,
+                    windows: recorder.into_samples(),
+                });
+                result
+            } else {
+                run_indexed(protocol.as_mut(), &records, &dense, num_blocks, &cfg)
+                    .expect("trace replay failed")
+            };
+            self.spans.finish(timer, "replay", Some(meta(result.refs)));
             Arc::new(result.counters)
         })
         .clone()
+    }
+
+    /// The shared span log — every phase of every executed run.
+    pub fn span_log(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Snapshot of the windowed time series collected so far (empty unless
+    /// the workbench was built [`with_window`](Self::with_window)), in
+    /// completion order.
+    pub fn time_series(&self) -> Vec<RunSeries> {
+        self.series.lock().expect("series poisoned").clone()
     }
 
     /// An [`Evaluation`] for one protocol on one trace.
@@ -292,7 +407,7 @@ impl Workbench {
                 }
             }
         }
-        let before = self.timings.lock().expect("timings poisoned").len();
+        let before = self.executed_runs();
         // Materialize traces first so workers contend on simulation only,
         // not on the store's per-trace OnceLocks.
         for trace in 0..self.num_traces() {
@@ -319,13 +434,32 @@ impl Workbench {
                 }
             });
         }
-        let after = self.timings.lock().expect("timings poisoned").len();
-        after - before
+        self.executed_runs() - before
     }
 
-    /// Snapshot of per-run wall-clock timings, in completion order.
+    /// Number of simulation runs actually executed so far (memo misses).
+    pub fn executed_runs(&self) -> usize {
+        self.spans.spans().iter().filter(|s| s.name == "replay").count()
+    }
+
+    /// Snapshot of per-run wall-clock timings, in completion order,
+    /// derived from the span log's `replay` spans.
     pub fn timings(&self) -> Vec<RunTiming> {
-        self.timings.lock().expect("timings poisoned").clone()
+        self.spans
+            .spans()
+            .into_iter()
+            .filter(|s| s.name == "replay")
+            .filter_map(|s| {
+                let meta = s.meta?;
+                Some(RunTiming {
+                    scheme: meta.scheme,
+                    trace: meta.trace,
+                    filter: filter_from_label(&meta.filter)?,
+                    refs: meta.refs,
+                    wall: s.dur,
+                })
+            })
+            .collect()
     }
 
     /// Renders the end-of-run observability table: one line per executed
@@ -347,10 +481,7 @@ impl Workbench {
         let mut total_refs = 0u64;
         let mut total_wall = Duration::ZERO;
         for t in &timings {
-            let filter = match t.filter {
-                TraceFilter::Full => "full",
-                TraceFilter::ExcludeLockSpins => "no-spins",
-            };
+            let filter = filter_label(t.filter);
             let _ = writeln!(
                 out,
                 "  {:<10} {:<6} {:<9} {:>10} {:>10.1} {:>12.0}",
@@ -489,5 +620,66 @@ mod tests {
     #[should_panic(expected = "at least one trace")]
     fn empty_profiles_rejected() {
         let _ = Workbench::with_profiles(vec![], 0);
+    }
+
+    #[test]
+    fn filter_labels_round_trip() {
+        for f in TraceFilter::ALL {
+            assert_eq!(filter_from_label(filter_label(f)), Some(f));
+        }
+        assert_eq!(filter_from_label("bogus"), None);
+    }
+
+    #[test]
+    fn every_executed_run_records_all_four_phases() {
+        let wb = small();
+        let _ = wb.counters(ProtocolKind::Wti, 2, TraceFilter::Full);
+        let spans = wb.span_log().spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["generate", "filter", "intern", "replay"]);
+        let replay = spans.last().unwrap();
+        let meta = replay.meta.as_ref().unwrap();
+        assert_eq!(meta.scheme, "WTI");
+        assert_eq!(meta.trace, "PERO");
+        assert_eq!(meta.filter, "full");
+        assert_eq!(meta.refs, 20_000);
+    }
+
+    #[test]
+    fn windowed_workbench_is_bit_identical_and_series_sums() {
+        let work = [
+            (ProtocolKind::Dir0B, TraceFilter::Full),
+            (ProtocolKind::DirNb { pointers: 1 }, TraceFilter::ExcludeLockSpins),
+        ];
+        let plain = Workbench::paper_scaled(9_000, 3);
+        let windowed = Workbench::paper_scaled(9_000, 3).with_window(1_000);
+        plain.warm(&work, 2);
+        windowed.warm(&work, 2);
+        let series = windowed.time_series();
+        assert_eq!(series.len(), 2 * plain.num_traces());
+        for &(kind, filter) in &work {
+            for t in 0..plain.num_traces() {
+                let a = plain.counters(kind, t, filter);
+                let b = windowed.counters(kind, t, filter);
+                assert_eq!(*a, *b, "windowed replay must not perturb counters");
+                let s = series
+                    .iter()
+                    .find(|s| s.kind == kind && s.trace == t && s.filter == filter)
+                    .expect("every run leaves a series");
+                let mut sum = EventCounters::new();
+                for w in &s.windows {
+                    sum.merge(&w.counters);
+                }
+                assert_eq!(sum, *b, "window deltas must reconstruct the final counters");
+                assert_eq!(s.windows.iter().map(|w| w.refs()).sum::<u64>(), s.refs);
+            }
+        }
+    }
+
+    #[test]
+    fn plain_workbench_collects_no_series() {
+        let wb = small();
+        let _ = wb.counters(ProtocolKind::Dir0B, 0, TraceFilter::Full);
+        assert!(wb.time_series().is_empty());
     }
 }

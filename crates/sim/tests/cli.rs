@@ -146,16 +146,27 @@ fn all_covers_footnote2() {
     assert!(text.contains("footnote 2"), "all must include the footnote2 study");
 }
 
-/// A workbench run reports per-run timings on stderr.
+/// With `--verbose`, a workbench run reports per-run timings on stderr.
 #[test]
 fn timing_summary_lands_on_stderr() {
-    let out =
-        dircc().args(["table4", "--refs", "3000", "--seed", "7"]).output().expect("run dircc");
+    let out = dircc()
+        .args(["table4", "--refs", "3000", "--seed", "7", "--verbose"])
+        .output()
+        .expect("run dircc");
     assert!(out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("run timings"), "stderr: {err}");
     assert!(err.contains("refs/sec"));
     assert!(!String::from_utf8_lossy(&out.stdout).contains("run timings"));
+}
+
+/// Without `--verbose`, the timing summary is suppressed entirely.
+#[test]
+fn timing_summary_needs_verbose() {
+    let out =
+        dircc().args(["table4", "--refs", "3000", "--seed", "7"]).output().expect("run dircc");
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("run timings"), "quiet by default");
 }
 
 /// `--in`/`--out` must match the subcommand's data direction.
@@ -201,6 +212,7 @@ fn usage_lists_every_subcommand() {
         "bench",
         "benchcmp",
         "check",
+        "profile",
         "gen",
         "stats",
         "sharing",
@@ -208,6 +220,7 @@ fn usage_lists_every_subcommand() {
         assert!(err.contains(cmd), "usage must mention {cmd}: {err}");
     }
     assert!(err.contains("--jobs"));
+    assert!(err.contains("--window") && err.contains("--spans") && err.contains("--verbose"));
 }
 
 #[test]
@@ -365,4 +378,179 @@ fn benchcmp_detects_injected_drift() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("drift"), "names the drift");
 
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The engine's no-op recorder must leave the deterministic counters
+/// exactly where the checked-in smoke baseline pinned them before the
+/// observability layer existed.
+#[test]
+fn benchcmp_matches_the_checked_in_smoke_baseline() {
+    let baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_smoke.json");
+    let out = dircc()
+        .args(["benchcmp", "--smoke", "--jobs", "2", "--in", baseline])
+        .output()
+        .expect("run benchcmp");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("benchcmp: PASS"));
+}
+
+/// Pulls a number field out of a hand-rolled JSON line.
+fn num_field(line: &str, key: &str) -> u64 {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag).unwrap_or_else(|| panic!("{key} in {line}")) + tag.len();
+    let rest = &line[start..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().unwrap()
+}
+
+fn str_field(line: &str, key: &str) -> String {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag).unwrap_or_else(|| panic!("{key} in {line}")) + tag.len();
+    let end = line[start..].find('"').unwrap() + start;
+    line[start..end].to_string()
+}
+
+/// `dircc profile scaling --smoke` writes a windowed JSONL time series
+/// whose windows partition each run exactly, plus a Chrome trace-event
+/// span profile covering every phase of every run.
+#[test]
+fn profile_smoke_writes_time_series_and_spans() {
+    let dir = std::env::temp_dir().join(format!("dircc_profile_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ts = dir.join("ts.jsonl");
+    let sp = dir.join("spans.json");
+
+    let out = dircc()
+        .args([
+            "profile",
+            "scaling",
+            "--smoke",
+            "--jobs",
+            "2",
+            "--window",
+            "2500",
+            "--out",
+            ts.to_str().unwrap(),
+            "--spans",
+            sp.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run profile");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Scalability work list: Dir0B + Dir1..4NB + Dir1..3B + coded, x3 traces.
+    assert!(text.contains("profile scaling: 27 runs, window 2500 refs"), "{text}");
+    assert!(text.contains("cyc/ref"), "{text}");
+
+    // Every run's windows are contiguous, start at 0 and sum to the run.
+    let jsonl = std::fs::read_to_string(&ts).expect("time series written");
+    let mut runs: std::collections::HashMap<String, Vec<(u64, u64, u64)>> =
+        std::collections::HashMap::new();
+    for line in jsonl.lines() {
+        let key = format!(
+            "{}/{}/{}",
+            str_field(line, "scheme"),
+            str_field(line, "trace"),
+            str_field(line, "filter")
+        );
+        runs.entry(key).or_default().push((
+            num_field(line, "start_ref"),
+            num_field(line, "end_ref"),
+            num_field(line, "refs"),
+        ));
+    }
+    assert_eq!(runs.len(), 27, "one group per run");
+    for (key, windows) in &runs {
+        assert_eq!(windows.len(), 8, "{key}: 20000 refs / 2500 = 8 windows");
+        let mut expect_start = 0;
+        for &(start, end, refs) in windows {
+            assert_eq!(start, expect_start, "{key}: windows must be contiguous");
+            assert_eq!(end - start, refs, "{key}: refs is the window width");
+            expect_start = end;
+        }
+        assert_eq!(expect_start, 20_000, "{key}: windows must partition the run");
+        assert_eq!(windows.iter().map(|w| w.2).sum::<u64>(), 20_000, "{key}");
+    }
+
+    // The span profile is a Chrome trace-event array covering every phase
+    // of every run.
+    let spans = std::fs::read_to_string(&sp).expect("spans written");
+    assert!(spans.trim_start().starts_with('['));
+    assert!(spans.trim_end().ends_with(']'));
+    assert!(spans.contains("\"ph\": \"X\""));
+    for phase in ["generate", "filter", "intern", "replay", "price"] {
+        assert!(spans.contains(&format!("\"name\": \"{phase}\"")), "missing phase {phase}");
+    }
+    assert_eq!(
+        spans.matches("\"name\": \"replay\"").count(),
+        27,
+        "one replay span per executed run"
+    );
+    assert_eq!(spans.matches("\"name\": \"price\"").count(), 27);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `dircc profile` stdout is deterministic: byte-identical across
+/// `--jobs` (wall-clock lives in the span file, not on stdout).
+#[test]
+fn profile_stdout_does_not_depend_on_jobs() {
+    let dir = std::env::temp_dir().join(format!("dircc_profile_jobs_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = |jobs: &str| {
+        let ts = dir.join("ts.jsonl");
+        let sp = dir.join("sp.json");
+        let out = dircc()
+            .args([
+                "profile",
+                "headline",
+                "--refs",
+                "4000",
+                "--seed",
+                "3",
+                "--jobs",
+                jobs,
+                "--out",
+                ts.to_str().unwrap(),
+                "--spans",
+                sp.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run profile");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let jsonl = std::fs::read_to_string(&ts).unwrap();
+        (out.stdout, jsonl)
+    };
+    let (stdout1, jsonl1) = run("1");
+    let (stdout8, jsonl8) = run("8");
+    assert_eq!(stdout1, stdout8, "stdout must not depend on --jobs");
+    assert_eq!(jsonl1, jsonl8, "the time series must not depend on --jobs");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Unknown profile targets and a missing target fail with the option
+/// list; the profile-only flags are rejected elsewhere.
+#[test]
+fn profile_flag_and_target_validation() {
+    let out = dircc().args(["profile", "bogus", "--refs", "100"]).output().expect("run profile");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown profile target bogus"));
+
+    let out = dircc().args(["profile"]).output().expect("run profile");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("profile needs a target"));
+
+    for args in [["table1", "--window", "100"], ["bench", "--spans", "x.json"]] {
+        let out = dircc().args(args).output().expect("run dircc");
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("only apply to profile"));
+    }
+
+    let out = dircc().args(["table1", "extra"]).output().expect("run dircc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no positional argument"));
+
+    let out = dircc().args(["profile", "all", "--window", "0"]).output().expect("run profile");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--window must be at least 1"));
 }

@@ -4,15 +4,21 @@ set -eux
 
 cargo build --release
 cargo test -q
-# Correctness gate: bounded exhaustive model check of every protocol.
+# Shard-equivalence gate: sharded replay must be bit-identical to serial
+# for every scheme, on random traces and the pinned workbench matrix.
+cargo test -q -p dircc-sim --test sharding
+# Correctness gate: bounded exhaustive model check of every protocol,
+# plus the serial-vs-sharded replay equivalence check it ends with.
 ./target/release/dircc check --smoke
-# Perf gate: replay throughput report, then compare the deterministic
-# per-run counters against the checked-in baseline (wall-clock drift is
-# reported but never fails). Because the bench runs through the engine's
-# no-op recorder, this doubles as the observability drift gate: any
-# counter perturbation from the instrumentation layer fails here.
-./target/release/dircc bench --smoke --out /tmp/BENCH_smoke.json
-./target/release/dircc benchcmp --smoke --in BENCH_smoke.json
+# Perf gate: sharded replay throughput report, then compare the
+# deterministic per-run counters against the checked-in baseline
+# (wall-clock drift is reported but never fails). Because the bench runs
+# through the engine's no-op recorder, this doubles as the observability
+# drift gate: any counter perturbation from the instrumentation layer
+# fails here — and running it at --shards 2 makes the shard merge itself
+# part of the drift surface.
+./target/release/dircc bench --smoke --shards 2 --out /tmp/BENCH_smoke.json
+./target/release/dircc benchcmp --smoke --shards 2 --in BENCH_smoke.json
 # Observability smoke: windowed time series + span profile of the
 # scalability work list.
 ./target/release/dircc profile scaling --smoke \

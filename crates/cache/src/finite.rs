@@ -34,6 +34,15 @@ impl FiniteCacheConfig {
         self.sets * self.ways
     }
 
+    /// The set `block` maps to — the same computation every
+    /// [`SetAssocCache`] of this shape uses internally. Exposed so the
+    /// sharded replay engine can partition a stream by set index (LRU
+    /// eviction is confined to a set, so set-sharding preserves victim
+    /// choice exactly).
+    pub fn set_of(&self, block: BlockAddr) -> usize {
+        (block.index() as usize) & (self.sets - 1)
+    }
+
     /// Configuration for a cache of `capacity_blocks` with `ways`
     /// associativity.
     ///
@@ -119,7 +128,7 @@ impl<S> SetAssocCache<S> {
     }
 
     fn set_index(&self, block: BlockAddr) -> usize {
-        (block.index() as usize) & (self.config.sets - 1)
+        self.config.set_of(block)
     }
 
     /// Looks up a block, updating LRU order and hit/miss statistics.
@@ -322,6 +331,20 @@ mod tests {
         let cfg = FiniteCacheConfig::with_capacity(1024, 4);
         assert_eq!(cfg.sets, 256);
         assert_eq!(cfg.capacity_blocks(), 1024);
+    }
+
+    #[test]
+    fn set_of_matches_residency() {
+        // Blocks whose set_of agree conflict; others never do.
+        let cfg = FiniteCacheConfig::new(4, 1);
+        assert_eq!(cfg.set_of(b(5)), 1);
+        assert_eq!(cfg.set_of(b(9)), 1);
+        assert_eq!(cfg.set_of(b(6)), 2);
+        let mut c: SetAssocCache<()> = SetAssocCache::new(cfg);
+        c.insert(b(5), ());
+        let ev = c.insert(b(9), ()).expect("same set evicts");
+        assert_eq!(ev.block, b(5));
+        assert!(c.insert(b(6), ()).is_none(), "different set never conflicts");
     }
 
     #[test]

@@ -33,8 +33,9 @@ fn escape(s: &str) -> String {
 /// Renders spans as a Chrome trace-event JSON array (one complete event
 /// per span, `ts`/`dur` in microseconds since the log's epoch).
 ///
-/// Run-scoped spans carry `scheme`/`trace`/`filter`/`refs` in `args`, so
-/// Perfetto's query and aggregation views can group by run.
+/// Run-scoped spans carry `scheme`/`trace`/`filter`/`refs` in `args`
+/// (plus `shard` for per-shard replay spans), so Perfetto's query and
+/// aggregation views can group by run and by shard.
 pub fn chrome_trace(spans: &[Span]) -> String {
     let mut out = String::from("[\n");
     for (i, s) in spans.iter().enumerate() {
@@ -51,12 +52,16 @@ pub fn chrome_trace(spans: &[Span]) -> String {
             let _ = write!(
                 out,
                 ", \"args\": {{\"scheme\": \"{}\", \"trace\": \"{}\", \
-                 \"filter\": \"{}\", \"refs\": {}}}",
+                 \"filter\": \"{}\", \"refs\": {}",
                 escape(&m.scheme),
                 escape(&m.trace),
                 escape(&m.filter),
                 m.refs
             );
+            if let Some(shard) = m.shard {
+                let _ = write!(out, ", \"shard\": {shard}");
+            }
+            out.push_str("}}");
         }
         out.push('}');
         out.push_str(if i + 1 < spans.len() { ",\n" } else { "\n" });
@@ -144,6 +149,18 @@ mod tests {
                 trace: "POPS".into(),
                 filter: "full".into(),
                 refs: 42,
+                shard: None,
+            }),
+            || (),
+        );
+        log.time(
+            "replay-shard",
+            Some(RunMeta {
+                scheme: "Dir1NB".into(),
+                trace: "POPS".into(),
+                filter: "full".into(),
+                refs: 21,
+                shard: Some(1),
             }),
             || (),
         );
@@ -154,7 +171,9 @@ mod tests {
         assert!(json.contains("\"name\": \"replay\""));
         assert!(json.contains("\"scheme\": \"Dir1NB\""));
         assert!(json.contains("\"refs\": 42"));
-        assert_eq!(json.matches("\"cat\": \"dircc\"").count(), 2);
+        assert!(json.contains("\"refs\": 21, \"shard\": 1"));
+        assert!(!json.contains("\"refs\": 42, \"shard\""), "unsharded spans omit the field");
+        assert_eq!(json.matches("\"cat\": \"dircc\"").count(), 3);
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct RunMeta {
     pub filter: String,
     /// References the phase covered.
     pub refs: u64,
+    /// Which block shard of a sharded replay this phase covered
+    /// (`None` for whole-run phases and unsharded replays).
+    pub shard: Option<usize>,
 }
 
 /// One completed phase: a named interval on one thread.
@@ -102,6 +105,26 @@ impl SpanLog {
         value
     }
 
+    /// Records an interval measured externally (e.g. by the sharded
+    /// replay engine's per-shard observer). The span is attributed to the
+    /// *calling* thread, so call this from the thread that did the work.
+    pub fn record_at(
+        &self,
+        name: impl Into<String>,
+        started: Instant,
+        dur: Duration,
+        meta: Option<RunMeta>,
+    ) {
+        let span = Span {
+            name: name.into(),
+            tid: self.current_tid(),
+            start: started.saturating_duration_since(self.epoch),
+            dur,
+            meta,
+        };
+        self.spans.lock().expect("span log poisoned").push(span);
+    }
+
     /// Snapshot of every span recorded so far, in completion order.
     pub fn spans(&self) -> Vec<Span> {
         self.spans.lock().expect("span log poisoned").clone()
@@ -131,7 +154,13 @@ mod tests {
     use super::*;
 
     fn meta() -> RunMeta {
-        RunMeta { scheme: "Dir0B".into(), trace: "POPS".into(), filter: "full".into(), refs: 100 }
+        RunMeta {
+            scheme: "Dir0B".into(),
+            trace: "POPS".into(),
+            filter: "full".into(),
+            refs: 100,
+            shard: None,
+        }
     }
 
     #[test]
@@ -170,5 +199,18 @@ mod tests {
         assert!(dur < Duration::from_secs(1));
         assert!(!log.is_empty());
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn external_intervals_are_recorded_with_shard_meta() {
+        let log = SpanLog::new();
+        let started = Instant::now();
+        let m = RunMeta { shard: Some(2), ..meta() };
+        log.record_at("replay-shard", started, Duration::from_millis(3), Some(m));
+        let spans = log.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "replay-shard");
+        assert_eq!(spans[0].dur, Duration::from_millis(3));
+        assert_eq!(spans[0].meta.as_ref().unwrap().shard, Some(2));
     }
 }

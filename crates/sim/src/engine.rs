@@ -42,11 +42,12 @@
 //! the counters against the checked-in baseline).
 
 use dircc_cache::{FiniteCacheConfig, Lookup, SetAssocCache};
-use dircc_core::{CoherenceStyle, Event, EventCounters, Protocol};
+use dircc_core::{split_shards, CoherenceStyle, Event, EventCounters, Protocol, ProtocolKind};
 use dircc_obs::{NoopRecorder, Recorder};
-use dircc_trace::TraceRecord;
+use dircc_trace::{Shard, ShardedStream, TraceRecord};
 use dircc_types::{AccessKind, BlockAddr, BlockGeometry, CacheId};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// How trace CPUs map onto protocol caches (§4.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -127,6 +128,35 @@ pub struct RunResult {
 
 /// Cap on retained verifier violation messages.
 pub const MAX_VIOLATIONS: usize = 16;
+
+/// Internal run result before violation formatting: each finding keeps
+/// its 1-based global reference number so sharded runs can merge findings
+/// back into trace order before applying the [`MAX_VIOLATIONS`] cap.
+struct CoreResult {
+    counters: EventCounters,
+    refs: u64,
+    violations: Vec<(u64, String)>,
+}
+
+/// Internal engine error: the 1-based global reference number it occurred
+/// at (`u64::MAX` for the end-of-run invariant check), for deterministic
+/// first-error selection across shards.
+struct EngineError {
+    gref: u64,
+    msg: String,
+}
+
+fn format_violation((gref, msg): (u64, String)) -> String {
+    format!("ref {gref}: {msg}")
+}
+
+fn finish_result(raw: CoreResult) -> RunResult {
+    RunResult {
+        counters: raw.counters,
+        refs: raw.refs,
+        violations: raw.violations.into_iter().map(format_violation).collect(),
+    }
+}
 
 /// Value-level coherence verifier state.
 ///
@@ -232,7 +262,7 @@ where
     let mut interner: HashMap<u64, u32> = HashMap::new();
     run_core(
         protocol,
-        records,
+        records.into_iter().zip(1u64..),
         cfg,
         0,
         move |orig, _| {
@@ -244,8 +274,11 @@ where
             });
             (BlockAddr::from_index(u64::from(id)), first_ref)
         },
+        |b| b,
         recorder,
     )
+    .map(finish_result)
+    .map_err(|e| e.msg)
 }
 
 /// Replays `records` through `protocol` using a prebuilt dense-id stream
@@ -295,7 +328,7 @@ pub fn run_indexed_with<P: Protocol + ?Sized, R: Recorder>(
     let mut seen = vec![0u64; num_blocks.div_ceil(64)];
     run_core(
         protocol,
-        records.iter().copied(),
+        records.iter().copied().zip(1u64..),
         cfg,
         num_blocks,
         move |_, idx| {
@@ -308,28 +341,233 @@ pub fn run_indexed_with<P: Protocol + ?Sized, R: Recorder>(
             seen[word] |= bit;
             (BlockAddr::from_index(u64::from(id)), first_ref)
         },
+        |b| b,
         recorder,
+    )
+    .map(finish_result)
+    .map_err(|e| e.msg)
+}
+
+/// Builds the block-sharded partition of a dense-id stream for `cfg`.
+///
+/// Infinite-cache runs shard by `block_id % shards` — the same router
+/// [`dircc_trace::TraceStore::sharded`] memoizes, so engine-level and
+/// store-level partitions agree. Finite-cache runs shard by the tag
+/// store's *set index* of the original block instead: LRU eviction is
+/// confined to a set, so keeping every set's accesses in one shard
+/// preserves victim choice exactly. A finite config cannot honour more
+/// shards than it has sets, so the shard count is clamped to `sets`
+/// (falling back to 1 shard for a single-set cache).
+pub fn shard_stream(
+    records: &[TraceRecord],
+    dense: &[u32],
+    num_blocks: usize,
+    shards: usize,
+    cfg: &RunConfig,
+) -> ShardedStream {
+    let shards = shards.max(1);
+    match cfg.finite_cache {
+        None => {
+            ShardedStream::build(records, dense, num_blocks, shards, |_, gid| gid as usize % shards)
+        }
+        Some(fc) => {
+            let shards = shards.min(fc.sets);
+            let geometry = cfg.geometry;
+            ShardedStream::build(records, dense, num_blocks, shards, |r, _| {
+                fc.set_of(geometry.block_of(r.addr)) % shards
+            })
+        }
+    }
+}
+
+/// Replays a block-sharded stream through one protocol instance per shard
+/// (constructed via [`dircc_core::split_shards`]) and folds the per-shard
+/// results into one [`RunResult`] **bit-identical to [`run_indexed`]** on
+/// the unsharded stream.
+///
+/// Why the fold is exact:
+///
+/// * with infinite caches every per-block table (cache states, directory
+///   entries, verifier versions, first-ref bits) is touched by exactly
+///   one shard, and shard-local renaming preserves first-appearance
+///   order, so each shard computes exactly the slice of state the serial
+///   run would;
+/// * [`EventCounters`] are purely additive, so merging per-shard counters
+///   in shard order reproduces the serial totals;
+/// * verifier findings carry global reference numbers; merging them in
+///   trace order and then applying the [`MAX_VIOLATIONS`] cap retains
+///   exactly the serial run's first `MAX_VIOLATIONS` findings (a finding
+///   within the first 16 globally is within the first 16 of its shard);
+/// * finite-cache runs are sharded by set index (see [`shard_stream`]),
+///   which preserves relative LRU-stamp order within every set and hence
+///   eviction choice.
+///
+/// The only intentional divergence: `check_invariants_every` cadences on
+/// the *shard-local* reference count, so a broken protocol may be caught
+/// at a different reference than serially. Correct protocols (and the
+/// single-shard case) are unaffected.
+///
+/// Shards replay on [`std::thread::scope`] workers (inline when there is
+/// only one shard).
+///
+/// # Errors
+///
+/// As [`run_indexed`]; across shards the error with the smallest global
+/// reference number wins, deterministically.
+pub fn run_sharded(
+    kind: ProtocolKind,
+    n_caches: usize,
+    sharded: &ShardedStream,
+    cfg: &RunConfig,
+) -> Result<RunResult, String> {
+    run_sharded_with(
+        split_shards(kind, n_caches, &sharded.shard_blocks()),
+        sharded,
+        cfg,
+        noop_observer,
     )
 }
 
-/// The shared replay loop. `resolve(orig_block, record_index)` returns the
-/// dense block address and whether this is the block's global first
-/// reference; `block_capacity` pre-sizes the verifier's dense tables. The
-/// recorder sees the cumulative counters once per record, after every
-/// counter mutation that record caused (eviction traffic included), so
-/// windowed deltas partition the run exactly.
-fn run_core<P, I, F, R>(
+/// A [`run_sharded_with`] observer that records nothing.
+fn noop_observer(_shard: usize, _started: Instant, _dur: Duration, _refs: u64) {}
+
+/// [`run_sharded`] over caller-built protocol instances (one per shard,
+/// e.g. from [`dircc_core::split_shards`]), with an observer called once
+/// per shard replay — `observe(shard, started, wall, refs)` — from the
+/// thread that replayed it, so callers can attribute per-shard spans.
+/// Counters are unaffected by the observer.
+///
+/// # Errors
+///
+/// As [`run_sharded`]; additionally errs if the instance count does not
+/// match the shard count.
+pub fn run_sharded_with<O>(
+    protocols: Vec<Box<dyn Protocol>>,
+    sharded: &ShardedStream,
+    cfg: &RunConfig,
+    observe: O,
+) -> Result<RunResult, String>
+where
+    O: Fn(usize, Instant, Duration, u64) + Sync,
+{
+    let shards = sharded.shards();
+    if protocols.len() != shards.len() {
+        return Err(format!(
+            "{} protocol instance(s) for {} shard(s); build one per shard",
+            protocols.len(),
+            shards.len()
+        ));
+    }
+    let slots: Vec<std::sync::Mutex<Option<Result<CoreResult, EngineError>>>> =
+        shards.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    {
+        let run_one = |idx: usize, protocol: &mut dyn Protocol| {
+            let started = Instant::now();
+            let res = replay_shard(protocol, &shards[idx], cfg);
+            let refs = match &res {
+                Ok(o) => o.refs,
+                Err(_) => shards[idx].records.len() as u64,
+            };
+            observe(idx, started, started.elapsed(), refs);
+            *slots[idx].lock().expect("shard slot poisoned") = Some(res);
+        };
+        if shards.len() == 1 {
+            let mut protocols = protocols;
+            run_one(0, protocols[0].as_mut());
+        } else {
+            std::thread::scope(|scope| {
+                for (idx, mut protocol) in protocols.into_iter().enumerate() {
+                    let run_one = &run_one;
+                    scope.spawn(move || run_one(idx, protocol.as_mut()));
+                }
+            });
+        }
+    }
+
+    let mut counters = EventCounters::new();
+    let mut refs = 0u64;
+    let mut findings: Vec<(u64, String)> = Vec::new();
+    let mut first_err: Option<(u64, usize, String)> = None;
+    for (idx, slot) in slots.into_iter().enumerate() {
+        let res = slot.into_inner().expect("shard slot poisoned").expect("shard replay completed");
+        match res {
+            Ok(o) => {
+                counters.merge(&o.counters);
+                refs += o.refs;
+                findings.extend(o.violations);
+            }
+            Err(e) => {
+                if first_err.as_ref().is_none_or(|(g, s, _)| (e.gref, idx) < (*g, *s)) {
+                    first_err = Some((e.gref, idx, e.msg));
+                }
+            }
+        }
+    }
+    if let Some((_, _, msg)) = first_err {
+        return Err(msg);
+    }
+    findings.sort_by_key(|(gref, _)| *gref);
+    findings.truncate(MAX_VIOLATIONS);
+    Ok(finish_result(CoreResult { counters, refs, violations: findings }))
+}
+
+/// Replays one shard: [`run_core`] over the shard's records with its
+/// shard-local dense ids, first-ref bitvec and global reference numbers.
+fn replay_shard<P: Protocol + ?Sized>(
+    protocol: &mut P,
+    shard: &Shard,
+    cfg: &RunConfig,
+) -> Result<CoreResult, EngineError> {
+    let mut seen = vec![0u64; shard.num_blocks.div_ceil(64)];
+    let dense = &shard.dense;
+    run_core(
+        protocol,
+        shard.records.iter().copied().zip(shard.global_refs.iter().copied()),
+        cfg,
+        shard.num_blocks,
+        move |_, idx| {
+            let id = dense[idx];
+            let (word, bit) = (id as usize / 64, 1u64 << (id % 64));
+            let first_ref = seen[word] & bit == 0;
+            seen[word] |= bit;
+            (BlockAddr::from_index(u64::from(id)), first_ref)
+        },
+        // Violation messages name blocks by *global* dense id, matching
+        // the serial run byte-for-byte.
+        |b| BlockAddr::from_index(u64::from(shard.global_ids[b.index() as usize])),
+        &mut NoopRecorder,
+    )
+}
+
+/// The shared replay loop. `records` yields `(record, gref)` pairs where
+/// `gref` is the record's 1-based *global* reference number (equal to the
+/// loop count for unsharded runs; the original trace position for shard
+/// sub-streams) — used in error and violation messages so sharded
+/// findings merge back in trace order. `resolve(orig_block, index)`
+/// returns the dense block address and whether this is the block's global
+/// first reference (`index` is the 0-based position within this stream);
+/// `display` maps a dense block to the label violation messages print —
+/// identity for unsharded runs, shard-local → global dense id for shard
+/// sub-streams, so sharded violation text is byte-identical to serial
+/// (it is only called on the verify path, never in the hot loop);
+/// `block_capacity` pre-sizes the verifier's dense tables. The recorder
+/// sees the cumulative counters once per record, after every counter
+/// mutation that record caused (eviction traffic included), so windowed
+/// deltas partition the run exactly.
+fn run_core<P, I, F, D, R>(
     protocol: &mut P,
     records: I,
     cfg: &RunConfig,
     block_capacity: usize,
     mut resolve: F,
+    display: D,
     recorder: &mut R,
-) -> Result<RunResult, String>
+) -> Result<CoreResult, EngineError>
 where
     P: Protocol + ?Sized,
-    I: IntoIterator<Item = TraceRecord>,
+    I: IntoIterator<Item = (TraceRecord, u64)>,
     F: FnMut(BlockAddr, usize) -> (BlockAddr, bool),
+    D: Fn(BlockAddr) -> BlockAddr,
     R: Recorder,
 {
     let mut counters = EventCounters::new();
@@ -345,7 +583,7 @@ where
     let mut tag_stores: Option<Vec<SetAssocCache<BlockAddr>>> =
         cfg.finite_cache.map(|fc| (0..n).map(|_| SetAssocCache::new(fc)).collect());
 
-    for r in records {
+    for (r, gref) in records {
         refs += 1;
         if r.kind == AccessKind::InstrFetch {
             counters.observe(&dircc_core::Outcome::quiet(Event::Instr));
@@ -357,11 +595,14 @@ where
             SharingModel::Process => r.pid.raw(),
         };
         if usize::from(cache_idx) >= n {
-            return Err(format!(
-                "reference {refs}: cache index {cache_idx} out of range for {n} caches \
-                 ({}, {}, {:?} at {}; did you size the protocol for the sharing model?)",
-                r.cpu, r.pid, r.kind, r.addr
-            ));
+            return Err(EngineError {
+                gref,
+                msg: format!(
+                    "reference {gref}: cache index {cache_idx} out of range for {n} caches \
+                     ({}, {}, {:?} at {}; did you size the protocol for the sharing model?)",
+                    r.cpu, r.pid, r.kind, r.addr
+                ),
+            });
         }
         let cache = CacheId::new(cache_idx);
         let orig_block = cfg.geometry.block_of(r.addr);
@@ -370,7 +611,17 @@ where
         counters.observe(&out);
 
         if let Some(v) = verifier.as_mut() {
-            verify_access(protocol, v, cache, r.kind, block, &out, &mut violations, refs);
+            verify_access(
+                protocol,
+                v,
+                cache,
+                r.kind,
+                block,
+                display(block),
+                &out,
+                &mut violations,
+                gref,
+            );
         }
         if let Some(stores) = tag_stores.as_mut() {
             let store = &mut stores[cache.index()];
@@ -391,16 +642,20 @@ where
         }
         recorder.record(refs, &counters);
         if cfg.check_invariants_every > 0 && refs.is_multiple_of(cfg.check_invariants_every) {
-            protocol
-                .check_invariants()
-                .map_err(|e| format!("invariant violation at reference {refs}: {e}"))?;
+            protocol.check_invariants().map_err(|e| EngineError {
+                gref,
+                msg: format!("invariant violation at reference {gref}: {e}"),
+            })?;
         }
     }
     if cfg.check_invariants_every > 0 {
-        protocol.check_invariants().map_err(|e| format!("final invariant violation: {e}"))?;
+        protocol.check_invariants().map_err(|e| EngineError {
+            gref: u64::MAX,
+            msg: format!("final invariant violation: {e}"),
+        })?;
     }
     recorder.finish(refs, &counters);
-    Ok(RunResult { counters, refs, violations })
+    Ok(CoreResult { counters, refs, violations })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -410,18 +665,19 @@ fn verify_access<P: Protocol + ?Sized>(
     cache: CacheId,
     kind: AccessKind,
     block: BlockAddr,
+    shown: BlockAddr,
     out: &dircc_core::Outcome,
-    violations: &mut Vec<String>,
-    refs: u64,
+    violations: &mut Vec<(u64, String)>,
+    gref: u64,
 ) {
     let mut report = |msg: String| {
         if violations.len() < MAX_VIOLATIONS {
-            violations.push(format!("ref {refs}: {msg}"));
+            violations.push((gref, msg));
         }
     };
     let holders = protocol.holders(block);
     if !holders.contains(cache) {
-        report(format!("{cache} accessed {block} but is not a holder afterwards"));
+        report(format!("{cache} accessed {shown} but is not a holder afterwards"));
         return;
     }
     match kind {
@@ -443,7 +699,7 @@ fn verify_access<P: Protocol + ?Sized>(
                     // Single-writer: no other copy may survive a write.
                     if holders.len() != 1 {
                         report(format!(
-                            "invalidation protocol left {} copies of {block} after a write",
+                            "invalidation protocol left {} copies of {shown} after a write",
                             holders.len()
                         ));
                     }
@@ -457,7 +713,7 @@ fn verify_access<P: Protocol + ?Sized>(
                     let held = v.copy_version(cache, block);
                     if held != cur {
                         report(format!(
-                            "read hit observed version {held} of {block}, latest is {cur}"
+                            "read hit observed version {held} of {shown}, latest is {cur}"
                         ));
                     }
                 }
@@ -473,7 +729,7 @@ fn verify_access<P: Protocol + ?Sized>(
                     };
                     if supplied != cur {
                         report(format!(
-                            "miss on {block} supplied version {supplied}, latest is {cur}"
+                            "miss on {shown} supplied version {supplied}, latest is {cur}"
                         ));
                     }
                     v.set_copy(cache, block, supplied);
@@ -756,6 +1012,205 @@ mod tests {
         }
         assert_eq!(sum, res.counters);
         assert_eq!(rec.samples().len(), 5_000usize.div_ceil(512));
+    }
+
+    fn interned(records: &[TraceRecord], g: BlockGeometry) -> (Vec<u32>, usize) {
+        let interner = dircc_trace::BlockInterner::from_records(records.iter(), g);
+        (interner.dense_stream(records), interner.num_blocks())
+    }
+
+    #[test]
+    fn sharded_replay_is_bit_identical_for_every_scheme() {
+        use dircc_trace::gen::{Generator, Profile};
+        let records: Vec<TraceRecord> =
+            Generator::new(Profile::pops().with_total_refs(6_000), 9).collect();
+        let cfg = RunConfig { verify: true, ..RunConfig::default().with_process_sharing() };
+        let (dense, num_blocks) = interned(&records, cfg.geometry);
+        for kind in [
+            ProtocolKind::DirNb { pointers: 1 },
+            ProtocolKind::DirNb { pointers: 4 },
+            ProtocolKind::Dir0B,
+            ProtocolKind::DirB { pointers: 1 },
+            ProtocolKind::CodedSet,
+            ProtocolKind::Tang,
+            ProtocolKind::YenFu,
+            ProtocolKind::Wti,
+            ProtocolKind::Dragon,
+            ProtocolKind::Berkeley,
+            ProtocolKind::WriteOnce,
+            ProtocolKind::Firefly,
+            ProtocolKind::Mesi,
+        ] {
+            let mut p = build(kind, 4);
+            let serial = run_indexed(p.as_mut(), &records, &dense, num_blocks, &cfg).unwrap();
+            for shards in [1, 2, 3, 8] {
+                let sharded = shard_stream(&records, &dense, num_blocks, shards, &cfg);
+                assert_eq!(sharded.num_shards(), shards, "infinite caches honour the count");
+                let res = run_sharded(kind, 4, &sharded, &cfg).unwrap();
+                assert_eq!(serial.counters, res.counters, "{kind} at {shards} shards");
+                assert_eq!(serial.refs, res.refs);
+                assert_eq!(serial.violations, res.violations);
+            }
+        }
+    }
+
+    #[test]
+    fn set_sharded_finite_caches_are_bit_identical() {
+        use dircc_cache::FiniteCacheConfig;
+        // Four CPUs cycling writes through 24 blocks — 6 blocks per set of
+        // a 4-set × 2-way cache, so every set thrashes and evicts.
+        let trace: Vec<TraceRecord> = (0..1200u64)
+            .map(|i| {
+                let cpu = (i % 4) as u16;
+                let block = (i / 4 * 5 + i % 4) % 24;
+                TraceRecord::new(
+                    CpuId::new(cpu),
+                    ProcessId::new(cpu),
+                    if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read },
+                    Address::new(block * 16),
+                )
+            })
+            .collect();
+        let cfg = RunConfig {
+            verify: true,
+            ..RunConfig::default().with_finite_caches(FiniteCacheConfig::new(4, 2))
+        };
+        let (dense, num_blocks) = interned(&trace, cfg.geometry);
+        for kind in [ProtocolKind::Dir0B, ProtocolKind::Berkeley, ProtocolKind::Mesi] {
+            let mut p = build(kind, 4);
+            let serial = run_indexed(p.as_mut(), &trace, &dense, num_blocks, &cfg).unwrap();
+            assert!(serial.counters.cache_evictions() > 0, "exercise eviction traffic");
+            for shards in [2, 3, 4, 8] {
+                let sharded = shard_stream(&trace, &dense, num_blocks, shards, &cfg);
+                assert!(sharded.num_shards() <= 4, "clamped to the set count");
+                let res = run_sharded(kind, 4, &sharded, &cfg).unwrap();
+                assert_eq!(serial.counters, res.counters, "{kind} at {shards} shards");
+                assert_eq!(serial.violations, res.violations);
+            }
+        }
+    }
+
+    #[test]
+    fn finite_single_set_falls_back_to_one_shard() {
+        use dircc_cache::FiniteCacheConfig;
+        let trace = patterns::migratory(4, 40);
+        let cfg = RunConfig::default().with_finite_caches(FiniteCacheConfig::new(1, 2));
+        let (dense, num_blocks) = interned(&trace, cfg.geometry);
+        let sharded = shard_stream(&trace, &dense, num_blocks, 8, &cfg);
+        assert_eq!(sharded.num_shards(), 1);
+    }
+
+    #[test]
+    fn sharded_violations_merge_in_trace_order_with_the_serial_cap() {
+        // The Stale protocol above violates on every access; over many
+        // blocks the violations land in different shards, so this pins
+        // the cap-after-merge semantics: exactly the serial run's first
+        // MAX_VIOLATIONS findings, in its order.
+        #[derive(Debug)]
+        struct Stale(dircc_cache::CacheArray<()>);
+        impl Protocol for Stale {
+            fn kind(&self) -> ProtocolKind {
+                ProtocolKind::Wti
+            }
+            fn num_caches(&self) -> usize {
+                self.0.num_caches()
+            }
+            fn access(
+                &mut self,
+                cache: CacheId,
+                _kind: AccessKind,
+                block: BlockAddr,
+                _first: bool,
+            ) -> dircc_core::Outcome {
+                self.0.set(cache, block, ());
+                dircc_core::Outcome::quiet(Event::WriteHit(
+                    dircc_core::WriteHitContext::CleanExclusive,
+                ))
+            }
+            fn holders(&self, block: BlockAddr) -> dircc_types::CacheIdSet {
+                self.0.holders(block)
+            }
+            fn check_invariants(&self) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        use dircc_types::{Address, CpuId, ProcessId};
+        let trace: Vec<TraceRecord> = (0..120u64)
+            .map(|i| {
+                TraceRecord::new(
+                    CpuId::new((i % 4) as u16),
+                    ProcessId::new((i % 4) as u16),
+                    if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read },
+                    Address::new((i % 9) * 16),
+                )
+            })
+            .collect();
+        let cfg = RunConfig::verifying(0);
+        let (dense, num_blocks) = interned(&trace, cfg.geometry);
+        let mut p = Stale(dircc_cache::CacheArray::new(4));
+        let serial = run_indexed(&mut p, &trace, &dense, num_blocks, &cfg).unwrap();
+        assert_eq!(serial.violations.len(), MAX_VIOLATIONS);
+        for shards in [2, 3, 5] {
+            let sharded = shard_stream(&trace, &dense, num_blocks, shards, &cfg);
+            let protocols: Vec<Box<dyn Protocol>> = (0..shards)
+                .map(|_| Box::new(Stale(dircc_cache::CacheArray::new(4))) as Box<dyn Protocol>)
+                .collect();
+            let res = run_sharded_with(protocols, &sharded, &cfg, |_, _, _, _| ()).unwrap();
+            assert_eq!(serial.violations, res.violations, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_error_is_the_serial_first_error() {
+        // An out-of-range CPU in the middle of the stream: whichever shard
+        // it lands in, the reported error must be the serial one.
+        use dircc_types::{Address, CpuId, ProcessId};
+        let mut trace = patterns::migratory(4, 60);
+        trace.insert(
+            30,
+            TraceRecord::new(CpuId::new(9), ProcessId::new(9), AccessKind::Read, Address::new(0)),
+        );
+        let cfg = RunConfig::default();
+        let (dense, num_blocks) = interned(&trace, cfg.geometry);
+        let mut p = build(ProtocolKind::Dir0B, 4);
+        let serial = run_indexed(p.as_mut(), &trace, &dense, num_blocks, &cfg).unwrap_err();
+        for shards in [1, 2, 4] {
+            let sharded = shard_stream(&trace, &dense, num_blocks, shards, &cfg);
+            let err = run_sharded(ProtocolKind::Dir0B, 4, &sharded, &cfg).unwrap_err();
+            assert_eq!(serial, err, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_observer_sees_every_shard_once() {
+        use std::sync::Mutex;
+        let trace = patterns::migratory(4, 200);
+        let cfg = RunConfig::default();
+        let (dense, num_blocks) = interned(&trace, cfg.geometry);
+        let sharded = shard_stream(&trace, &dense, num_blocks, 3, &cfg);
+        let seen: Mutex<Vec<(usize, u64)>> = Mutex::new(Vec::new());
+        let protocols = dircc_core::split_shards(ProtocolKind::Mesi, 4, &sharded.shard_blocks());
+        let res = run_sharded_with(protocols, &sharded, &cfg, |shard, _, _, refs| {
+            seen.lock().unwrap().push((shard, refs));
+        })
+        .unwrap();
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(seen.iter().map(|(_, r)| *r).sum::<u64>(), res.refs);
+    }
+
+    #[test]
+    fn mismatched_instance_count_is_an_error() {
+        let trace = patterns::migratory(4, 20);
+        let cfg = RunConfig::default();
+        let (dense, num_blocks) = interned(&trace, cfg.geometry);
+        let sharded = shard_stream(&trace, &dense, num_blocks, 2, &cfg);
+        let err =
+            run_sharded_with(vec![build(ProtocolKind::Dir0B, 4)], &sharded, &cfg, |_, _, _, _| ())
+                .unwrap_err();
+        assert!(err.contains("one per shard"), "{err}");
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub mod report;
 pub mod workbench;
 
 pub use engine::{
-    run, run_indexed, run_indexed_with, run_with, RunConfig, RunResult, SharingModel,
+    run, run_indexed, run_indexed_with, run_sharded, run_sharded_with, run_with, shard_stream,
+    RunConfig, RunResult, SharingModel,
 };
 pub use metrics::Evaluation;
 pub use par::{default_jobs, par_map_indexed};

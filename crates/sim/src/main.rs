@@ -28,9 +28,14 @@
 //!
 //! Common flags: `--refs N` (references per trace; default = paper scale),
 //! `--seed S` (default 1988), `--jobs N` (worker threads; default = the
-//! machine's available parallelism). Results are independent of `--jobs`:
-//! stdout is byte-identical for any thread count; the per-run wall-clock
-//! timing summary goes to stderr, and only with `--verbose`.
+//! machine's available parallelism), `--shards N` (block shards per
+//! replay; default 1). Results are independent of `--jobs` and
+//! `--shards`: stdout is byte-identical for any combination (sharded
+//! counters are bit-identical by construction; see the engine's
+//! `run_sharded`); the per-run wall-clock timing summary goes to stderr,
+//! and only with `--verbose`. `dircc profile` rejects `--shards` —
+//! windowed sampling observes the global reference stream, which pins the
+//! replay to one shard.
 
 use dircc_bus::{CostConfig, CostModel};
 use dircc_check::{check_protocol, CheckConfig};
@@ -138,6 +143,7 @@ struct Args {
     refs: Option<u64>,
     seed: u64,
     jobs: usize,
+    shards: usize,
     profile: String,
     out: Option<String>,
     input: Option<String>,
@@ -160,6 +166,7 @@ fn parse_args() -> Result<Args, String> {
         refs: None,
         seed: 1988,
         jobs: default_jobs(),
+        shards: 1,
         profile: "pops".to_string(),
         out: None,
         input: None,
@@ -186,6 +193,12 @@ fn parse_args() -> Result<Args, String> {
                 parsed.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
                 if parsed.jobs == 0 {
                     return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--shards" => {
+                parsed.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
+                if parsed.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
                 }
             }
             "--profile" => parsed.profile = value("--profile")?,
@@ -258,6 +271,23 @@ fn validate_io(args: &Args) -> Result<(), String> {
             spec.name
         ));
     }
+    if args.shards > 1 {
+        if spec.name == "profile" {
+            return Err("profile rejects --shards: windowed sampling observes the global \
+                 reference stream, which pins the replay to one shard"
+                .to_string());
+        }
+        let sharded_ok =
+            matches!(spec.kind, Kind::Workbench | Kind::All | Kind::Bench | Kind::BenchCmp)
+                || spec.name == "check";
+        if !sharded_ok {
+            return Err(format!(
+                "--shards only applies to workbench experiments, all, bench, benchcmp and \
+                 check, not {}",
+                spec.name
+            ));
+        }
+    }
     match spec.io {
         Io::None => {
             if args.out.is_some() || args.input.is_some() {
@@ -284,8 +314,9 @@ fn validate_io(args: &Args) -> Result<(), String> {
 fn usage() -> String {
     // Derived from COMMANDS so the list can never go stale.
     let mut lines = vec!["usage: dircc <command> [target] [--refs N] [--seed S] [--jobs N] \
-         [--profile pops|thor|pero|custom] [--out FILE | --in FILE] [--smoke] [--verbose] \
-         [--window K] [--spans FILE] [--cpus N] [--blocks M] [--depth D] [--scheme S]"
+         [--shards N] [--profile pops|thor|pero|custom] [--out FILE | --in FILE] [--smoke] \
+         [--verbose] [--window K] [--spans FILE] [--cpus N] [--blocks M] [--depth D] \
+         [--scheme S]"
         .to_string()];
     let mut line = String::from("commands:");
     for c in COMMANDS {
@@ -315,6 +346,7 @@ fn workbench(args: &Args) -> Workbench {
         Some(n) => Workbench::paper_scaled(n, args.seed),
         None => Workbench::paper(args.seed),
     }
+    .with_shards(args.shards)
 }
 
 fn trace_path(args: &Args) -> String {
@@ -463,15 +495,19 @@ fn run_workbench_command(args: &Args, all: bool) -> Result<(), String> {
 
 /// `dircc bench`: replays the calibrated paper matrix (the same
 /// (protocol, filter) x trace work list `dircc all` warms), then writes a
-/// machine-readable throughput report. Replay wall-clock sums CPU time
-/// across workers, so `--jobs 1` is the number to quote. `--smoke` runs a
-/// tiny matrix for CI.
+/// machine-readable throughput report. Every run row records the
+/// `--shards` count it replayed with (counters are shard-invariant; only
+/// wall-clock changes). Replay wall-clock sums CPU time across workers,
+/// so `--jobs 1` is the number to quote; with `--shards N` each run's
+/// wall is the outer replay span (shard threads overlap inside it).
+/// `--smoke` runs a tiny matrix for CI.
 fn bench(args: &Args) -> Result<(), String> {
     let wb = match (args.refs, args.smoke) {
         (Some(n), _) => Workbench::paper_scaled(n, args.seed),
         (None, true) => Workbench::paper_scaled(20_000, args.seed),
         (None, false) => Workbench::paper(args.seed),
-    };
+    }
+    .with_shards(args.shards);
     let executed = wb.warm(&wb.paper_workload(), args.jobs);
     let timings = wb.timings();
 
@@ -483,10 +519,11 @@ fn bench(args: &Args) -> Result<(), String> {
         let _ = write!(
             json,
             "    {{\"scheme\": \"{}\", \"trace\": \"{}\", \"filter\": \"{}\", \
-             \"refs\": {}, \"wall_ms\": {:.3}, \"refs_per_sec\": {:.0}}}",
+             \"shards\": {}, \"refs\": {}, \"wall_ms\": {:.3}, \"refs_per_sec\": {:.0}}}",
             t.scheme,
             t.trace,
             filter,
+            args.shards,
             t.refs,
             t.wall.as_secs_f64() * 1e3,
             t.refs_per_sec()
@@ -499,9 +536,10 @@ fn bench(args: &Args) -> Result<(), String> {
         if total_wall.is_zero() { 0.0 } else { total_refs as f64 / total_wall.as_secs_f64() };
     let _ = write!(
         json,
-        "  ],\n  \"totals\": {{\"runs\": {}, \"refs\": {}, \"wall_ms\": {:.3}, \
+        "  ],\n  \"totals\": {{\"runs\": {}, \"shards\": {}, \"refs\": {}, \"wall_ms\": {:.3}, \
          \"refs_per_sec\": {:.0}}}\n}}\n",
         executed,
+        args.shards,
         total_refs,
         total_wall.as_secs_f64() * 1e3,
         total_rps
@@ -578,11 +616,53 @@ fn check(args: &Args) -> Result<(), String> {
         }
     }
     if failed > 0 {
-        Err(format!("model check: {failed} of {} scheme(s) FAILED", reports.len()))
-    } else {
-        println!("model check: all {} scheme(s) PASS", reports.len());
-        Ok(())
+        return Err(format!("model check: {failed} of {} scheme(s) FAILED", reports.len()));
     }
+    println!("model check: all {} scheme(s) PASS", reports.len());
+    shard_check(&kinds, args)?;
+    Ok(())
+}
+
+/// Replay-equivalence pass run after the model-check table: every checked
+/// scheme replays a short trace through the sharded engine (one protocol
+/// instance per shard via `split_shards`) and must reproduce the serial
+/// replay's counters, first-ref classification and verifier verdicts bit
+/// for bit. Uses `--shards` (at least 2, so the per-shard construction
+/// path is always exercised — including in `--smoke --scheme X` CI runs).
+fn shard_check(kinds: &[ProtocolKind], args: &Args) -> Result<(), String> {
+    use dircc_sim::{run_indexed, run_sharded, shard_stream, RunConfig};
+    let shards = args.shards.max(2);
+    let total_refs = if args.smoke { 5_000 } else { 20_000 };
+    let records: Vec<dircc_trace::TraceRecord> =
+        Generator::new(Profile::pops().with_total_refs(total_refs), args.seed).collect();
+    let cfg = RunConfig { verify: true, ..RunConfig::default().with_process_sharing() };
+    let interner = dircc_trace::BlockInterner::from_records(records.iter(), cfg.geometry);
+    let dense = interner.dense_stream(&records);
+    let num_blocks = interner.num_blocks();
+    let sharded = shard_stream(&records, &dense, num_blocks, shards, &cfg);
+    let n_caches = usize::from(Profile::pops().cpus);
+    for &kind in kinds {
+        let mut p = dircc_core::build_sized(kind, n_caches, num_blocks);
+        let serial = run_indexed(p.as_mut(), &records, &dense, num_blocks, &cfg)
+            .map_err(|e| format!("shard check: {kind}: serial replay failed: {e}"))?;
+        let split = run_sharded(kind, n_caches, &sharded, &cfg)
+            .map_err(|e| format!("shard check: {kind}: sharded replay failed: {e}"))?;
+        if serial.counters != split.counters
+            || serial.refs != split.refs
+            || serial.violations != split.violations
+        {
+            return Err(format!(
+                "shard check: {kind}: sharded replay diverged from serial at {shards} shards"
+            ));
+        }
+    }
+    println!(
+        "shard check: {} scheme(s) x {} refs: counters, first-ref classes and verifier \
+         verdicts bit-identical at {shards} shards",
+        kinds.len(),
+        total_refs
+    );
+    Ok(())
 }
 
 /// One run row of a `dircc bench` JSON report.
@@ -590,6 +670,8 @@ struct BenchRun {
     scheme: String,
     trace: String,
     filter: String,
+    /// `None` when the report predates the `shards` schema field.
+    shards: Option<u64>,
     refs: u64,
     wall_ms: f64,
 }
@@ -620,6 +702,7 @@ fn parse_bench_runs(text: &str) -> Vec<BenchRun> {
                 scheme: json_str_field(l, "scheme")?,
                 trace: json_str_field(l, "trace")?,
                 filter: json_str_field(l, "filter")?,
+                shards: json_num_field(l, "shards").map(|s| s as u64),
                 refs: json_num_field(l, "refs")? as u64,
                 wall_ms: json_num_field(l, "wall_ms")?,
             })
@@ -698,6 +781,7 @@ fn profile(args: &Args) -> Result<(), String> {
                 trace: s.trace_name.clone(),
                 filter: label.to_string(),
                 refs: s.refs,
+                shard: None,
             };
             // Price each window's delta under the paper's pipelined model
             // (the fifth phase, `price`, in the span profile).
@@ -745,12 +829,13 @@ fn profile(args: &Args) -> Result<(), String> {
 }
 
 /// `dircc benchcmp`: re-runs the bench matrix and compares the
-/// deterministic per-run fields (scheme, trace, filter, refs) against a
-/// baseline report (`--in`, default `BENCH_smoke.json` with `--smoke`,
-/// else `BENCH_replay.json`). Runs are matched by sorted key — a bench
-/// report lists runs in completion order, which varies with `--jobs`.
-/// Any drift fails the process; wall-clock changes are reported but
-/// never fatal.
+/// deterministic per-run fields (scheme, trace, filter, shards, refs)
+/// against a baseline report (`--in`, default `BENCH_smoke.json` with
+/// `--smoke`, else `BENCH_replay.json`). Runs are matched by sorted key —
+/// a bench report lists runs in completion order, which varies with
+/// `--jobs`. A baseline whose schema predates the `shards` field is
+/// rejected with a pointer to regenerate it. Any drift fails the process;
+/// wall-clock changes are reported but never fatal.
 fn benchcmp(args: &Args) -> Result<(), String> {
     let path = args.input.clone().unwrap_or_else(|| {
         if args.smoke {
@@ -764,12 +849,21 @@ fn benchcmp(args: &Args) -> Result<(), String> {
     if baseline.is_empty() {
         return Err(format!("{path}: no runs found (not a dircc bench report?)"));
     }
+    let missing = baseline.iter().filter(|b| b.shards.is_none()).count();
+    if missing > 0 {
+        return Err(format!(
+            "{path}: {missing} of {} run(s) lack the \"shards\" field — the baseline predates \
+             the sharded-replay schema; regenerate it with `dircc bench`",
+            baseline.len()
+        ));
+    }
 
     let wb = match (args.refs, args.smoke) {
         (Some(n), _) => Workbench::paper_scaled(n, args.seed),
         (None, true) => Workbench::paper_scaled(20_000, args.seed),
         (None, false) => Workbench::paper(args.seed),
-    };
+    }
+    .with_shards(args.shards);
     wb.warm(&wb.paper_workload(), args.jobs);
     let timings = wb.timings();
 
@@ -777,21 +871,31 @@ fn benchcmp(args: &Args) -> Result<(), String> {
     if timings.len() != baseline.len() {
         drift.push(format!("run count: baseline {}, fresh {}", baseline.len(), timings.len()));
     }
-    let mut base_keys: Vec<(String, String, String, u64)> = baseline
+    let mut base_keys: Vec<(String, String, String, u64, u64)> = baseline
         .iter()
-        .map(|b| (b.scheme.clone(), b.trace.clone(), b.filter.clone(), b.refs))
+        .map(|b| {
+            (b.scheme.clone(), b.trace.clone(), b.filter.clone(), b.shards.unwrap_or(1), b.refs)
+        })
         .collect();
-    let mut fresh_keys: Vec<(String, String, String, u64)> = timings
+    let mut fresh_keys: Vec<(String, String, String, u64, u64)> = timings
         .iter()
-        .map(|t| (t.scheme.clone(), t.trace.clone(), filter_label(t.filter).to_string(), t.refs))
+        .map(|t| {
+            (
+                t.scheme.clone(),
+                t.trace.clone(),
+                filter_label(t.filter).to_string(),
+                args.shards as u64,
+                t.refs,
+            )
+        })
         .collect();
     base_keys.sort();
     fresh_keys.sort();
     for (b, f) in base_keys.iter().zip(fresh_keys.iter()) {
         if b != f {
             drift.push(format!(
-                "baseline {}/{}/{} refs={} vs fresh {}/{}/{} refs={}",
-                b.0, b.1, b.2, b.3, f.0, f.1, f.2, f.3
+                "baseline {}/{}/{} shards={} refs={} vs fresh {}/{}/{} shards={} refs={}",
+                b.0, b.1, b.2, b.3, b.4, f.0, f.1, f.2, f.3, f.4
             ));
         }
     }

@@ -23,7 +23,11 @@
 //! With [`Workbench::with_window`], each run additionally samples counter
 //! deltas every K references into a [`RunSeries`]; the replay itself then
 //! uses a [`WindowedRecorder`], but counters stay bit-identical (pinned
-//! by tests and the `benchcmp` gate).
+//! by tests and the `benchcmp` gate). With [`Workbench::with_shards`],
+//! each replay is block-sharded across worker threads and the log gains
+//! one `replay-shard` span per shard (shard-id tagged) nested under the
+//! run's `replay` span; windowed runs pin shards to 1 (a window is a
+//! slice of the global reference stream).
 
 use crate::engine::{run_indexed, run_indexed_with, RunConfig};
 use crate::metrics::Evaluation;
@@ -98,9 +102,13 @@ pub struct RunSeries {
 
 impl RunTiming {
     /// Replay throughput in references per second.
+    ///
+    /// Returns `0.0` when the measured wall time is zero (a sub-tick
+    /// replay) — never `inf`/`NaN`, so the value is always representable
+    /// in JSON bench reports.
     pub fn refs_per_sec(&self) -> f64 {
         if self.wall.is_zero() {
-            return f64::INFINITY;
+            return 0.0;
         }
         self.refs as f64 / self.wall.as_secs_f64()
     }
@@ -115,6 +123,7 @@ pub struct Workbench {
     stats_memo: Mutex<HashMap<usize, Arc<OnceLock<Arc<TraceStats>>>>>,
     spans: SpanLog,
     window: Option<u64>,
+    shards: usize,
     series: Mutex<Vec<RunSeries>>,
 }
 
@@ -150,6 +159,7 @@ impl Workbench {
             stats_memo: Mutex::new(HashMap::new()),
             spans: SpanLog::new(),
             window: None,
+            shards: 1,
             series: Mutex::new(Vec::new()),
         }
     }
@@ -168,6 +178,31 @@ impl Workbench {
         assert!(window > 0, "window size must be at least 1 reference");
         self.window = Some(window);
         self
+    }
+
+    /// Splits every subsequently executed replay into `shards` block
+    /// shards replayed on worker threads ([`crate::engine::run_sharded_with`]),
+    /// with per-shard `replay-shard` spans in the log. Counters are
+    /// **bit-identical** to the unsharded replay (pinned by tests); only
+    /// wall-clock changes.
+    ///
+    /// Windowed recording ([`Self::with_window`]) pins the replay to one
+    /// shard: a window is a contiguous slice of the *global* reference
+    /// stream, which a per-shard replay cannot observe, so windowed runs
+    /// stay on the serial path regardless of this setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count replays use (1 = serial replay).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Number of caches (= CPUs) in the simulated machine.
@@ -256,6 +291,7 @@ impl Workbench {
                 trace: trace_name.clone(),
                 filter: filter_label(filter).to_string(),
                 refs,
+                shard: None,
             };
             // Phase spans wrap the store calls even when they hit warm
             // memos (duration ~0 then), so every executed run contributes
@@ -275,9 +311,15 @@ impl Workbench {
                 let num_blocks = self.store.interner(trace, cfg.geometry).num_blocks();
                 (dense, num_blocks)
             });
-            let mut protocol = build_sized(kind, self.n_caches(), num_blocks);
+            // Sharded replay reuses the store's memoized partition (same
+            // mod router as the engine's infinite-cache `shard_stream`),
+            // built before the replay span so throughput numbers compare
+            // replay work only.
+            let sharded = (self.shards > 1 && self.window.is_none())
+                .then(|| self.store.sharded(trace, filter, cfg.geometry, self.shards));
             let timer = self.spans.start();
             let result = if let Some(window) = self.window {
+                let mut protocol = build_sized(kind, self.n_caches(), num_blocks);
                 let mut recorder = WindowedRecorder::new(window);
                 let result = run_indexed_with(
                     protocol.as_mut(),
@@ -298,7 +340,20 @@ impl Workbench {
                     windows: recorder.into_samples(),
                 });
                 result
+            } else if let Some(sharded) = &sharded {
+                let protocols =
+                    dircc_core::split_shards(kind, self.n_caches(), &sharded.shard_blocks());
+                crate::engine::run_sharded_with(protocols, sharded, &cfg, |shard, at, dur, refs| {
+                    self.spans.record_at(
+                        "replay-shard",
+                        at,
+                        dur,
+                        Some(RunMeta { shard: Some(shard), ..meta(refs) }),
+                    );
+                })
+                .expect("trace replay failed")
             } else {
+                let mut protocol = build_sized(kind, self.n_caches(), num_blocks);
                 run_indexed(protocol.as_mut(), &records, &dense, num_blocks, &cfg)
                     .expect("trace replay failed")
             };
@@ -681,5 +736,72 @@ mod tests {
         let wb = small();
         let _ = wb.counters(ProtocolKind::Dir0B, 0, TraceFilter::Full);
         assert!(wb.time_series().is_empty());
+    }
+
+    #[test]
+    fn sharded_workbench_is_bit_identical_and_logs_per_shard_spans() {
+        let work = [
+            (ProtocolKind::Dir0B, TraceFilter::Full),
+            (ProtocolKind::Dragon, TraceFilter::ExcludeLockSpins),
+        ];
+        let serial = Workbench::paper_scaled(9_000, 3);
+        let sharded = Workbench::paper_scaled(9_000, 3).with_shards(4);
+        assert_eq!(sharded.shards(), 4);
+        serial.warm(&work, 1);
+        sharded.warm(&work, 1);
+        for &(kind, filter) in &work {
+            for t in 0..serial.num_traces() {
+                assert_eq!(
+                    *serial.counters(kind, t, filter),
+                    *sharded.counters(kind, t, filter),
+                    "{kind} trace {t} {filter:?} diverged under sharding"
+                );
+            }
+        }
+        let spans = sharded.span_log().spans();
+        let per_shard: Vec<_> = spans.iter().filter(|s| s.name == "replay-shard").collect();
+        let replays = spans.iter().filter(|s| s.name == "replay").count();
+        assert_eq!(per_shard.len(), replays * 4, "four shard spans per run");
+        for s in &per_shard {
+            let m = s.meta.as_ref().unwrap();
+            assert!(m.shard.is_some(), "shard spans carry their shard id");
+        }
+        // Shard ids 0..4 all appear; shard refs sum to each run's total.
+        let ids: std::collections::HashSet<usize> =
+            per_shard.iter().map(|s| s.meta.as_ref().unwrap().shard.unwrap()).collect();
+        assert_eq!(ids, (0..4).collect());
+        // Timings (and hence bench reports) still come from the outer
+        // replay span, one per run.
+        assert_eq!(sharded.timings().len(), serial.timings().len());
+    }
+
+    #[test]
+    fn windowed_workbench_pins_shards_to_one() {
+        let wb = Workbench::paper_scaled(4_000, 5).with_shards(8).with_window(1_000);
+        let _ = wb.counters(ProtocolKind::Dir0B, 0, TraceFilter::Full);
+        let spans = wb.span_log().spans();
+        assert!(spans.iter().all(|s| s.name != "replay-shard"), "windowed runs stay serial");
+        assert_eq!(wb.time_series().len(), 1, "the windowed series is still collected");
+    }
+
+    #[test]
+    fn refs_per_sec_is_finite_even_for_zero_wall() {
+        let t = RunTiming {
+            scheme: "Dir0B".into(),
+            trace: "POPS".into(),
+            filter: TraceFilter::Full,
+            refs: 1_000,
+            wall: Duration::ZERO,
+        };
+        assert_eq!(t.refs_per_sec(), 0.0, "zero wall must not produce inf");
+        assert!(t.refs_per_sec().is_finite());
+        let t = RunTiming { wall: Duration::from_millis(500), ..t };
+        assert_eq!(t.refs_per_sec(), 2_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = Workbench::paper_scaled(1_000, 1).with_shards(0);
     }
 }

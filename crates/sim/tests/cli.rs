@@ -136,6 +136,79 @@ fn jobs_do_not_change_stdout() {
     assert_eq!(run("1"), run("8"), "stdout must not depend on --jobs");
 }
 
+/// `--shards` must change wall-clock only: `dircc all` stdout is
+/// byte-identical across every (--jobs, --shards) combination.
+#[test]
+fn shards_do_not_change_stdout() {
+    let run = |jobs: &str, shards: &str| {
+        let out = dircc()
+            .args(["all", "--refs", "4000", "--seed", "3", "--jobs", jobs, "--shards", shards])
+            .output()
+            .expect("run dircc");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let reference = run("1", "1");
+    for (jobs, shards) in [("1", "4"), ("2", "2"), ("8", "3")] {
+        assert_eq!(
+            reference,
+            run(jobs, shards),
+            "stdout must not depend on --jobs {jobs} --shards {shards}"
+        );
+    }
+}
+
+/// `--shards` belongs to the replaying commands; trace-file and profile
+/// commands reject it (profile with the windowed-sampling explanation).
+#[test]
+fn shards_flag_validation() {
+    let out = dircc().args(["table1", "--shards", "0"]).output().expect("run dircc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shards must be at least 1"));
+
+    let out = dircc().args(["gen", "--shards", "2"]).output().expect("run dircc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shards only applies"));
+
+    let out = dircc().args(["profile", "all", "--shards", "2"]).output().expect("run dircc");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("profile rejects --shards"), "{err}");
+    assert!(err.contains("one shard"), "explains the windowed pin: {err}");
+}
+
+/// A pre-shards baseline fails `benchcmp` with a readable schema error,
+/// not a drift list.
+#[test]
+fn benchcmp_rejects_baseline_without_shards_field() {
+    let dir = std::env::temp_dir().join(format!("dircc_benchcmp_old_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("OLD.json");
+
+    let out = dircc()
+        .args(["bench", "--refs", "2000", "--jobs", "2", "--out", path.to_str().unwrap()])
+        .output()
+        .expect("run bench");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Strip the shards field, simulating a report from before the schema
+    // carried it.
+    let json = std::fs::read_to_string(&path).unwrap();
+    let old = json.replace("\"shards\": 1, ", "");
+    assert_ne!(json, old);
+    std::fs::write(&path, old).unwrap();
+
+    let out = dircc()
+        .args(["benchcmp", "--refs", "2000", "--jobs", "2", "--in", path.to_str().unwrap()])
+        .output()
+        .expect("run benchcmp");
+    assert!(!out.status.success(), "old-schema baseline must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("lack the \"shards\" field"), "{err}");
+    assert!(err.contains("regenerate it with `dircc bench`"), "{err}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// The `all` output includes every experiment, footnote2 included (it was
 /// once missing from the hardcoded list).
 #[test]
@@ -260,6 +333,7 @@ fn bench_smoke_writes_the_replay_report() {
         "\"scheme\"",
         "\"trace\"",
         "\"filter\"",
+        "\"shards\"",
         "\"refs\"",
         "\"wall_ms\"",
         "\"refs_per_sec\"",
@@ -268,7 +342,9 @@ fn bench_smoke_writes_the_replay_report() {
         assert!(json.contains(field), "report must carry {field}: {json}");
     }
     assert!(json.contains("\"Dir1NB\"") && json.contains("\"POPS\""), "{json}");
+    assert!(json.contains("\"shards\": 1"), "default shard count recorded: {json}");
     assert!(json.trim_end().ends_with('}'), "well-formed JSON object");
+    assert!(!json.contains("inf") && !json.contains("NaN"), "throughput fields stay finite");
 
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -312,19 +388,27 @@ fn check_smoke_passes_every_scheme() {
         assert!(text.contains(scheme), "table must list {scheme}: {text}");
     }
     assert!(!text.contains("FAIL"), "{text}");
+    assert!(
+        text.contains("bit-identical at 2 shards"),
+        "the replay-equivalence pass runs after the table: {text}"
+    );
 }
 
 /// `--scheme` narrows the check to one protocol; unknown names error out
 /// with the full list.
 #[test]
 fn check_scheme_filter() {
+    // `--smoke --scheme` also exercises the sharded engine's per-shard
+    // protocol construction (the shard check honours `--shards`).
     let out = dircc()
-        .args(["check", "--scheme", "mesi", "--depth", "4", "--jobs", "1"])
+        .args(["check", "--smoke", "--scheme", "mesi", "--shards", "3", "--jobs", "1"])
         .output()
         .expect("run check");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("MESI") && text.contains("all 1 scheme(s) PASS"), "{text}");
+    assert!(text.contains("shard check: 1 scheme(s)"), "{text}");
+    assert!(text.contains("bit-identical at 3 shards"), "{text}");
 
     let out = dircc().args(["check", "--scheme", "bogus"]).output().expect("run check");
     assert!(!out.status.success());
@@ -385,9 +469,11 @@ fn benchcmp_detects_injected_drift() {
 /// observability layer existed.
 #[test]
 fn benchcmp_matches_the_checked_in_smoke_baseline() {
+    // The checked-in baseline was generated with `--shards 2`, so the
+    // sharded replay path is what must reproduce its counters.
     let baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_smoke.json");
     let out = dircc()
-        .args(["benchcmp", "--smoke", "--jobs", "2", "--in", baseline])
+        .args(["benchcmp", "--smoke", "--jobs", "2", "--shards", "2", "--in", baseline])
         .output()
         .expect("run benchcmp");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));

@@ -24,6 +24,11 @@
 //! * [`intern`] — dense block ids: a [`BlockInterner`](intern::BlockInterner)
 //!   renames a stream's sparse block addresses to first-appearance-order
 //!   `u32` ids so replay state lives in flat vectors instead of hash maps.
+//! * [`shard`] — block-sharded sub-streams: a
+//!   [`ShardedStream`](shard::ShardedStream) partitions a dense-id stream
+//!   into per-block shards (with shard-local renaming and global
+//!   reference numbers) so one run can replay its shards in parallel and
+//!   merge counters back bit-identically.
 //!
 //! # Examples
 //!
@@ -44,10 +49,12 @@ pub mod filter;
 pub mod gen;
 pub mod intern;
 pub mod record;
+pub mod shard;
 pub mod sharing;
 pub mod stats;
 pub mod store;
 
 pub use intern::BlockInterner;
 pub use record::{RecordFlags, TraceRecord};
+pub use shard::{Shard, ShardedStream};
 pub use store::{TraceFilter, TraceStore};

@@ -19,6 +19,7 @@ use crate::filter::exclude_lock_spins;
 use crate::gen::{Generator, Profile};
 use crate::intern::BlockInterner;
 use crate::record::TraceRecord;
+use crate::shard::ShardedStream;
 use dircc_types::BlockGeometry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -81,6 +82,9 @@ pub struct TraceStore {
     interners: MemoMap<(usize, BlockGeometry), Arc<BlockInterner>>,
     /// Memoized per-record dense-id streams, one per (trace, filter, geometry).
     dense: MemoMap<(usize, usize, BlockGeometry), Arc<[u32]>>,
+    /// Memoized block-sharded partitions, one per
+    /// (trace, filter, geometry, shard count).
+    sharded: MemoMap<(usize, usize, BlockGeometry, usize), Arc<ShardedStream>>,
 }
 
 impl TraceStore {
@@ -99,6 +103,7 @@ impl TraceStore {
             generations: AtomicU64::new(0),
             interners: Mutex::new(HashMap::new()),
             dense: Mutex::new(HashMap::new()),
+            sharded: Mutex::new(HashMap::new()),
         }
     }
 
@@ -195,6 +200,38 @@ impl TraceStore {
         })
         .clone()
     }
+
+    /// The block-sharded partition of one (trace, filter) stream under
+    /// `geometry` — `shards` sub-streams routed by `block_id % shards`
+    /// (the infinite-cache router), with shard-local dense ids and global
+    /// reference numbers. Materialized once per (trace, filter, geometry,
+    /// shards) and shared thereafter, alongside the unsharded streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is out of range or `shards` is zero.
+    pub fn sharded(
+        &self,
+        trace: usize,
+        filter: TraceFilter,
+        geometry: BlockGeometry,
+        shards: usize,
+    ) -> Arc<ShardedStream> {
+        assert!(shards >= 1, "need at least one shard");
+        let cell = {
+            let mut map = self.sharded.lock().expect("sharded memo poisoned");
+            map.entry((trace, filter.slot(), geometry, shards)).or_default().clone()
+        };
+        cell.get_or_init(|| {
+            let records = self.records(trace, filter);
+            let dense = self.dense_blocks(trace, filter, geometry);
+            let num_blocks = self.interner(trace, geometry).num_blocks();
+            Arc::new(ShardedStream::build(&records, &dense, num_blocks, shards, |_, gid| {
+                gid as usize % shards
+            }))
+        })
+        .clone()
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +307,30 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &wide));
         assert!(wide.num_blocks() <= a.num_blocks(), "wider blocks cannot increase count");
         assert_eq!(s.generations(), 1, "interning reuses the stored stream");
+    }
+
+    #[test]
+    fn sharded_streams_are_memoized_and_partition_the_stream() {
+        let s = store();
+        let g = BlockGeometry::PAPER;
+        let a = s.sharded(0, TraceFilter::Full, g, 4);
+        let b = s.sharded(0, TraceFilter::Full, g, 4);
+        assert!(Arc::ptr_eq(&a, &b), "same (trace, filter, shards) shares the partition");
+        let other = s.sharded(0, TraceFilter::Full, g, 2);
+        assert!(!Arc::ptr_eq(&a, &other), "shard count is part of the key");
+        assert_eq!(a.total_records(), s.records(0, TraceFilter::Full).len());
+        assert_eq!(a.total_blocks(), s.interner(0, g).num_blocks());
+        assert_eq!(s.generations(), 1, "sharding reuses the stored stream");
+        // The mod router: every data record's original dense id maps to
+        // shard gid % 4, i.e. local ids stride the global id space.
+        let dense = s.dense_blocks(0, TraceFilter::Full, g);
+        for (i, sh) in a.shards().iter().enumerate() {
+            for (r, &g_ref) in sh.records.iter().zip(&sh.global_refs) {
+                if r.is_data() {
+                    assert_eq!(dense[(g_ref - 1) as usize] as usize % 4, i);
+                }
+            }
+        }
     }
 
     #[test]

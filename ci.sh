@@ -23,5 +23,16 @@ cargo test -q -p dircc-sim --test sharding
 # scalability work list.
 ./target/release/dircc profile scaling --smoke \
     --out /tmp/PROFILE_timeseries.jsonl --spans /tmp/PROFILE_spans.json
+# Streaming round-trip gate: a recorded chunked v2 trace replayed from
+# disk (streamed, then sharded via out-of-core spill files) must print
+# byte-identical results to the in-memory replay of the same profile,
+# verifier on.
+./target/release/dircc record --profile thor --refs 20000 --out /tmp/smoke_v2.dcct
+./target/release/dircc replay --in /tmp/smoke_v2.dcct --verify > /tmp/replay_file.txt
+./target/release/dircc replay --profile thor --refs 20000 --verify > /tmp/replay_mem.txt
+diff /tmp/replay_file.txt /tmp/replay_mem.txt
+./target/release/dircc replay --in /tmp/smoke_v2.dcct --verify --shards 3 \
+    > /tmp/replay_sharded.txt
+diff /tmp/replay_file.txt /tmp/replay_sharded.txt
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check

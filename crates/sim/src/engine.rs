@@ -44,9 +44,15 @@
 use dircc_cache::{FiniteCacheConfig, Lookup, SetAssocCache};
 use dircc_core::{split_shards, CoherenceStyle, Event, EventCounters, Protocol, ProtocolKind};
 use dircc_obs::{NoopRecorder, Recorder};
-use dircc_trace::{Shard, ShardedStream, TraceRecord};
+use dircc_trace::spill::spill_shards;
+use dircc_trace::{
+    BlockInterner, ChunkSource, Shard, ShardedStream, SpilledShard, SpilledShards, TraceRecord,
+};
 use dircc_types::{AccessKind, BlockAddr, BlockGeometry, CacheId};
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// How trace CPUs map onto protocol caches (§4.4).
@@ -348,6 +354,103 @@ pub fn run_indexed_with<P: Protocol + ?Sized, R: Recorder>(
     .map_err(|e| e.msg)
 }
 
+/// Iterator adapter feeding [`run_core`] from a [`ChunkSource`]: yields
+/// `(record, gref)` pairs one chunk at a time, reusing one buffer so peak
+/// resident trace memory is bounded by the chunk size. An I/O error ends
+/// the stream and is parked in `err` for the caller to surface (the
+/// iterator contract has no error channel).
+struct ChunkRecords<'a, S: ChunkSource> {
+    source: &'a mut S,
+    buf: Vec<TraceRecord>,
+    pos: usize,
+    gref: u64,
+    err: &'a RefCell<Option<io::Error>>,
+}
+
+impl<S: ChunkSource> Iterator for ChunkRecords<'_, S> {
+    type Item = (TraceRecord, u64);
+
+    fn next(&mut self) -> Option<(TraceRecord, u64)> {
+        loop {
+            if self.pos < self.buf.len() {
+                let r = self.buf[self.pos];
+                self.pos += 1;
+                self.gref += 1;
+                return Some((r, self.gref));
+            }
+            self.pos = 0;
+            match self.source.next_chunk(&mut self.buf) {
+                Ok(true) => continue,
+                Ok(false) => return None,
+                Err(e) => {
+                    *self.err.borrow_mut() = Some(e);
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Replays a streamed trace — any [`ChunkSource`], e.g. a
+/// [`ChunkedReader`](dircc_trace::ChunkedReader) over an on-disk v2 file —
+/// through `protocol`, holding at most one chunk of records in memory.
+///
+/// Blocks are interned incrementally as chunks arrive, in the same
+/// first-appearance order the in-memory paths use, so counters are
+/// bit-identical to [`run`]/[`run_indexed`] on the same records (pinned by
+/// this crate's streaming equality tests).
+///
+/// # Errors
+///
+/// As [`run`]; additionally reports I/O and decode errors from the source.
+pub fn run_chunked<P: Protocol + ?Sized, S: ChunkSource>(
+    protocol: &mut P,
+    source: &mut S,
+    cfg: &RunConfig,
+) -> Result<RunResult, String> {
+    run_chunked_with(protocol, source, cfg, &mut NoopRecorder)
+}
+
+/// [`run_chunked`] with a [`Recorder`] observing the cumulative counters
+/// after every reference. Counters are unaffected by the recorder.
+///
+/// # Errors
+///
+/// As [`run_chunked`].
+pub fn run_chunked_with<P, S, R>(
+    protocol: &mut P,
+    source: &mut S,
+    cfg: &RunConfig,
+    recorder: &mut R,
+) -> Result<RunResult, String>
+where
+    P: Protocol + ?Sized,
+    S: ChunkSource,
+    R: Recorder,
+{
+    let mut interner = BlockInterner::new(cfg.geometry);
+    let io_err: RefCell<Option<io::Error>> = RefCell::new(None);
+    let records = ChunkRecords { source, buf: Vec::new(), pos: 0, gref: 0, err: &io_err };
+    let res = run_core(
+        protocol,
+        records,
+        cfg,
+        0,
+        |orig, _| {
+            let (id, first_ref) = interner.intern(orig);
+            (BlockAddr::from_index(u64::from(id)), first_ref)
+        },
+        |b| b,
+        recorder,
+    );
+    // An I/O error truncates the stream; the engine would otherwise treat
+    // it as a clean end of trace, so check the side channel first.
+    if let Some(e) = io_err.into_inner() {
+        return Err(format!("trace read failed: {e}"));
+    }
+    res.map(finish_result).map_err(|e| e.msg)
+}
+
 /// Builds the block-sharded partition of a dense-id stream for `cfg`.
 ///
 /// Infinite-cache runs shard by `block_id % shards` — the same router
@@ -484,6 +587,17 @@ where
         }
     }
 
+    merge_shard_results(slots)
+}
+
+/// Folds per-shard replay results into one [`RunResult`] — additive
+/// counter merge in shard order, findings re-sorted by global reference
+/// number then capped, smallest `(gref, shard)` error winning — shared by
+/// the in-memory ([`run_sharded_with`]) and spilled
+/// ([`run_sharded_spilled`]) parallel paths so both merge identically.
+fn merge_shard_results(
+    slots: Vec<std::sync::Mutex<Option<Result<CoreResult, EngineError>>>>,
+) -> Result<RunResult, String> {
     let mut counters = EventCounters::new();
     let mut refs = 0u64;
     let mut findings: Vec<(u64, String)> = Vec::new();
@@ -509,6 +623,150 @@ where
     findings.sort_by_key(|(gref, _)| *gref);
     findings.truncate(MAX_VIOLATIONS);
     Ok(finish_result(CoreResult { counters, refs, violations: findings }))
+}
+
+/// Partitions a streamed trace into per-shard spill files under `dir`
+/// (which must exist), using the same routing [`shard_stream`] uses for
+/// `cfg` — `block_id % shards` for infinite caches, set index (clamped to
+/// the set count) for finite ones — so spilled replay merges
+/// bit-identically with [`run_sharded`]. Memory stays proportional to
+/// distinct blocks, never trace length: this is how `run_sharded` scales
+/// to traces larger than RAM.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the source and the spill files.
+pub fn spill_sharded<S: ChunkSource>(
+    source: &mut S,
+    shards: usize,
+    cfg: &RunConfig,
+    dir: &Path,
+) -> io::Result<SpilledShards> {
+    let shards = shards.max(1);
+    match cfg.finite_cache {
+        None => spill_shards(source, cfg.geometry, shards, dir, |_, gid| gid as usize % shards),
+        Some(fc) => {
+            let shards = shards.min(fc.sets);
+            let geometry = cfg.geometry;
+            spill_shards(source, geometry, shards, dir, move |r, _| {
+                fc.set_of(geometry.block_of(r.addr)) % shards
+            })
+        }
+    }
+}
+
+/// Replays a spilled partition (from [`spill_sharded`]) through one
+/// protocol instance per shard, streaming each shard's spill file with
+/// bounded memory, and folds the results **bit-identically to
+/// [`run_sharded`]** on the same stream: the spill files carry exactly the
+/// record / shard-local id / global reference triples an in-memory
+/// [`Shard`] carries, and the merge is [`merge_shard_results`].
+///
+/// # Errors
+///
+/// As [`run_sharded`]; additionally reports I/O errors reading spill files.
+pub fn run_sharded_spilled(
+    kind: ProtocolKind,
+    n_caches: usize,
+    spilled: &SpilledShards,
+    cfg: &RunConfig,
+) -> Result<RunResult, String> {
+    let protocols = split_shards(kind, n_caches, &spilled.shard_blocks());
+    let shards = spilled.shards();
+    let slots: Vec<std::sync::Mutex<Option<Result<CoreResult, EngineError>>>> =
+        shards.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    {
+        let run_one = |idx: usize, protocol: &mut dyn Protocol| {
+            let res = replay_spilled_shard(protocol, &shards[idx], cfg);
+            *slots[idx].lock().expect("shard slot poisoned") = Some(res);
+        };
+        if shards.len() == 1 {
+            let mut protocols = protocols;
+            run_one(0, protocols[0].as_mut());
+        } else {
+            std::thread::scope(|scope| {
+                for (idx, mut protocol) in protocols.into_iter().enumerate() {
+                    let run_one = &run_one;
+                    scope.spawn(move || run_one(idx, protocol.as_mut()));
+                }
+            });
+        }
+    }
+    merge_shard_results(slots)
+}
+
+/// Iterator feeding [`run_core`] from a spill file. The shard-local dense
+/// id travels through a [`Cell`] side channel: `next` stores it, the
+/// resolve closure reads it — safe because [`run_core`] is single-threaded
+/// and resolves each record before pulling the next.
+struct SpilledRecords<'a> {
+    entries: dircc_trace::spill::SpilledEntries,
+    lid: &'a Cell<u32>,
+    err: &'a RefCell<Option<io::Error>>,
+}
+
+impl Iterator for SpilledRecords<'_> {
+    type Item = (TraceRecord, u64);
+
+    fn next(&mut self) -> Option<(TraceRecord, u64)> {
+        match self.entries.next() {
+            Some(Ok(e)) => {
+                self.lid.set(e.local_id);
+                Some((e.record, e.gref))
+            }
+            Some(Err(e)) => {
+                *self.err.borrow_mut() = Some(e);
+                None
+            }
+            None => None,
+        }
+    }
+}
+
+/// Replays one spilled shard: [`run_core`] over the shard's spill file
+/// with its shard-local dense ids, first-ref bitvec and global reference
+/// numbers — the streaming twin of [`replay_shard`].
+fn replay_spilled_shard(
+    protocol: &mut dyn Protocol,
+    shard: &SpilledShard,
+    cfg: &RunConfig,
+) -> Result<CoreResult, EngineError> {
+    let read_err = |e: io::Error| EngineError {
+        // gref 0 sorts before any engine error, so an I/O failure wins
+        // the deterministic first-error merge.
+        gref: 0,
+        msg: format!("spilled shard read failed: {e}"),
+    };
+    let entries = shard.entries().map_err(read_err)?;
+    let mut seen = vec![0u64; shard.num_blocks.div_ceil(64)];
+    let lid = Cell::new(0u32);
+    let io_err: RefCell<Option<io::Error>> = RefCell::new(None);
+    let records = SpilledRecords { entries, lid: &lid, err: &io_err };
+    let global_ids = &shard.global_ids;
+    let res = run_core(
+        protocol,
+        records,
+        cfg,
+        shard.num_blocks,
+        |_, _| {
+            let id = lid.get();
+            let (word, bit) = (id as usize / 64, 1u64 << (id % 64));
+            if word >= seen.len() {
+                seen.resize(word + 1, 0);
+            }
+            let first_ref = seen[word] & bit == 0;
+            seen[word] |= bit;
+            (BlockAddr::from_index(u64::from(id)), first_ref)
+        },
+        // Violation messages name blocks by *global* dense id, matching
+        // the serial run byte-for-byte.
+        |b| BlockAddr::from_index(u64::from(global_ids[b.index() as usize])),
+        &mut NoopRecorder,
+    );
+    if let Some(e) = io_err.into_inner() {
+        return Err(read_err(e));
+    }
+    res
 }
 
 /// Replays one shard: [`run_core`] over the shard's records with its

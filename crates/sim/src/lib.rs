@@ -47,8 +47,9 @@ pub mod report;
 pub mod workbench;
 
 pub use engine::{
-    run, run_indexed, run_indexed_with, run_sharded, run_sharded_with, run_with, shard_stream,
-    RunConfig, RunResult, SharingModel,
+    run, run_chunked, run_chunked_with, run_indexed, run_indexed_with, run_sharded,
+    run_sharded_spilled, run_sharded_with, run_with, shard_stream, spill_sharded, RunConfig,
+    RunResult, SharingModel,
 };
 pub use metrics::Evaluation;
 pub use par::{default_jobs, par_map_indexed};

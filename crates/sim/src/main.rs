@@ -8,7 +8,9 @@
 //! dircc figure1|figure2|figure3|figure4|figure5
 //! dircc sensitivity|spinlock|berkeley|scalability
 //! dircc all                          # everything, in paper order
-//! dircc gen --profile pops --out t.dcct   # write a binary trace
+//! dircc gen --profile pops --out t.dcct   # write a v1 (flat) binary trace
+//! dircc record --profile pops --out t.dcct  # write a chunked v2 trace
+//! dircc replay --in t.dcct [--scheme S] [--shards N] [--verify]
 //! dircc stats --in t.dcct                 # Table 3 stats of a trace file
 //! dircc bench [--smoke] [--out FILE]      # replay-throughput benchmark
 //! dircc benchcmp [--smoke] [--in FILE]    # bench-regression gate
@@ -26,6 +28,15 @@
 //! a Chrome trace-event span profile of every workbench phase, and prints
 //! a per-run cycles-per-reference sparkline.
 //!
+//! `dircc record` writes the chunked, delta-compressed v2 trace format
+//! (`--chunk N` records per chunk); `dircc replay` streams a recorded
+//! trace (either format, auto-detected) through the engine with memory
+//! bounded by the chunk size — with `--shards N` the stream is first
+//! spilled into per-shard temp files, so even the sharded replay never
+//! holds the whole trace in RAM. Without `--in`, `replay` generates the
+//! `--profile` trace in memory and replays the classic indexed path;
+//! stdout is byte-identical between the two modes.
+//!
 //! Common flags: `--refs N` (references per trace; default = paper scale),
 //! `--seed S` (default 1988), `--jobs N` (worker threads; default = the
 //! machine's available parallelism), `--shards N` (block shards per
@@ -42,11 +53,16 @@ use dircc_check::{check_protocol, CheckConfig};
 use dircc_core::ProtocolKind;
 use dircc_obs::{chrome_trace, window_jsonl_line, RunMeta};
 use dircc_sim::experiments::{extensions, figures, network, studies, system, tables};
-use dircc_sim::{default_jobs, filter_label, report, Evaluation, TraceFilter, Workbench};
-use dircc_trace::codec::{BinaryReader, BinaryWriter};
+use dircc_sim::{
+    default_jobs, filter_label, report, run_chunked, run_indexed, run_sharded, run_sharded_spilled,
+    shard_stream, spill_sharded, Evaluation, RunConfig, RunResult, TraceFilter, Workbench,
+};
+use dircc_trace::chunk::{DEFAULT_CHUNK_RECORDS, MAX_CHUNK_RECORDS};
+use dircc_trace::codec::BinaryWriter;
 use dircc_trace::gen::{Generator, Profile};
 use dircc_trace::sharing::SharingProfile;
 use dircc_trace::stats::TraceStats;
+use dircc_trace::{open_trace, BlockInterner, ChunkedWriter, Records, TraceRecord};
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
@@ -74,6 +90,10 @@ enum Kind {
     BlockSize,
     /// Trace-file producer.
     Gen,
+    /// Chunked v2 trace-file producer.
+    Record,
+    /// Streaming replay of a trace file (or an in-memory profile).
+    Replay,
     /// Trace-file statistics.
     Stats,
     /// Trace-file sharing profile.
@@ -128,6 +148,8 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec { name: "check", kind: Kind::Check, io: Io::None, in_all: false },
     CommandSpec { name: "profile", kind: Kind::Profile, io: Io::Writes, in_all: false },
     CommandSpec { name: "gen", kind: Kind::Gen, io: Io::Writes, in_all: false },
+    CommandSpec { name: "record", kind: Kind::Record, io: Io::Writes, in_all: false },
+    CommandSpec { name: "replay", kind: Kind::Replay, io: Io::Reads, in_all: false },
     CommandSpec { name: "stats", kind: Kind::Stats, io: Io::Reads, in_all: false },
     CommandSpec { name: "sharing", kind: Kind::Sharing, io: Io::Reads, in_all: false },
 ];
@@ -155,6 +177,8 @@ struct Args {
     blocks: Option<usize>,
     depth: Option<usize>,
     scheme: Option<String>,
+    chunk: Option<usize>,
+    verify: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -178,6 +202,8 @@ fn parse_args() -> Result<Args, String> {
         blocks: None,
         depth: None,
         scheme: None,
+        chunk: None,
+        verify: false,
     };
     while let Some(flag) = args.next() {
         let mut value =
@@ -224,6 +250,14 @@ fn parse_args() -> Result<Args, String> {
                 parsed.depth = Some(value("--depth")?.parse().map_err(|e| format!("--depth: {e}"))?)
             }
             "--scheme" => parsed.scheme = Some(value("--scheme")?),
+            "--chunk" => {
+                let n: usize = value("--chunk")?.parse().map_err(|e| format!("--chunk: {e}"))?;
+                if !(1..=MAX_CHUNK_RECORDS).contains(&n) {
+                    return Err(format!("--chunk must be in 1..={MAX_CHUNK_RECORDS}"));
+                }
+                parsed.chunk = Some(n);
+            }
+            "--verify" => parsed.verify = true,
             "--in" => parsed.input = Some(value("--in")?),
             other if !other.starts_with('-') && parsed.target.is_none() => {
                 parsed.target = Some(other.to_string());
@@ -260,16 +294,17 @@ fn validate_io(args: &Args) -> Result<(), String> {
             ));
         }
     }
-    if spec.name != "check"
-        && (args.cpus.is_some()
-            || args.blocks.is_some()
-            || args.depth.is_some()
-            || args.scheme.is_some())
-    {
-        return Err(format!(
-            "--cpus/--blocks/--depth/--scheme only apply to check, not {}",
-            spec.name
-        ));
+    if !matches!(spec.name, "check" | "replay") && (args.cpus.is_some() || args.scheme.is_some()) {
+        return Err(format!("--cpus/--scheme only apply to check and replay, not {}", spec.name));
+    }
+    if spec.name != "check" && (args.blocks.is_some() || args.depth.is_some()) {
+        return Err(format!("--blocks/--depth only apply to check, not {}", spec.name));
+    }
+    if args.chunk.is_some() && spec.name != "record" {
+        return Err(format!("--chunk only applies to record, not {}", spec.name));
+    }
+    if args.verify && spec.name != "replay" {
+        return Err(format!("--verify only applies to replay, not {}", spec.name));
     }
     if args.shards > 1 {
         if spec.name == "profile" {
@@ -279,11 +314,11 @@ fn validate_io(args: &Args) -> Result<(), String> {
         }
         let sharded_ok =
             matches!(spec.kind, Kind::Workbench | Kind::All | Kind::Bench | Kind::BenchCmp)
-                || spec.name == "check";
+                || matches!(spec.name, "check" | "replay");
         if !sharded_ok {
             return Err(format!(
-                "--shards only applies to workbench experiments, all, bench, benchcmp and \
-                 check, not {}",
+                "--shards only applies to workbench experiments, all, bench, benchcmp, check \
+                 and replay, not {}",
                 spec.name
             ));
         }
@@ -316,7 +351,7 @@ fn usage() -> String {
     let mut lines = vec!["usage: dircc <command> [target] [--refs N] [--seed S] [--jobs N] \
          [--shards N] [--profile pops|thor|pero|custom] [--out FILE | --in FILE] [--smoke] \
          [--verbose] [--window K] [--spans FILE] [--cpus N] [--blocks M] [--depth D] \
-         [--scheme S]"
+         [--scheme S] [--chunk N] [--verify]"
         .to_string()];
     let mut line = String::from("commands:");
     for c in COMMANDS {
@@ -370,12 +405,198 @@ fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `dircc record`: writes the chunked, delta-compressed v2 trace format.
+/// The flat v1 writer stays available as `dircc gen`.
+fn record(args: &Args) -> Result<(), String> {
+    let mut profile = profile_by_name(&args.profile)?;
+    if let Some(n) = args.refs {
+        profile = profile.with_total_refs(n);
+    }
+    let chunk = args.chunk.unwrap_or(DEFAULT_CHUNK_RECORDS);
+    let path = trace_path(args);
+    let file = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+    let mut w = ChunkedWriter::with_chunk_records(BufWriter::new(file), chunk);
+    for r in Generator::new(profile, args.seed) {
+        w.write(&r).map_err(|e| format!("write: {e}"))?;
+    }
+    let records = w.records_written();
+    let chunks = records.div_ceil(chunk as u64);
+    w.finish().map_err(|e| format!("finish: {e}"))?;
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!("wrote {records} references to {path} ({chunks} chunk(s), v2, {bytes} bytes)");
+    Ok(())
+}
+
+/// The protocols `dircc replay` drives: the paper's four headline schemes
+/// by default, or one chosen by `--scheme` from the full checked set.
+fn replay_kinds(args: &Args, cpus: usize) -> Result<Vec<ProtocolKind>, String> {
+    let Some(want) = &args.scheme else {
+        return Ok(vec![
+            ProtocolKind::DirNb { pointers: 1 },
+            ProtocolKind::Wti,
+            ProtocolKind::Dir0B,
+            ProtocolKind::Dragon,
+        ]);
+    };
+    let want_lc = want.to_ascii_lowercase();
+    let kinds: Vec<ProtocolKind> = dircc_check::default_kinds()
+        .iter()
+        .copied()
+        .filter(|k| dircc_core::build(*k, cpus).name().to_ascii_lowercase() == want_lc)
+        .collect();
+    if kinds.is_empty() {
+        let names: Vec<String> = dircc_check::default_kinds()
+            .iter()
+            .map(|k| dircc_core::build(*k, cpus).name().to_string())
+            .collect();
+        return Err(format!("unknown scheme {want}; one of: {}", names.join(" ")));
+    }
+    Ok(kinds)
+}
+
+/// Streams a trace file through every requested scheme. With one shard
+/// the file is re-read per scheme via [`run_chunked`] (memory bounded by
+/// the chunk size); with more, one pass spills per-shard sub-streams to
+/// temp files and [`run_sharded_spilled`] replays those, so even sharded
+/// replay never holds the whole trace in RAM.
+fn replay_file(
+    path: &str,
+    kinds: &[ProtocolKind],
+    cpus: usize,
+    cfg: &RunConfig,
+    shards: usize,
+) -> Result<Vec<RunResult>, String> {
+    let open = || -> Result<_, String> {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        open_trace(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+    };
+    if shards <= 1 {
+        return kinds
+            .iter()
+            .map(|&kind| {
+                let mut source = open()?;
+                let mut p = dircc_core::build(kind, cpus);
+                run_chunked(p.as_mut(), &mut source, cfg)
+            })
+            .collect();
+    }
+    let dir = std::env::temp_dir().join(format!("dircc_replay_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let spilled = spill_sharded(&mut open()?, shards, cfg, &dir)
+        .map_err(|e| format!("spill to {}: {e}", dir.display()))?;
+    let results =
+        kinds.iter().map(|&kind| run_sharded_spilled(kind, cpus, &spilled, cfg)).collect();
+    drop(spilled); // removes the per-shard spill files
+    std::fs::remove_dir_all(&dir).ok();
+    results
+}
+
+/// Replays the `--profile` trace fully in memory (the classic indexed
+/// path) — the reference `dircc replay --in` must match byte for byte.
+fn replay_memory(
+    args: &Args,
+    kinds: &[ProtocolKind],
+    cpus: usize,
+    cfg: &RunConfig,
+) -> Result<Vec<RunResult>, String> {
+    let mut profile = profile_by_name(&args.profile)?;
+    if let Some(n) = args.refs {
+        profile = profile.with_total_refs(n);
+    }
+    let records: Vec<TraceRecord> = Generator::new(profile, args.seed).collect();
+    let interner = BlockInterner::from_records(records.iter(), cfg.geometry);
+    let dense = interner.dense_stream(&records);
+    let num_blocks = interner.num_blocks();
+    if args.shards <= 1 {
+        kinds
+            .iter()
+            .map(|&kind| {
+                let mut p = dircc_core::build(kind, cpus);
+                run_indexed(p.as_mut(), &records, &dense, num_blocks, cfg)
+            })
+            .collect()
+    } else {
+        let sharded = shard_stream(&records, &dense, num_blocks, args.shards, cfg);
+        kinds.iter().map(|&kind| run_sharded(kind, cpus, &sharded, cfg)).collect()
+    }
+}
+
+/// `dircc replay`: streams a recorded trace (`--in`, v1 or v2
+/// auto-detected) or an in-memory `--profile` trace through the paper's
+/// headline schemes (or one `--scheme`), printing the deterministic
+/// per-scheme counter row and pipelined cycles-per-reference. stdout is
+/// byte-identical between the file and in-memory modes and across
+/// `--shards`; ingest timing goes to stderr, only with `--verbose`.
+fn replay(args: &Args) -> Result<(), String> {
+    let cpus = args.cpus.unwrap_or(4);
+    if cpus == 0 || cpus > 64 {
+        return Err("--cpus must be in 1..=64".to_string());
+    }
+    let kinds = replay_kinds(args, cpus)?;
+    let cfg = RunConfig { verify: args.verify, ..RunConfig::default().with_process_sharing() };
+    let started = std::time::Instant::now();
+    let results = match &args.input {
+        Some(path) => replay_file(path, &kinds, cpus, &cfg, args.shards)?,
+        None => replay_memory(args, &kinds, cpus, &cfg)?,
+    };
+    let wall = started.elapsed();
+
+    let (model, cost_cfg) = (CostModel::pipelined(), CostConfig::PAPER);
+    println!(
+        "{:<12} {:>10} {:>9} {:>9} {:>9} {:>9}   cyc/ref",
+        "scheme", "refs", "rd-miss", "wr-miss", "wr-hit", "wr-back"
+    );
+    let mut violations = 0usize;
+    for (&kind, res) in kinds.iter().zip(&results) {
+        let name = dircc_core::build(kind, cpus).name().to_string();
+        let c = &res.counters;
+        let cpr =
+            Evaluation::new(name.clone(), kind, cpus, c.clone()).cycles_per_ref(&model, &cost_cfg);
+        println!(
+            "{name:<12} {:>10} {:>9} {:>9} {:>9} {:>9}   {cpr:.4}",
+            res.refs,
+            c.rm(),
+            c.wm(),
+            c.wh(),
+            c.write_backs()
+        );
+        violations += res.violations.len();
+        for v in &res.violations {
+            println!("  violation: {name}: {v}");
+        }
+    }
+    if args.verify {
+        if violations == 0 {
+            println!("verify: {} scheme(s), no violations", kinds.len());
+        } else {
+            return Err(format!("replay: {violations} coherence violation(s)"));
+        }
+    }
+    if args.verbose {
+        if let Some(path) = &args.input {
+            let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            // One full decode per scheme at one shard; one spill pass otherwise.
+            let passes = if args.shards <= 1 { kinds.len() as u64 } else { 1 };
+            let mb = (bytes * passes) as f64 / 1e6;
+            let secs = wall.as_secs_f64().max(1e-9);
+            eprintln!(
+                "replay: {mb:.1} MB ingested in {:.1} ms ({:.1} MB/s incl. replay)",
+                wall.as_secs_f64() * 1e3,
+                mb / secs
+            );
+        } else {
+            eprintln!("replay: in-memory, {:.1} ms", wall.as_secs_f64() * 1e3);
+        }
+    }
+    Ok(())
+}
+
 fn stats(args: &Args) -> Result<(), String> {
     let path = trace_path(args);
     let file = std::fs::File::open(&path).map_err(|e| format!("{path}: {e}"))?;
-    let reader = BinaryReader::new(BufReader::new(file)).map_err(|e| format!("header: {e}"))?;
+    let reader = open_trace(BufReader::new(file)).map_err(|e| format!("header: {e}"))?;
     let mut s = TraceStats::new();
-    for r in reader {
+    for r in Records::new(reader) {
         s.observe(&r.map_err(|e| format!("read: {e}"))?);
     }
     println!("references : {}", s.total());
@@ -396,9 +617,9 @@ fn stats(args: &Args) -> Result<(), String> {
 fn sharing(args: &Args) -> Result<(), String> {
     let path = trace_path(args);
     let file = std::fs::File::open(&path).map_err(|e| format!("{path}: {e}"))?;
-    let reader = BinaryReader::new(BufReader::new(file)).map_err(|e| format!("header: {e}"))?;
+    let reader = open_trace(BufReader::new(file)).map_err(|e| format!("header: {e}"))?;
     let mut s = SharingProfile::new();
-    for r in reader {
+    for r in Records::new(reader) {
         s.observe(&r.map_err(|e| format!("read: {e}"))?);
     }
     println!("data refs          : {}", s.data_refs());
@@ -532,6 +753,49 @@ fn bench(args: &Args) -> Result<(), String> {
         total_refs += t.refs;
         total_wall += t.wall;
     }
+    // Streaming-ingest benchmark: encode each trace to a v2 temp file,
+    // stream it back through Dir0B with `run_chunked`, and report decode +
+    // replay throughput against the on-disk size. (trace, refs, bytes) are
+    // deterministic and pinned by `benchcmp`; the throughput fields are
+    // informational.
+    json.push_str("  ],\n  \"ingest\": [\n");
+    let dir = std::env::temp_dir().join(format!("dircc_bench_ingest_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let n_profiles = wb.profiles().len();
+    for (i, profile) in wb.profiles().to_vec().into_iter().enumerate() {
+        let name = profile.name.to_string();
+        let path = dir.join(format!("{name}.dcct"));
+        let file = std::fs::File::create(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut w = ChunkedWriter::new(BufWriter::new(file));
+        for r in Generator::new(profile, args.seed) {
+            w.write(&r).map_err(|e| format!("ingest write: {e}"))?;
+        }
+        let refs = w.records_written();
+        w.finish().map_err(|e| format!("ingest finish: {e}"))?;
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        let t0 = std::time::Instant::now();
+        let file = std::fs::File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut source =
+            open_trace(BufReader::new(file)).map_err(|e| format!("ingest open: {e}"))?;
+        let mut p = dircc_core::build(ProtocolKind::Dir0B, wb.n_caches());
+        let cfg = RunConfig::default().with_process_sharing();
+        let res = run_chunked(p.as_mut(), &mut source, &cfg)
+            .map_err(|e| format!("ingest replay: {e}"))?;
+        let ingest_wall = t0.elapsed();
+        if res.refs != refs {
+            return Err(format!("ingest: {name}: wrote {refs} refs, replayed {}", res.refs));
+        }
+        let mb_per_sec = bytes as f64 / 1e6 / ingest_wall.as_secs_f64().max(1e-9);
+        let _ = write!(
+            json,
+            "    {{\"trace\": \"{name}\", \"refs\": {refs}, \"bytes\": {bytes}, \
+             \"wall_ms\": {:.3}, \"mb_per_sec\": {mb_per_sec:.1}}}",
+            ingest_wall.as_secs_f64() * 1e3
+        );
+        json.push_str(if i + 1 < n_profiles { ",\n" } else { "\n" });
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
     let total_rps =
         if total_wall.is_zero() { 0.0 } else { total_refs as f64 / total_wall.as_secs_f64() };
     let _ = write!(
@@ -630,7 +894,6 @@ fn check(args: &Args) -> Result<(), String> {
 /// for bit. Uses `--shards` (at least 2, so the per-shard construction
 /// path is always exercised — including in `--smoke --scheme X` CI runs).
 fn shard_check(kinds: &[ProtocolKind], args: &Args) -> Result<(), String> {
-    use dircc_sim::{run_indexed, run_sharded, shard_stream, RunConfig};
     let shards = args.shards.max(2);
     let total_refs = if args.smoke { 5_000 } else { 20_000 };
     let records: Vec<dircc_trace::TraceRecord> =
@@ -690,6 +953,43 @@ fn json_num_field(line: &str, key: &str) -> Option<f64> {
     let end =
         rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-')).unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// One ingest row of a `dircc bench` JSON report. Only the deterministic
+/// fields are parsed; the throughput fields are informational.
+struct IngestRow {
+    trace: String,
+    refs: u64,
+    bytes: u64,
+}
+
+/// Extracts the ingest rows (they carry `mb_per_sec`; run rows carry
+/// `scheme`, so neither parser sees the other's lines).
+fn parse_ingest_rows(text: &str) -> Vec<IngestRow> {
+    text.lines()
+        .filter(|l| l.contains("\"mb_per_sec\""))
+        .filter_map(|l| {
+            Some(IngestRow {
+                trace: json_str_field(l, "trace")?,
+                refs: json_num_field(l, "refs")? as u64,
+                bytes: json_num_field(l, "bytes")? as u64,
+            })
+        })
+        .collect()
+}
+
+/// An `io::Write` sink that only counts bytes — `benchcmp` re-derives the
+/// deterministic v2 encoded size without touching the filesystem.
+struct CountingWriter(u64);
+
+impl std::io::Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0 += buf.len() as u64;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Extracts the per-run rows from a `dircc bench` JSON report (one run
@@ -857,6 +1157,13 @@ fn benchcmp(args: &Args) -> Result<(), String> {
             baseline.len()
         ));
     }
+    let base_ingest = parse_ingest_rows(&text);
+    if base_ingest.is_empty() {
+        return Err(format!(
+            "{path}: no \"ingest\" rows — the baseline predates the streaming-ingest schema; \
+             regenerate it with `dircc bench`"
+        ));
+    }
 
     let wb = match (args.refs, args.smoke) {
         (Some(n), _) => Workbench::paper_scaled(n, args.seed),
@@ -899,6 +1206,35 @@ fn benchcmp(args: &Args) -> Result<(), String> {
             ));
         }
     }
+    // Ingest rows: re-derive each trace's deterministic v2 encoded size
+    // (same generator, same default chunking) and compare (trace, refs,
+    // bytes). No replay needed — only the encoding is pinned here.
+    let mut fresh_ingest = Vec::new();
+    for profile in wb.profiles().to_vec() {
+        let name = profile.name.to_string();
+        let mut w = ChunkedWriter::new(CountingWriter(0));
+        for r in Generator::new(profile, args.seed) {
+            w.write(&r).map_err(|e| format!("ingest encode: {e}"))?;
+        }
+        let refs = w.records_written();
+        let counter = w.finish().map_err(|e| format!("ingest encode: {e}"))?;
+        fresh_ingest.push(IngestRow { trace: name, refs, bytes: counter.0 });
+    }
+    if base_ingest.len() != fresh_ingest.len() {
+        drift.push(format!(
+            "ingest row count: baseline {}, fresh {}",
+            base_ingest.len(),
+            fresh_ingest.len()
+        ));
+    }
+    for (b, f) in base_ingest.iter().zip(fresh_ingest.iter()) {
+        if (&b.trace, b.refs, b.bytes) != (&f.trace, f.refs, f.bytes) {
+            drift.push(format!(
+                "ingest baseline {} refs={} bytes={} vs fresh {} refs={} bytes={}",
+                b.trace, b.refs, b.bytes, f.trace, f.refs, f.bytes
+            ));
+        }
+    }
     let base_wall: f64 = baseline.iter().map(|r| r.wall_ms).sum();
     let fresh_wall: f64 = timings.iter().map(|t| t.wall.as_secs_f64() * 1e3).sum();
     let delta = if base_wall > 0.0 { 100.0 * (fresh_wall - base_wall) / base_wall } else { 0.0 };
@@ -930,6 +1266,8 @@ fn main() -> ExitCode {
     };
     let result = match spec.kind {
         Kind::Gen => generate(&args),
+        Kind::Record => record(&args),
+        Kind::Replay => replay(&args),
         Kind::Stats => stats(&args),
         Kind::Sharing => sharing(&args),
         Kind::Scaling => {

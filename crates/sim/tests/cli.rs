@@ -287,6 +287,8 @@ fn usage_lists_every_subcommand() {
         "check",
         "profile",
         "gen",
+        "record",
+        "replay",
         "stats",
         "sharing",
     ] {
@@ -611,6 +613,197 @@ fn profile_stdout_does_not_depend_on_jobs() {
     let (stdout8, jsonl8) = run("8");
     assert_eq!(stdout1, stdout8, "stdout must not depend on --jobs");
     assert_eq!(jsonl1, jsonl8, "the time series must not depend on --jobs");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `dircc record` writes a chunked v2 trace that `replay --in` streams
+/// to stdout byte-identical to the in-memory profile replay — the
+/// end-to-end gate on the streaming trace pipeline.
+#[test]
+fn record_replay_roundtrip_matches_in_memory() {
+    let dir = std::env::temp_dir().join(format!("dircc_replay_rt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.dcct");
+    let path_s = path.to_str().unwrap();
+
+    let out = dircc()
+        .args(["record", "--profile", "thor", "--refs", "20000", "--out", path_s])
+        .output()
+        .expect("run record");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("wrote 20000 references"), "{text}");
+    assert!(text.contains("v2"), "names the format: {text}");
+
+    let streamed =
+        dircc().args(["replay", "--in", path_s, "--verify"]).output().expect("run replay --in");
+    assert!(streamed.status.success(), "{}", String::from_utf8_lossy(&streamed.stderr));
+    let in_memory = dircc()
+        .args(["replay", "--profile", "thor", "--refs", "20000", "--verify"])
+        .output()
+        .expect("run replay in-memory");
+    assert!(in_memory.status.success(), "{}", String::from_utf8_lossy(&in_memory.stderr));
+    assert_eq!(
+        streamed.stdout, in_memory.stdout,
+        "file replay must match the in-memory path byte for byte"
+    );
+    let text = String::from_utf8_lossy(&streamed.stdout);
+    for scheme in ["Dir1NB", "WTI", "Dir0B", "Dragon"] {
+        assert!(text.contains(scheme), "headline scheme {scheme} in {text}");
+    }
+    assert!(text.contains("no violations"), "{text}");
+
+    // Sharded replay spills to temp files but must not change stdout.
+    let sharded = dircc()
+        .args(["replay", "--in", path_s, "--verify", "--shards", "3"])
+        .output()
+        .expect("run replay --shards");
+    assert!(sharded.status.success(), "{}", String::from_utf8_lossy(&sharded.stderr));
+    assert_eq!(streamed.stdout, sharded.stdout, "stdout must not depend on --shards");
+
+    // `--scheme` narrows the table to one protocol.
+    let one = dircc()
+        .args(["replay", "--in", path_s, "--scheme", "dir0b"])
+        .output()
+        .expect("run replay --scheme");
+    assert!(one.status.success(), "{}", String::from_utf8_lossy(&one.stderr));
+    let text = String::from_utf8_lossy(&one.stdout);
+    assert!(text.contains("Dir0B") && !text.contains("Dragon"), "{text}");
+
+    let bogus = dircc()
+        .args(["replay", "--in", path_s, "--scheme", "bogus"])
+        .output()
+        .expect("run replay bogus scheme");
+    assert!(!bogus.status.success());
+    assert!(String::from_utf8_lossy(&bogus.stderr).contains("unknown scheme bogus"));
+
+    // `stats` auto-detects the v2 container.
+    let stats = dircc().args(["stats", "--in", path_s]).output().expect("run stats");
+    assert!(stats.status.success(), "{}", String::from_utf8_lossy(&stats.stderr));
+    assert!(String::from_utf8_lossy(&stats.stdout).contains("references : 20000"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A truncated v2 file is a replay error, not a silently shorter trace;
+/// a missing file reports the path.
+#[test]
+fn replay_rejects_truncated_and_missing_traces() {
+    let dir = std::env::temp_dir().join(format!("dircc_replay_bad_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cut.dcct");
+    let path_s = path.to_str().unwrap();
+    let out =
+        dircc().args(["record", "--refs", "5000", "--out", path_s]).output().expect("run record");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 40]).unwrap();
+
+    let out = dircc().args(["replay", "--in", path_s]).output().expect("run replay");
+    assert!(!out.status.success(), "truncated trace must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trace read failed"));
+
+    let missing = dir.join("nope.dcct");
+    let out =
+        dircc().args(["replay", "--in", missing.to_str().unwrap()]).output().expect("run replay");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nope.dcct"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `replay` also streams the flat v1 format (auto-detected), and the v1
+/// reader points v2 files at `dircc replay --in`.
+#[test]
+fn replay_accepts_both_trace_versions() {
+    let dir = std::env::temp_dir().join(format!("dircc_replay_v1_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1 = dir.join("v1.dcct");
+    let v1_s = v1.to_str().unwrap();
+    let out = dircc()
+        .args(["gen", "--profile", "thor", "--refs", "20000", "--out", v1_s])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let from_v1 = dircc().args(["replay", "--in", v1_s]).output().expect("run replay v1");
+    assert!(from_v1.status.success(), "{}", String::from_utf8_lossy(&from_v1.stderr));
+    let in_memory = dircc()
+        .args(["replay", "--profile", "thor", "--refs", "20000"])
+        .output()
+        .expect("run replay in-memory");
+    assert_eq!(from_v1.stdout, in_memory.stdout, "v1 replay matches the in-memory path");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The streaming flags belong to their subcommands: `--chunk` to record,
+/// `--verify` to replay; `--scheme` still errors elsewhere with the
+/// check-and-replay wording.
+#[test]
+fn streaming_flag_validation() {
+    let out = dircc().args(["gen", "--chunk", "512"]).output().expect("run dircc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--chunk only applies to record"));
+
+    let out = dircc().args(["record", "--chunk", "0"]).output().expect("run dircc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--chunk must be in 1..="));
+
+    let out = dircc().args(["table1", "--verify"]).output().expect("run dircc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--verify only applies to replay"));
+
+    let out = dircc().args(["table1", "--scheme", "mesi"]).output().expect("run dircc");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("only apply to check and replay"), "{err}");
+
+    // replay writes nothing: --out is the wrong direction.
+    let out = dircc().args(["replay", "--out", "t.dcct"]).output().expect("run dircc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("pass --in FILE, not --out"));
+}
+
+/// The bench report carries the streaming-ingest row family, and
+/// `benchcmp` rejects a baseline that predates it.
+#[test]
+fn bench_reports_ingest_rows() {
+    let dir = std::env::temp_dir().join(format!("dircc_bench_ingest_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("B.json");
+    let path_s = path.to_str().unwrap();
+
+    let out = dircc()
+        .args(["bench", "--refs", "2000", "--jobs", "2", "--out", path_s])
+        .output()
+        .expect("run bench");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&path).unwrap();
+    for field in ["\"ingest\"", "\"bytes\"", "\"mb_per_sec\""] {
+        assert!(json.contains(field), "report must carry {field}: {json}");
+    }
+    for trace in ["POPS", "THOR", "PERO"] {
+        assert!(
+            json.lines().any(|l| l.contains("mb_per_sec") && l.contains(trace)),
+            "ingest row for {trace}: {json}"
+        );
+    }
+
+    // Strip the ingest section: benchcmp must ask for a regenerate, not
+    // report drift.
+    let stripped: String =
+        json.lines().filter(|l| !l.contains("mb_per_sec")).collect::<Vec<_>>().join("\n");
+    std::fs::write(&path, &stripped).unwrap();
+    let out = dircc()
+        .args(["benchcmp", "--refs", "2000", "--jobs", "2", "--in", path_s])
+        .output()
+        .expect("run benchcmp");
+    assert!(!out.status.success(), "ingest-less baseline must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no \"ingest\" rows"), "{err}");
+    assert!(err.contains("regenerate it with `dircc bench`"), "{err}");
+
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

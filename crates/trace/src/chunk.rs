@@ -1,0 +1,853 @@
+//! Chunked binary trace format v2 — corpus-scale streaming I/O.
+//!
+//! The flat v1 format ([`crate::codec`]) spends ~10 bytes per reference
+//! and can only be consumed record-at-a-time. Replaying the paper's
+//! multi-million-reference workloads from disk wants a format that
+//! (a) streams with memory bounded by a *chunk*, not the trace, and
+//! (b) exploits the spatial locality every real address trace has. The
+//! v2 format does both: records are grouped into chunks, each chunk
+//! stores its minimum address once as a *base*, and every record stores
+//! only the LEB128-encoded delta from that base — so a chunk that stays
+//! inside a few megabytes of address space pays 2–4 bytes per address
+//! instead of up to 10.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! magic    4 bytes  "DCCT"
+//! version  1 byte   0x02
+//! sections repeated:
+//!   chunk:
+//!     marker   u8      0x01
+//!     records  u32 LE  number of records in the chunk (> 0)
+//!     bytes    u32 LE  payload length in bytes
+//!     base     u64 LE  minimum address in the chunk
+//!     payload  `bytes` bytes, per record:
+//!       tag    u8      kind in bits 0-1, flags in bits 4-5, others 0
+//!       cpu    LEB128
+//!       pid    LEB128
+//!       delta  LEB128  addr - base
+//!   footer (exactly once, last):
+//!     marker   u8      0x00
+//!     total    u64 LE  total records across all chunks
+//!     checksum u64 LE  FNV-1a 64 over every section byte before the footer
+//! ```
+//!
+//! The checksum covers all chunk bytes (markers, chunk headers and
+//! payloads) in file order; the footer itself is not checksummed. Bytes
+//! after the footer are an error. An empty trace is header + footer.
+//!
+//! # Streaming
+//!
+//! [`ChunkedReader`] implements [`ChunkSource`]: it decodes one chunk at
+//! a time into a caller-supplied buffer, so peak resident trace memory is
+//! bounded by the chunk size however long the trace is. The engine's
+//! `run_chunked` consumes any `ChunkSource`; [`SliceChunks`] adapts an
+//! in-memory slice and [`IterChunks`] batches a fallible record iterator
+//! (e.g. a v1 [`BinaryReader`]) so both formats replay through one path.
+//!
+//! [`BinaryReader`]: crate::codec::BinaryReader
+
+use crate::codec::{self, kind_from_byte, kind_to_byte, read_leb128, write_leb128, MAGIC};
+use crate::record::{RecordFlags, TraceRecord};
+use dircc_types::{Address, CpuId, ProcessId};
+use std::io::{self, Read, Write};
+
+/// Version byte of the chunked format.
+pub const VERSION_V2: u8 = 2;
+/// Default records per chunk: a few MiB of decoded records, small enough
+/// to keep resident memory modest, large enough to amortize chunk headers.
+pub const DEFAULT_CHUNK_RECORDS: usize = 64 * 1024;
+/// Upper bound on records per chunk (keeps the u32 payload-length field
+/// sound: a record encodes to at most 31 bytes).
+pub const MAX_CHUNK_RECORDS: usize = 1 << 26;
+
+const CHUNK_MARKER: u8 = 0x01;
+const FOOTER_MARKER: u8 = 0x00;
+/// Worst-case encoded record: tag + three 10-byte LEB128 fields.
+const MAX_RECORD_BYTES: u64 = 31;
+/// Best-case encoded record: tag + three 1-byte LEB128 fields.
+const MIN_RECORD_BYTES: u64 = 4;
+const TAG_KIND_MASK: u8 = 0x03;
+const TAG_FLAGS_SHIFT: u32 = 4;
+const TAG_KNOWN_MASK: u8 = 0x33;
+
+/// FNV-1a 64-bit running checksum.
+#[derive(Debug, Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// A bounded-memory source of trace chunks.
+///
+/// Implementors fill a caller-supplied buffer so the caller controls the
+/// allocation and can reuse it across chunks; nothing proportional to the
+/// whole trace is ever resident.
+pub trait ChunkSource {
+    /// Replaces `buf`'s contents with the next chunk of records. Returns
+    /// `Ok(false)` (leaving `buf` empty) at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and reports corrupt input as `InvalidData`.
+    fn next_chunk(&mut self, buf: &mut Vec<TraceRecord>) -> io::Result<bool>;
+}
+
+impl<S: ChunkSource + ?Sized> ChunkSource for &mut S {
+    fn next_chunk(&mut self, buf: &mut Vec<TraceRecord>) -> io::Result<bool> {
+        (**self).next_chunk(buf)
+    }
+}
+
+/// Streaming writer for the chunked v2 format.
+///
+/// Records are buffered and flushed a chunk at a time; [`finish`] writes
+/// any partial final chunk plus the footer. An empty trace is valid.
+///
+/// [`finish`]: ChunkedWriter::finish
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    inner: W,
+    header_written: bool,
+    chunk: Vec<TraceRecord>,
+    chunk_records: usize,
+    payload: Vec<u8>,
+    records: u64,
+    chunks: u64,
+    checksum: Fnv64,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Creates a writer with the default chunk size.
+    pub fn new(inner: W) -> Self {
+        ChunkedWriter::with_chunk_records(inner, DEFAULT_CHUNK_RECORDS)
+    }
+
+    /// Creates a writer flushing every `chunk_records` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_records` is 0 or above [`MAX_CHUNK_RECORDS`].
+    pub fn with_chunk_records(inner: W, chunk_records: usize) -> Self {
+        assert!(
+            (1..=MAX_CHUNK_RECORDS).contains(&chunk_records),
+            "chunk size must be in 1..={MAX_CHUNK_RECORDS}"
+        );
+        ChunkedWriter {
+            inner,
+            header_written: false,
+            chunk: Vec::new(),
+            chunk_records,
+            payload: Vec::new(),
+            records: 0,
+            chunks: 0,
+            checksum: Fnv64::new(),
+        }
+    }
+
+    fn ensure_header(&mut self) -> io::Result<()> {
+        if !self.header_written {
+            self.inner.write_all(&MAGIC)?;
+            self.inner.write_all(&[VERSION_V2])?;
+            self.header_written = true;
+        }
+        Ok(())
+    }
+
+    /// Appends one record (buffered; flushed on chunk boundaries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write(&mut self, r: &TraceRecord) -> io::Result<()> {
+        self.chunk.push(*r);
+        self.records += 1;
+        if self.chunk.len() >= self.chunk_records {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Appends every record from an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write_all<'a, I: IntoIterator<Item = &'a TraceRecord>>(
+        &mut self,
+        records: I,
+    ) -> io::Result<()> {
+        for r in records {
+            self.write(r)?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.chunk.is_empty() {
+            return Ok(());
+        }
+        self.ensure_header()?;
+        let base = self.chunk.iter().map(|r| r.addr.raw()).min().unwrap_or(0);
+        self.payload.clear();
+        for r in &self.chunk {
+            let tag = kind_to_byte(r.kind) | (r.flags.bits() << TAG_FLAGS_SHIFT);
+            self.payload.push(tag);
+            write_leb128(&mut self.payload, u64::from(r.cpu.raw()))?;
+            write_leb128(&mut self.payload, u64::from(r.pid.raw()))?;
+            write_leb128(&mut self.payload, r.addr.raw() - base)?;
+        }
+        let count = u32::try_from(self.chunk.len()).expect("chunk size bounded");
+        let bytes = u32::try_from(self.payload.len()).expect("payload bounded by chunk size");
+        let mut header = [0u8; 17];
+        header[0] = CHUNK_MARKER;
+        header[1..5].copy_from_slice(&count.to_le_bytes());
+        header[5..9].copy_from_slice(&bytes.to_le_bytes());
+        header[9..17].copy_from_slice(&base.to_le_bytes());
+        self.checksum.update(&header);
+        self.checksum.update(&self.payload);
+        self.inner.write_all(&header)?;
+        self.inner.write_all(&self.payload)?;
+        self.chunk.clear();
+        self.chunks += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far (including any still buffered).
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Number of chunks flushed so far.
+    pub fn chunks_written(&self) -> u64 {
+        self.chunks
+    }
+
+    /// Flushes the final partial chunk, writes the footer, and returns the
+    /// underlying writer. Must be called; dropping the writer without it
+    /// leaves a truncated file the reader will reject.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush_chunk()?;
+        self.ensure_header()?;
+        let mut footer = [0u8; 17];
+        footer[0] = FOOTER_MARKER;
+        footer[1..9].copy_from_slice(&self.records.to_le_bytes());
+        footer[9..17].copy_from_slice(&self.checksum.value().to_le_bytes());
+        self.inner.write_all(&footer)?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Streaming reader for the chunked v2 format.
+///
+/// Decodes one chunk per [`ChunkSource::next_chunk`] call; verifies each
+/// chunk's framing as it goes and the footer's record count and checksum
+/// at the end.
+#[derive(Debug)]
+pub struct ChunkedReader<R: Read> {
+    inner: R,
+    payload: Vec<u8>,
+    records_read: u64,
+    checksum: Fnv64,
+    done: bool,
+}
+
+impl<R: Read> ChunkedReader<R> {
+    /// Creates a reader, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the magic or version is wrong (a flat v1
+    /// trace gets a pointer to [`crate::codec::BinaryReader`]); propagates
+    /// I/O errors.
+    pub fn new(mut inner: R) -> io::Result<Self> {
+        let mut header = [0u8; 5];
+        inner.read_exact(&mut header)?;
+        if header[..4] != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a dircc binary trace"));
+        }
+        if header[4] != VERSION_V2 {
+            let hint = if header[4] == codec::VERSION {
+                " (a flat v1 trace: read it with BinaryReader / `dircc stats`, \
+                 or re-record it as v2 with `dircc record`)"
+            } else {
+                ""
+            };
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported trace version {}{hint}", header[4]),
+            ));
+        }
+        Ok(ChunkedReader::from_body(inner))
+    }
+
+    /// Creates a reader positioned just past an already-consumed v2 header.
+    pub(crate) fn from_body(inner: R) -> Self {
+        ChunkedReader {
+            inner,
+            payload: Vec::new(),
+            records_read: 0,
+            checksum: Fnv64::new(),
+            done: false,
+        }
+    }
+
+    /// Adapts the reader into a record-at-a-time iterator.
+    pub fn records(self) -> Records<Self> {
+        Records::new(self)
+    }
+
+    fn read_footer(&mut self) -> io::Result<()> {
+        let mut footer = [0u8; 16];
+        self.inner.read_exact(&mut footer).map_err(truncated)?;
+        let total = u64::from_le_bytes(footer[..8].try_into().unwrap());
+        let checksum = u64::from_le_bytes(footer[8..].try_into().unwrap());
+        if total != self.records_read {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("footer claims {total} records, stream held {}", self.records_read),
+            ));
+        }
+        if checksum != self.checksum.value() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trace checksum mismatch (corrupted file?)",
+            ));
+        }
+        let mut trailing = [0u8; 1];
+        if read_one(&mut self.inner, &mut trailing)?.is_some() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "trailing bytes after footer"));
+        }
+        self.done = true;
+        Ok(())
+    }
+
+    fn decode_chunk(&mut self, buf: &mut Vec<TraceRecord>) -> io::Result<()> {
+        let mut header = [0u8; 16];
+        self.inner.read_exact(&mut header).map_err(truncated)?;
+        let count = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let bytes = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let base = u64::from_le_bytes(header[8..].try_into().unwrap());
+        if count == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty chunk"));
+        }
+        let (count64, bytes64) = (u64::from(count), u64::from(bytes));
+        if bytes64 < count64 * MIN_RECORD_BYTES || bytes64 > count64 * MAX_RECORD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("chunk length {bytes} inconsistent with {count} records"),
+            ));
+        }
+        self.checksum.update(&[CHUNK_MARKER]);
+        self.checksum.update(&header);
+        self.payload.clear();
+        self.payload.resize(bytes as usize, 0);
+        self.inner.read_exact(&mut self.payload).map_err(truncated)?;
+        self.checksum.update(&self.payload);
+        let mut cursor = &self.payload[..];
+        buf.reserve(count as usize);
+        for _ in 0..count {
+            buf.push(decode_record(&mut cursor, base)?);
+        }
+        if !cursor.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "chunk payload longer than its records",
+            ));
+        }
+        self.records_read += count64;
+        Ok(())
+    }
+}
+
+fn truncated(e: io::Error) -> io::Error {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        io::Error::new(io::ErrorKind::UnexpectedEof, "trace truncated mid-section (no footer)")
+    } else {
+        e
+    }
+}
+
+/// Reads one byte, retrying `Interrupted`; `None` at EOF.
+fn read_one<R: Read>(r: &mut R, buf: &mut [u8; 1]) -> io::Result<Option<u8>> {
+    loop {
+        match r.read(buf) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(buf[0])),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn decode_record(cursor: &mut &[u8], base: u64) -> io::Result<TraceRecord> {
+    let mut tag_buf = [0u8; 1];
+    cursor.read_exact(&mut tag_buf).map_err(truncated)?;
+    let tag = tag_buf[0];
+    if tag & !TAG_KNOWN_MASK != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown bits in record tag {tag:#04x}"),
+        ));
+    }
+    let kind = kind_from_byte(tag & TAG_KIND_MASK)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad access kind in tag"))?;
+    // The flag bits are masked to exactly the defined set by TAG_KNOWN_MASK.
+    let flags = RecordFlags::from_bits(tag >> TAG_FLAGS_SHIFT);
+    let cpu = field_u16(cursor, "cpu")?;
+    let pid = field_u16(cursor, "pid")?;
+    let delta = read_leb128(cursor).map_err(truncated)?;
+    let addr = base
+        .checked_add(delta)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "address delta overflows u64"))?;
+    Ok(TraceRecord {
+        cpu: CpuId::new(cpu),
+        pid: ProcessId::new(pid),
+        kind,
+        addr: Address::new(addr),
+        flags,
+    })
+}
+
+fn field_u16(cursor: &mut &[u8], name: &str) -> io::Result<u16> {
+    let v = read_leb128(cursor).map_err(truncated)?;
+    u16::try_from(v).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("{name} id {v} overflows u16"))
+    })
+}
+
+impl<R: Read> ChunkSource for ChunkedReader<R> {
+    fn next_chunk(&mut self, buf: &mut Vec<TraceRecord>) -> io::Result<bool> {
+        buf.clear();
+        if self.done {
+            return Ok(false);
+        }
+        let mut marker = [0u8; 1];
+        match read_one(&mut self.inner, &mut marker)? {
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "trace ends without a footer (truncated?)",
+            )),
+            Some(CHUNK_MARKER) => {
+                self.decode_chunk(buf)?;
+                Ok(true)
+            }
+            Some(FOOTER_MARKER) => {
+                self.read_footer()?;
+                Ok(false)
+            }
+            Some(m) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad section marker {m:#04x}"),
+            )),
+        }
+    }
+}
+
+/// Adapts an in-memory record slice (or anything `AsRef<[TraceRecord]>`)
+/// into a [`ChunkSource`], so in-memory and on-disk traces replay through
+/// the same streaming entry points.
+#[derive(Debug)]
+pub struct SliceChunks<T> {
+    records: T,
+    pos: usize,
+    chunk_records: usize,
+}
+
+impl<T: AsRef<[TraceRecord]>> SliceChunks<T> {
+    /// Creates a source yielding `chunk_records` records per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_records` is 0.
+    pub fn new(records: T, chunk_records: usize) -> Self {
+        assert!(chunk_records > 0, "chunk size must be positive");
+        SliceChunks { records, pos: 0, chunk_records }
+    }
+}
+
+impl<T: AsRef<[TraceRecord]>> ChunkSource for SliceChunks<T> {
+    fn next_chunk(&mut self, buf: &mut Vec<TraceRecord>) -> io::Result<bool> {
+        buf.clear();
+        let records = self.records.as_ref();
+        if self.pos >= records.len() {
+            return Ok(false);
+        }
+        let end = (self.pos + self.chunk_records).min(records.len());
+        buf.extend_from_slice(&records[self.pos..end]);
+        self.pos = end;
+        Ok(true)
+    }
+}
+
+/// Batches a fallible record iterator (e.g. a v1
+/// [`crate::codec::BinaryReader`]) into fixed-size chunks.
+#[derive(Debug)]
+pub struct IterChunks<I> {
+    iter: I,
+    chunk_records: usize,
+    done: bool,
+}
+
+impl<I: Iterator<Item = io::Result<TraceRecord>>> IterChunks<I> {
+    /// Creates a source yielding `chunk_records` records per chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_records` is 0.
+    pub fn new(iter: I, chunk_records: usize) -> Self {
+        assert!(chunk_records > 0, "chunk size must be positive");
+        IterChunks { iter, chunk_records, done: false }
+    }
+}
+
+impl<I: Iterator<Item = io::Result<TraceRecord>>> ChunkSource for IterChunks<I> {
+    fn next_chunk(&mut self, buf: &mut Vec<TraceRecord>) -> io::Result<bool> {
+        buf.clear();
+        if self.done {
+            return Ok(false);
+        }
+        while buf.len() < self.chunk_records {
+            match self.iter.next() {
+                Some(Ok(r)) => buf.push(r),
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Err(e);
+                }
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        Ok(!buf.is_empty())
+    }
+}
+
+/// A trace reader for either on-disk format, chosen by sniffing the
+/// version byte. Both variants stream through [`ChunkSource`].
+#[derive(Debug)]
+pub enum AnyTraceReader<R: Read> {
+    /// A flat v1 trace, batched into chunks.
+    V1(IterChunks<codec::BinaryReader<R>>),
+    /// A chunked v2 trace.
+    V2(ChunkedReader<R>),
+}
+
+impl<R: Read> AnyTraceReader<R> {
+    /// The format version this reader is decoding (1 or 2).
+    pub fn version(&self) -> u8 {
+        match self {
+            AnyTraceReader::V1(_) => codec::VERSION,
+            AnyTraceReader::V2(_) => VERSION_V2,
+        }
+    }
+
+    /// Adapts the reader into a record-at-a-time iterator.
+    pub fn records(self) -> Records<Self> {
+        Records::new(self)
+    }
+}
+
+impl<R: Read> ChunkSource for AnyTraceReader<R> {
+    fn next_chunk(&mut self, buf: &mut Vec<TraceRecord>) -> io::Result<bool> {
+        match self {
+            AnyTraceReader::V1(s) => s.next_chunk(buf),
+            AnyTraceReader::V2(s) => s.next_chunk(buf),
+        }
+    }
+}
+
+/// Opens a binary trace of either version, validating the shared magic and
+/// dispatching on the version byte.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic or an unknown version; propagates
+/// I/O errors.
+pub fn open_trace<R: Read>(mut inner: R) -> io::Result<AnyTraceReader<R>> {
+    let mut header = [0u8; 5];
+    inner.read_exact(&mut header)?;
+    if header[..4] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a dircc binary trace"));
+    }
+    match header[4] {
+        v if v == codec::VERSION => Ok(AnyTraceReader::V1(IterChunks::new(
+            codec::BinaryReader::from_body(inner),
+            DEFAULT_CHUNK_RECORDS,
+        ))),
+        VERSION_V2 => Ok(AnyTraceReader::V2(ChunkedReader::from_body(inner))),
+        v => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {v} (known: 1 flat, 2 chunked)"),
+        )),
+    }
+}
+
+/// Record-at-a-time iterator over any [`ChunkSource`], buffering one chunk.
+///
+/// After an error the iterator fuses: the error is yielded once, then the
+/// stream ends.
+#[derive(Debug)]
+pub struct Records<S> {
+    source: S,
+    buf: Vec<TraceRecord>,
+    pos: usize,
+    failed: bool,
+}
+
+impl<S: ChunkSource> Records<S> {
+    /// Wraps a chunk source.
+    pub fn new(source: S) -> Self {
+        Records { source, buf: Vec::new(), pos: 0, failed: false }
+    }
+}
+
+impl<S: ChunkSource> Iterator for Records<S> {
+    type Item = io::Result<TraceRecord>;
+
+    fn next(&mut self) -> Option<io::Result<TraceRecord>> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if self.pos < self.buf.len() {
+                let r = self.buf[self.pos];
+                self.pos += 1;
+                return Some(Ok(r));
+            }
+            self.pos = 0;
+            match self.source.next_chunk(&mut self.buf) {
+                Ok(true) => continue,
+                Ok(false) => return None,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{BinaryReader, BinaryWriter};
+    use crate::gen::{Generator, Profile};
+    use dircc_types::AccessKind;
+
+    fn trace(n: u64) -> Vec<TraceRecord> {
+        Generator::new(Profile::pops().with_total_refs(n), 11).collect()
+    }
+
+    fn encode(records: &[TraceRecord], chunk: usize) -> Vec<u8> {
+        let mut w = ChunkedWriter::with_chunk_records(Vec::new(), chunk);
+        w.write_all(records).unwrap();
+        w.finish().unwrap()
+    }
+
+    fn decode(bytes: &[u8]) -> io::Result<Vec<TraceRecord>> {
+        ChunkedReader::new(bytes)?.records().collect()
+    }
+
+    #[test]
+    fn v2_round_trips_across_chunk_sizes() {
+        let records = trace(10_000);
+        for chunk in [1, 7, 997, 4096, 100_000] {
+            let bytes = encode(&records, chunk);
+            assert_eq!(decode(&bytes).unwrap(), records, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn v2_is_denser_than_v1() {
+        let records = trace(50_000);
+        let v2 = encode(&records, DEFAULT_CHUNK_RECORDS);
+        let mut w = BinaryWriter::new(Vec::new());
+        w.write_all(&records).unwrap();
+        let v1 = w.finish().unwrap();
+        assert!(
+            v2.len() < v1.len(),
+            "delta+varint should beat flat encoding: v2={} v1={}",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn empty_v2_trace_round_trips() {
+        let bytes = encode(&[], 16);
+        assert_eq!(bytes.len(), 5 + 17, "header + footer only");
+        assert_eq!(decode(&bytes).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn reader_memory_is_bounded_by_chunk_size() {
+        let records = trace(20_000);
+        let bytes = encode(&records, 512);
+        let mut reader = ChunkedReader::new(&bytes[..]).unwrap();
+        let mut buf = Vec::new();
+        let mut total = 0usize;
+        while reader.next_chunk(&mut buf).unwrap() {
+            total += buf.len();
+            assert!(buf.len() <= 512, "chunk holds at most the chunk size");
+        }
+        assert_eq!(total, records.len());
+        // The reusable buffer never grew past one chunk (plus Vec headroom).
+        assert!(buf.capacity() < 2 * 512, "capacity {} not bounded", buf.capacity());
+    }
+
+    #[test]
+    fn extreme_addresses_round_trip() {
+        let mk = |addr: u64| {
+            TraceRecord::new(CpuId::new(0), ProcessId::new(0), AccessKind::Read, Address::new(addr))
+        };
+        let records = vec![mk(u64::MAX), mk(0), mk(u64::MAX - 1), mk(1)];
+        for chunk in [1, 2, 4] {
+            let bytes = encode(&records, chunk);
+            assert_eq!(decode(&bytes).unwrap(), records, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let records = trace(100);
+        let bytes = encode(&records, 32);
+        // Any strict prefix (past the 5-byte header) must fail: either
+        // UnexpectedEof mid-section or a missing footer. Never a clean read.
+        for cut in 5..bytes.len() {
+            let result = decode(&bytes[..cut]);
+            assert!(result.is_err(), "cut at {cut} of {} decoded cleanly", bytes.len());
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_by_the_checksum() {
+        let records = trace(500);
+        let bytes = encode(&records, 128);
+        // Flip one payload bit in each chunk region; every flip must fail
+        // decode (framing checks may fire first, checksum is the backstop).
+        let mut corrupt = bytes.clone();
+        let mid = bytes.len() / 2;
+        corrupt[mid] ^= 0x40;
+        assert!(decode(&corrupt).is_err(), "bit flip at {mid} undetected");
+    }
+
+    #[test]
+    fn footer_record_count_mismatch_rejected() {
+        let records = trace(50);
+        let mut bytes = encode(&records, 16);
+        let n = bytes.len();
+        // The footer's total sits in the 8 bytes after the marker.
+        bytes[n - 16] ^= 0x01;
+        let err = decode(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("footer claims"), "got {err}");
+    }
+
+    #[test]
+    fn trailing_bytes_after_footer_rejected() {
+        let mut bytes = encode(&trace(10), 4);
+        bytes.push(0xaa);
+        let err = decode(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("trailing bytes"), "got {err}");
+    }
+
+    #[test]
+    fn v1_trace_rejected_by_v2_reader_with_hint() {
+        let mut w = BinaryWriter::new(Vec::new());
+        w.write_all(&trace(3)).unwrap();
+        let bytes = w.finish().unwrap();
+        let err = ChunkedReader::new(&bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("dircc record"), "hint should name the converter: {msg}");
+    }
+
+    #[test]
+    fn bad_magic_and_unknown_version_rejected() {
+        assert_eq!(
+            ChunkedReader::new(&b"NOPE\x02"[..]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        assert_eq!(open_trace(&b"NOPE\x02"[..]).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        let err = open_trace(&b"DCCT\x63"[..]).unwrap_err();
+        assert!(err.to_string().contains("known: 1 flat, 2 chunked"), "got {err}");
+    }
+
+    #[test]
+    fn open_trace_reads_both_versions() {
+        let records = trace(1_000);
+        let mut w = BinaryWriter::new(Vec::new());
+        w.write_all(&records).unwrap();
+        let v1 = w.finish().unwrap();
+        let v2 = encode(&records, 128);
+        let r1 = open_trace(&v1[..]).unwrap();
+        assert_eq!(r1.version(), 1);
+        let got1: Vec<_> = r1.records().collect::<io::Result<_>>().unwrap();
+        let r2 = open_trace(&v2[..]).unwrap();
+        assert_eq!(r2.version(), 2);
+        let got2: Vec<_> = r2.records().collect::<io::Result<_>>().unwrap();
+        assert_eq!(got1, records);
+        assert_eq!(got2, records);
+    }
+
+    #[test]
+    fn slice_chunks_yield_everything_in_order() {
+        let records = trace(1_000);
+        let mut source = SliceChunks::new(&records[..], 64);
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        while source.next_chunk(&mut buf).unwrap() {
+            got.extend_from_slice(&buf);
+        }
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn v1_reader_streams_through_iter_chunks() {
+        let records = trace(1_000);
+        let mut w = BinaryWriter::new(Vec::new());
+        w.write_all(&records).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut source = IterChunks::new(BinaryReader::new(&bytes[..]).unwrap(), 100);
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        while source.next_chunk(&mut buf).unwrap() {
+            assert!(buf.len() <= 100);
+            got.extend_from_slice(&buf);
+        }
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn unknown_tag_bits_rejected() {
+        let mut bytes = encode(&trace(1), 1);
+        // First record's tag byte sits right after the 5-byte file header
+        // and 17-byte chunk header.
+        bytes[22] |= 0x40;
+        let err = decode(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

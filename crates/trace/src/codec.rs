@@ -3,9 +3,10 @@
 //!
 //! Both formats carry exactly the fields of [`TraceRecord`]. The binary
 //! format is the working format (a few bytes per reference); the text format
-//! exists for inspection, diffing and hand-written test inputs.
+//! exists for inspection, diffing and hand-written test inputs. The chunked
+//! v2 format for corpus-scale streaming lives in [`crate::chunk`].
 //!
-//! # Binary format
+//! # Binary format (v1, flat)
 //!
 //! ```text
 //! magic   4 bytes  "DCCT"
@@ -32,7 +33,7 @@ pub const MAGIC: [u8; 4] = *b"DCCT";
 /// Current binary format version.
 pub const VERSION: u8 = 1;
 
-fn kind_to_byte(k: AccessKind) -> u8 {
+pub(crate) fn kind_to_byte(k: AccessKind) -> u8 {
     match k {
         AccessKind::InstrFetch => 0,
         AccessKind::Read => 1,
@@ -40,7 +41,7 @@ fn kind_to_byte(k: AccessKind) -> u8 {
     }
 }
 
-fn kind_from_byte(b: u8) -> Option<AccessKind> {
+pub(crate) fn kind_from_byte(b: u8) -> Option<AccessKind> {
     match b {
         0 => Some(AccessKind::InstrFetch),
         1 => Some(AccessKind::Read),
@@ -49,7 +50,8 @@ fn kind_from_byte(b: u8) -> Option<AccessKind> {
     }
 }
 
-fn write_leb128<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+/// Writes `v` in the canonical (minimal-length) LEB128 encoding.
+pub(crate) fn write_leb128<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -60,15 +62,37 @@ fn write_leb128<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     }
 }
 
-fn read_leb128<R: Read>(r: &mut R) -> io::Result<u64> {
+/// Reads an unsigned LEB128 value.
+///
+/// The writer always emits the canonical minimal encoding; the reader is
+/// permissive about redundant zero padding *within* the 10 bytes a u64 can
+/// occupy, but rejects anything that cannot denote a u64: a 10th byte with
+/// payload bits above bit 63 ("overflows u64") or with its continuation
+/// bit still set ("continues past 10 bytes").
+pub(crate) fn read_leb128<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
         let mut buf = [0u8; 1];
         r.read_exact(&mut buf)?;
         let byte = buf[0];
-        if shift >= 64 || (shift == 63 && byte > 1) {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "LEB128 value overflows u64"));
+        if shift == 63 {
+            // The 10th byte holds only bit 63: payload must be 0 or 1 and
+            // the encoding cannot continue. Report the two failure modes
+            // distinctly — a continuation bit here is a length violation,
+            // not an overflow.
+            if byte & 0x7f > 1 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "LEB128 value overflows u64",
+                ));
+            }
+            if byte & 0x80 != 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "LEB128 encoding continues past 10 bytes",
+                ));
+            }
         }
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -192,19 +216,43 @@ impl<R: Read> BinaryReader<R> {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "not a dircc binary trace"));
         }
         if header[4] != VERSION {
+            let hint = if header[4] == crate::chunk::VERSION_V2 {
+                " (a chunked v2 trace: replay it with `dircc replay --in`, read it \
+                 with ChunkedReader, or regenerate a flat v1 file with `dircc gen`)"
+            } else {
+                ""
+            };
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("unsupported trace version {}", header[4]),
+                format!("unsupported trace version {}{hint}", header[4]),
             ));
         }
         Ok(BinaryReader { inner })
     }
 
+    /// Creates a reader positioned just past an already-consumed v1 header
+    /// (used by [`crate::chunk::open_trace`] after sniffing the version).
+    pub(crate) fn from_body(inner: R) -> Self {
+        BinaryReader { inner }
+    }
+
     fn read_record(&mut self) -> io::Result<Option<TraceRecord>> {
-        let mut first = [0u8; 1];
-        if self.inner.read(&mut first)? == 0 {
-            return Ok(None);
-        }
+        // A record boundary is the one place EOF is clean, so the first
+        // byte cannot use read_exact (whose EOF is an error). A bare
+        // read() is not enough either: it may legitimately be interrupted,
+        // and only Ok(0) means end-of-stream.
+        let first = loop {
+            let mut first = [0u8; 1];
+            match self.inner.read(&mut first) {
+                Ok(0) => return Ok(None),
+                Ok(_) => break first[0],
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        let flags = RecordFlags::from_bits_checked(first).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("unknown flag bits {first:#04x}"))
+        })?;
         let mut rest = [0u8; 5];
         self.inner.read_exact(&mut rest)?;
         let kind = kind_from_byte(rest[0])
@@ -212,7 +260,7 @@ impl<R: Read> BinaryReader<R> {
         let cpu = CpuId::new(u16::from_le_bytes([rest[1], rest[2]]));
         let pid = ProcessId::new(u16::from_le_bytes([rest[3], rest[4]]));
         let addr = Address::new(read_leb128(&mut self.inner)?);
-        Ok(Some(TraceRecord { cpu, pid, kind, addr, flags: RecordFlags::from_bits(first[0]) }))
+        Ok(Some(TraceRecord { cpu, pid, kind, addr, flags }))
     }
 }
 
@@ -286,10 +334,12 @@ fn parse_text_line(line: &str) -> Result<TraceRecord, String> {
     } else {
         addr_s.parse().map_err(|e| format!("addr: {e}"))?
     };
-    let flags: u8 = match it.next() {
+    let flag_bits: u8 = match it.next() {
         Some(f) => f.parse().map_err(|e| format!("flags: {e}"))?,
         None => 0,
     };
+    let flags = RecordFlags::from_bits_checked(flag_bits)
+        .ok_or_else(|| format!("flags: unknown flag bits {flag_bits:#04x}"))?;
     if it.next().is_some() {
         return Err("trailing fields".to_string());
     }
@@ -298,7 +348,7 @@ fn parse_text_line(line: &str) -> Result<TraceRecord, String> {
         pid: ProcessId::new(pid),
         kind,
         addr: Address::new(addr),
-        flags: RecordFlags::from_bits(flags),
+        flags,
     })
 }
 
@@ -410,11 +460,157 @@ mod tests {
     }
 
     #[test]
+    fn leb128_round_trips_every_shift_boundary() {
+        // Values straddling each 7-bit group boundary: 2^(7k) - 1 and
+        // 2^(7k), where the encoded length changes.
+        for k in 1..10u32 {
+            let boundary = 1u64 << (7 * k);
+            for v in [boundary - 1, boundary, u64::MAX >> 1, (u64::MAX >> 1) + 1] {
+                let mut buf = Vec::new();
+                write_leb128(&mut buf, v).unwrap();
+                assert!(buf.len() <= 10);
+                assert_eq!(read_leb128(&mut &buf[..]).unwrap(), v, "value {v:#x}");
+            }
+        }
+        // Canonical u64::MAX is exactly 10 bytes, last byte 0x01.
+        let mut buf = Vec::new();
+        write_leb128(&mut buf, u64::MAX).unwrap();
+        assert_eq!(buf.len(), 10);
+        assert_eq!(buf[9], 0x01);
+        // Canonical 0 is a single zero byte.
+        let mut buf = Vec::new();
+        write_leb128(&mut buf, 0).unwrap();
+        assert_eq!(buf, [0x00]);
+    }
+
+    #[test]
     fn leb128_overflow_rejected() {
-        // 11 continuation bytes: too long for u64.
-        let buf = [0xffu8; 10];
-        let mut with_term = buf.to_vec();
-        with_term.push(0x7f);
-        assert!(read_leb128(&mut &with_term[..]).is_err());
+        // 10th byte with payload above bit 63: a true overflow.
+        let mut buf = vec![0xffu8; 9];
+        buf.push(0x02);
+        let err = read_leb128(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("overflows"), "got {err}");
+    }
+
+    #[test]
+    fn leb128_overlong_continuation_rejected_distinctly() {
+        // A continuation bit on the 10th byte is a length violation and
+        // must not be misreported as an overflow — even for the padding
+        // byte 0x80 whose payload is zero.
+        for tenth in [0x80u8, 0x81] {
+            let mut buf = vec![0x80u8; 9];
+            buf.push(tenth);
+            buf.push(0x00);
+            let err = read_leb128(&mut &buf[..]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            assert!(err.to_string().contains("continues past 10 bytes"), "got {err}");
+        }
+    }
+
+    #[test]
+    fn leb128_accepts_redundant_padding_within_bounds() {
+        // Permissive decode: zero padding inside the 10-byte window is
+        // decodable even though the writer never emits it.
+        assert_eq!(read_leb128(&mut &[0x80u8, 0x00][..]).unwrap(), 0);
+        assert_eq!(read_leb128(&mut &[0xc0u8, 0x00][..]).unwrap(), 0x40);
+    }
+
+    /// A reader that yields one byte at a time, interposing a spurious
+    /// `Interrupted` error before every byte — what a signal-heavy
+    /// environment can do to a real file descriptor.
+    struct Interrupting<'a> {
+        data: &'a [u8],
+        ready: bool,
+    }
+
+    impl Read for Interrupting<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+            }
+            self.ready = false;
+            if self.data.is_empty() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.data[0];
+            self.data = &self.data[1..];
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried_not_fatal() {
+        let recs = sample();
+        let mut buf = Vec::new();
+        let mut w = BinaryWriter::new(&mut buf);
+        w.write_all(&recs).unwrap();
+        w.finish().unwrap();
+        // read_exact retries Interrupted for the header and fixed fields;
+        // the record-boundary first byte must do the same rather than
+        // surfacing the error (or worse, mistaking a retry for EOF).
+        let r = BinaryReader::new(Interrupting { data: &buf, ready: false }).unwrap();
+        let got: Vec<_> = r.collect::<Result<_, _>>().unwrap();
+        assert_eq!(got, recs);
+    }
+
+    #[test]
+    fn truncation_at_every_field_boundary_reports_eof() {
+        // One record: flags, kind, cpu(2), pid(2), addr LEB128. Cutting the
+        // stream after any strict prefix of the record must yield
+        // UnexpectedEof — never a garbage record or a silent clean EOF of
+        // a partially-consumed record.
+        let rec = TraceRecord::new(
+            CpuId::new(7),
+            ProcessId::new(260),
+            AccessKind::Write,
+            Address::new(0x1234_5678),
+        )
+        .with_flags(RecordFlags::LOCK);
+        let mut buf = Vec::new();
+        let mut w = BinaryWriter::new(&mut buf);
+        w.write(&rec).unwrap();
+        w.finish().unwrap();
+        for cut in 6..buf.len() {
+            let result: Result<Vec<_>, _> = BinaryReader::new(&buf[..cut]).unwrap().collect();
+            assert_eq!(
+                result.unwrap_err().kind(),
+                io::ErrorKind::UnexpectedEof,
+                "cut at byte {cut} of {}",
+                buf.len()
+            );
+        }
+        // Cutting exactly at the record boundary is a clean EOF.
+        let got: Vec<_> = BinaryReader::new(&buf[..]).unwrap().collect::<Result<_, _>>().unwrap();
+        assert_eq!(got, vec![rec]);
+    }
+
+    #[test]
+    fn unknown_flag_bits_rejected_on_binary_path() {
+        let mut buf = Vec::new();
+        let mut w = BinaryWriter::new(&mut buf);
+        w.write(&sample()[0]).unwrap();
+        w.finish().unwrap();
+        buf[5] = 0x84; // flags byte of the first record: undefined bits set
+        let err = BinaryReader::new(&buf[..]).unwrap().next().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("unknown flag bits"), "got {err}");
+    }
+
+    #[test]
+    fn unknown_flag_bits_rejected_in_text_with_line_number() {
+        let err = read_text("0 1 R 0x40 1\n0 1 W 0x80 9\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("line 2") && msg.contains("unknown flag bits"), "got {msg}");
+    }
+
+    #[test]
+    fn v2_trace_rejected_by_v1_reader_with_hint() {
+        let err = BinaryReader::new(&b"DCCT\x02"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("dircc replay --in"), "hint should name a converter: {msg}");
     }
 }

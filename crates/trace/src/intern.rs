@@ -24,6 +24,13 @@ pub struct BlockInterner {
 }
 
 impl BlockInterner {
+    /// Creates an empty interner for incremental use: streaming replay
+    /// interns blocks chunk by chunk via [`BlockInterner::intern`] as it
+    /// first sees them, never holding the whole stream.
+    pub fn new(geometry: BlockGeometry) -> Self {
+        BlockInterner { geometry, ids: HashMap::new() }
+    }
+
     /// Builds an interner over every *data* reference in `records`
     /// (instruction fetches never reach block-level state), assigning
     /// dense ids in first-appearance order.
@@ -35,18 +42,32 @@ impl BlockInterner {
     where
         I: IntoIterator<Item = &'a TraceRecord>,
     {
-        let mut ids: HashMap<u64, u32> = HashMap::new();
+        let mut interner = BlockInterner::new(geometry);
         for r in records {
-            if !r.is_data() {
-                continue;
+            if r.is_data() {
+                interner.intern(geometry.block_of(r.addr));
             }
-            let block = geometry.block_of(r.addr).index();
-            let next = ids.len();
-            ids.entry(block).or_insert_with(|| {
-                u32::try_from(next).expect("more than u32::MAX distinct blocks")
-            });
         }
-        BlockInterner { geometry, ids }
+        interner
+    }
+
+    /// Interns `block`, returning its dense id and whether this is the
+    /// block's first appearance. Ids are assigned in first-appearance
+    /// order, exactly as [`BlockInterner::from_records`] would over the
+    /// same stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream touches more than `u32::MAX` distinct blocks.
+    #[inline]
+    pub fn intern(&mut self, block: BlockAddr) -> (u32, bool) {
+        let next = self.ids.len();
+        let mut first = false;
+        let id = *self.ids.entry(block.index()).or_insert_with(|| {
+            first = true;
+            u32::try_from(next).expect("more than u32::MAX distinct blocks")
+        });
+        (id, first)
     }
 
     /// The geometry the interner was built with.
@@ -141,6 +162,25 @@ mod tests {
                 assert_eq!(interner.get(geometry.block_of(r.addr)), Some(BlockId::new(id)));
             }
         }
+    }
+
+    #[test]
+    fn incremental_interning_matches_batch() {
+        let records = trace();
+        let geometry = BlockGeometry::PAPER;
+        let batch = BlockInterner::from_records(&records, geometry);
+        let mut inc = BlockInterner::new(geometry);
+        let mut firsts = 0usize;
+        for r in records.iter().filter(|r| r.is_data()) {
+            let block = geometry.block_of(r.addr);
+            let (id, first) = inc.intern(block);
+            if first {
+                firsts += 1;
+            }
+            assert_eq!(batch.get(block).unwrap().index(), id as usize);
+        }
+        assert_eq!(inc.num_blocks(), batch.num_blocks());
+        assert_eq!(firsts, batch.num_blocks(), "one first-appearance per block");
     }
 
     #[test]

@@ -14,6 +14,13 @@
 //!   split).
 //! * [`codec`] — a compact binary format and a line-oriented text format,
 //!   with streaming [`reader`](codec::BinaryReader)s and writers.
+//! * [`chunk`] — the chunked v2 binary format for corpus-scale traces:
+//!   per-chunk delta + LEB128 address compression, a checksummed footer,
+//!   and [`ChunkSource`](chunk::ChunkSource) streaming with memory bounded
+//!   by the chunk size rather than the trace length.
+//! * [`spill`] — out-of-core shard partitioning: one streaming pass routes
+//!   a [`ChunkSource`] into per-shard temp files that replay like
+//!   [`ShardedStream`] shards, for traces larger than RAM.
 //! * [`stats`] — reference-stream statistics reproducing Table 3.
 //! * [`gen`] — the synthetic workload generator with calibrated profiles
 //!   `pops`, `thor` and `pero`, plus primitive sharing kernels for tests.
@@ -44,6 +51,7 @@
 //! assert!(stats.instr_fraction() > 0.4);
 //! ```
 
+pub mod chunk;
 pub mod codec;
 pub mod filter;
 pub mod gen;
@@ -51,10 +59,15 @@ pub mod intern;
 pub mod record;
 pub mod shard;
 pub mod sharing;
+pub mod spill;
 pub mod stats;
 pub mod store;
 
+pub use chunk::{
+    open_trace, AnyTraceReader, ChunkSource, ChunkedReader, ChunkedWriter, Records, SliceChunks,
+};
 pub use intern::BlockInterner;
 pub use record::{RecordFlags, TraceRecord};
 pub use shard::{Shard, ShardedStream};
+pub use spill::{SpilledShard, SpilledShards};
 pub use store::{TraceFilter, TraceStore};

@@ -19,11 +19,27 @@ impl RecordFlags {
     pub const LOCK: RecordFlags = RecordFlags(1);
     /// The reference was issued by operating-system code.
     pub const SYSTEM: RecordFlags = RecordFlags(2);
+    /// Every defined flag; bits outside this mask are undefined.
+    pub const ALL: RecordFlags = RecordFlags(3);
 
     /// Creates flags from their raw bit representation (unknown bits kept).
+    ///
+    /// Use [`RecordFlags::from_bits_checked`] at trust boundaries (the
+    /// codecs do): undefined bits would otherwise flow unnoticed into
+    /// shard routing and filter decisions.
     #[inline]
     pub const fn from_bits(bits: u8) -> Self {
         RecordFlags(bits)
+    }
+
+    /// Creates flags from raw bits, rejecting undefined bits.
+    #[inline]
+    pub const fn from_bits_checked(bits: u8) -> Option<Self> {
+        if bits & !RecordFlags::ALL.0 != 0 {
+            None
+        } else {
+            Some(RecordFlags(bits))
+        }
     }
 
     /// Returns the raw bit representation.

@@ -7,6 +7,10 @@ cargo test -q
 # Shard-equivalence gate: sharded replay must be bit-identical to serial
 # for every scheme, on random traces and the pinned workbench matrix.
 cargo test -q -p dircc-sim --test sharding
+# Mono-equivalence gate: the monomorphized SoA replay must be
+# bit-identical to the dyn reference for every scheme, serial and sharded,
+# finite caches and verifier included.
+cargo test -q -p dircc-sim --test mono
 # Correctness gate: bounded exhaustive model check of every protocol,
 # plus the serial-vs-sharded replay equivalence check it ends with.
 ./target/release/dircc check --smoke
@@ -17,8 +21,12 @@ cargo test -q -p dircc-sim --test sharding
 # drift gate: any counter perturbation from the instrumentation layer
 # fails here — and running it at --shards 2 makes the shard merge itself
 # part of the drift surface.
-./target/release/dircc bench --smoke --shards 2 --out /tmp/BENCH_smoke.json
-./target/release/dircc benchcmp --smoke --shards 2 --in BENCH_smoke.json
+./target/release/dircc bench --smoke --shards 2 --repeat 3 --out /tmp/BENCH_smoke.json
+./target/release/dircc benchcmp --smoke --shards 2 --engine mono --in BENCH_smoke.json
+# Same gate on the dyn reference engine: its counter digests must match
+# the same (mono-written) baseline, pinning mono-vs-dyn bit-identity in
+# CI on top of the test suite.
+./target/release/dircc benchcmp --smoke --shards 2 --engine dyn --in BENCH_smoke.json
 # Observability smoke: windowed time series + span profile of the
 # scalability work list.
 ./target/release/dircc profile scaling --smoke \

@@ -6,6 +6,25 @@ use crate::event::{Event, EvictOutcome, MissContext, Outcome, WriteHitContext};
 /// counts of `MAX_HISTOGRAM - 1` or more sharers land in the last bucket.
 pub const MAX_HISTOGRAM: usize = 17;
 
+// Dense row indices for the Table 4 event classification. Keeping the
+// rows in one array lets [`EventCounters::observe`] turn the nested
+// event matches into a single table-driven classification plus an
+// unconditional array increment.
+const ROW_INSTR: usize = 0;
+const ROW_READ_HIT: usize = 1;
+const ROW_RM_FIRST: usize = 2;
+const ROW_RM_CLEAN: usize = 3;
+const ROW_RM_DIRTY: usize = 4;
+const ROW_RM_MEMORY: usize = 5;
+const ROW_WH_DIRTY: usize = 6;
+const ROW_WH_CLEAN_EXCLUSIVE: usize = 7;
+const ROW_WH_CLEAN_SHARED: usize = 8;
+const ROW_WM_FIRST: usize = 9;
+const ROW_WM_CLEAN: usize = 10;
+const ROW_WM_DIRTY: usize = 11;
+const ROW_WM_MEMORY: usize = 12;
+const NUM_ROWS: usize = 13;
+
 /// Accumulated event frequencies and side-effect counts for one protocol
 /// over one trace.
 ///
@@ -14,19 +33,8 @@ pub const MAX_HISTOGRAM: usize = 17;
 /// write to a previously-clean block" is [`EventCounters::inval_histogram`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EventCounters {
-    instr: u64,
-    read_hit: u64,
-    rm_first: u64,
-    rm_clean: u64,
-    rm_dirty: u64,
-    rm_memory: u64,
-    wh_dirty: u64,
-    wh_clean_exclusive: u64,
-    wh_clean_shared: u64,
-    wm_first: u64,
-    wm_clean: u64,
-    wm_dirty: u64,
-    wm_memory: u64,
+    /// Table 4 event rows, indexed by the `ROW_*` constants.
+    rows: [u64; NUM_ROWS],
     control_messages: u64,
     broadcasts: u64,
     write_backs: u64,
@@ -40,6 +48,39 @@ pub struct EventCounters {
     inval_hist: [u64; MAX_HISTOGRAM],
 }
 
+/// Classifies an event into its row index plus the histogram update it
+/// carries: `(row, hist_index, hist_add)`. Events that don't feed the
+/// histogram return `hist_add == 0` (slot 0 is then incremented by zero),
+/// so the caller's histogram update is unconditional — no branch on the
+/// quiet outcomes.
+#[inline(always)]
+fn classify(e: Event) -> (usize, usize, u64) {
+    match e {
+        Event::Instr => (ROW_INSTR, 0, 0),
+        Event::ReadHit => (ROW_READ_HIT, 0, 0),
+        Event::ReadMiss(MissContext::FirstRef) => (ROW_RM_FIRST, 0, 0),
+        Event::ReadMiss(MissContext::CleanElsewhere { .. }) => (ROW_RM_CLEAN, 0, 0),
+        Event::ReadMiss(MissContext::DirtyElsewhere) => (ROW_RM_DIRTY, 0, 0),
+        Event::ReadMiss(MissContext::MemoryOnly) => (ROW_RM_MEMORY, 0, 0),
+        Event::WriteHit(WriteHitContext::Dirty) => (ROW_WH_DIRTY, 0, 0),
+        Event::WriteHit(WriteHitContext::CleanExclusive) => (ROW_WH_CLEAN_EXCLUSIVE, 0, 1),
+        Event::WriteHit(WriteHitContext::CleanShared { others }) => {
+            (ROW_WH_CLEAN_SHARED, hist_slot(others), 1)
+        }
+        Event::WriteMiss(MissContext::FirstRef) => (ROW_WM_FIRST, 0, 0),
+        Event::WriteMiss(MissContext::CleanElsewhere { copies }) => {
+            (ROW_WM_CLEAN, hist_slot(copies), 1)
+        }
+        Event::WriteMiss(MissContext::DirtyElsewhere) => (ROW_WM_DIRTY, 0, 0),
+        Event::WriteMiss(MissContext::MemoryOnly) => (ROW_WM_MEMORY, 0, 0),
+    }
+}
+
+#[inline(always)]
+fn hist_slot(others: u32) -> usize {
+    (others as usize).min(MAX_HISTOGRAM - 1)
+}
+
 impl EventCounters {
     /// Creates zeroed counters.
     pub fn new() -> Self {
@@ -47,37 +88,16 @@ impl EventCounters {
     }
 
     /// Accounts for one protocol outcome.
+    ///
+    /// Branchless on the hot path: one table-driven event classification,
+    /// one unconditional row increment, one unconditional histogram
+    /// increment (adding zero for events outside the histogram), and the
+    /// side-effect totals added via `u64::from(bool)` widening.
+    #[inline]
     pub fn observe(&mut self, o: &Outcome) {
-        match o.event {
-            Event::Instr => self.instr += 1,
-            Event::ReadHit => self.read_hit += 1,
-            Event::ReadMiss(ctx) => match ctx {
-                MissContext::FirstRef => self.rm_first += 1,
-                MissContext::CleanElsewhere { .. } => self.rm_clean += 1,
-                MissContext::DirtyElsewhere => self.rm_dirty += 1,
-                MissContext::MemoryOnly => self.rm_memory += 1,
-            },
-            Event::WriteHit(ctx) => match ctx {
-                WriteHitContext::Dirty => self.wh_dirty += 1,
-                WriteHitContext::CleanExclusive => {
-                    self.wh_clean_exclusive += 1;
-                    self.bump_hist(0);
-                }
-                WriteHitContext::CleanShared { others } => {
-                    self.wh_clean_shared += 1;
-                    self.bump_hist(others);
-                }
-            },
-            Event::WriteMiss(ctx) => match ctx {
-                MissContext::FirstRef => self.wm_first += 1,
-                MissContext::CleanElsewhere { copies } => {
-                    self.wm_clean += 1;
-                    self.bump_hist(copies);
-                }
-                MissContext::DirtyElsewhere => self.wm_dirty += 1,
-                MissContext::MemoryOnly => self.wm_memory += 1,
-            },
-        }
+        let (row, hist_idx, hist_add) = classify(o.event);
+        self.rows[row] += 1;
+        self.inval_hist[hist_idx] += hist_add;
         self.control_messages += u64::from(o.control_messages);
         self.broadcasts += u64::from(o.used_broadcast);
         self.write_backs += u64::from(o.write_back);
@@ -102,26 +122,11 @@ impl EventCounters {
         self.cache_evictions
     }
 
-    fn bump_hist(&mut self, others: u32) {
-        let idx = (others as usize).min(MAX_HISTOGRAM - 1);
-        self.inval_hist[idx] += 1;
-    }
-
     /// Merges another counter set into this one (e.g. across traces).
     pub fn merge(&mut self, other: &EventCounters) {
-        self.instr += other.instr;
-        self.read_hit += other.read_hit;
-        self.rm_first += other.rm_first;
-        self.rm_clean += other.rm_clean;
-        self.rm_dirty += other.rm_dirty;
-        self.rm_memory += other.rm_memory;
-        self.wh_dirty += other.wh_dirty;
-        self.wh_clean_exclusive += other.wh_clean_exclusive;
-        self.wh_clean_shared += other.wh_clean_shared;
-        self.wm_first += other.wm_first;
-        self.wm_clean += other.wm_clean;
-        self.wm_dirty += other.wm_dirty;
-        self.wm_memory += other.wm_memory;
+        for (a, b) in self.rows.iter_mut().zip(other.rows.iter()) {
+            *a += b;
+        }
         self.control_messages += other.control_messages;
         self.broadcasts += other.broadcasts;
         self.write_backs += other.write_backs;
@@ -153,6 +158,10 @@ impl EventCounters {
         fn sub(a: u64, b: u64) -> u64 {
             a.checked_sub(b).expect("diff: argument is not an earlier snapshot of this run")
         }
+        let mut rows = [0u64; NUM_ROWS];
+        for (d, (a, b)) in rows.iter_mut().zip(self.rows.iter().zip(earlier.rows.iter())) {
+            *d = sub(*a, *b);
+        }
         let mut inval_hist = [0u64; MAX_HISTOGRAM];
         for (d, (a, b)) in
             inval_hist.iter_mut().zip(self.inval_hist.iter().zip(earlier.inval_hist.iter()))
@@ -160,19 +169,7 @@ impl EventCounters {
             *d = sub(*a, *b);
         }
         EventCounters {
-            instr: sub(self.instr, earlier.instr),
-            read_hit: sub(self.read_hit, earlier.read_hit),
-            rm_first: sub(self.rm_first, earlier.rm_first),
-            rm_clean: sub(self.rm_clean, earlier.rm_clean),
-            rm_dirty: sub(self.rm_dirty, earlier.rm_dirty),
-            rm_memory: sub(self.rm_memory, earlier.rm_memory),
-            wh_dirty: sub(self.wh_dirty, earlier.wh_dirty),
-            wh_clean_exclusive: sub(self.wh_clean_exclusive, earlier.wh_clean_exclusive),
-            wh_clean_shared: sub(self.wh_clean_shared, earlier.wh_clean_shared),
-            wm_first: sub(self.wm_first, earlier.wm_first),
-            wm_clean: sub(self.wm_clean, earlier.wm_clean),
-            wm_dirty: sub(self.wm_dirty, earlier.wm_dirty),
-            wm_memory: sub(self.wm_memory, earlier.wm_memory),
+            rows,
             control_messages: sub(self.control_messages, earlier.control_messages),
             broadcasts: sub(self.broadcasts, earlier.broadcasts),
             write_backs: sub(self.write_backs, earlier.write_backs),
@@ -185,9 +182,45 @@ impl EventCounters {
         }
     }
 
+    /// A deterministic 64-bit fingerprint over every counter (FNV-1a in
+    /// field order). Two counter sets are digest-equal iff field-equal
+    /// (up to hash collisions), so bench reports can pin per-run counters
+    /// compactly and `benchcmp` can detect drift without re-listing every
+    /// field.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(mut h: u64, v: u64) -> u64 {
+            for b in v.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = OFFSET;
+        for &r in &self.rows {
+            h = mix(h, r);
+        }
+        for v in [
+            self.control_messages,
+            self.broadcasts,
+            self.write_backs,
+            self.cache_supplies,
+            self.updates,
+            self.aux_messages,
+            self.directory_evictions,
+            self.cache_evictions,
+        ] {
+            h = mix(h, v);
+        }
+        for &b in &self.inval_hist {
+            h = mix(h, b);
+        }
+        h
+    }
+
     /// Total references observed (instructions + data).
     pub fn total(&self) -> u64 {
-        self.instr + self.data_refs()
+        self.instr() + self.data_refs()
     }
 
     /// Total data references.
@@ -197,99 +230,99 @@ impl EventCounters {
 
     /// Instruction fetches.
     pub fn instr(&self) -> u64 {
-        self.instr
+        self.rows[ROW_INSTR]
     }
 
     /// Total data reads.
     pub fn reads(&self) -> u64 {
-        self.read_hit + self.rm() + self.rm_first
+        self.read_hits() + self.rm() + self.rm_first_ref()
     }
 
     /// Total data writes.
     pub fn writes(&self) -> u64 {
-        self.wh() + self.wm() + self.wm_first
+        self.wh() + self.wm() + self.wm_first_ref()
     }
 
     /// Read hits.
     pub fn read_hits(&self) -> u64 {
-        self.read_hit
+        self.rows[ROW_READ_HIT]
     }
 
     /// Read misses excluding first references (the paper's `rm`).
     pub fn rm(&self) -> u64 {
-        self.rm_clean + self.rm_dirty + self.rm_memory
+        self.rows[ROW_RM_CLEAN] + self.rows[ROW_RM_DIRTY] + self.rows[ROW_RM_MEMORY]
     }
 
     /// Read misses to blocks clean in another cache.
     pub fn rm_blk_cln(&self) -> u64 {
-        self.rm_clean
+        self.rows[ROW_RM_CLEAN]
     }
 
     /// Read misses to blocks dirty in another cache.
     pub fn rm_blk_drty(&self) -> u64 {
-        self.rm_dirty
+        self.rows[ROW_RM_DIRTY]
     }
 
     /// Read misses satisfied from memory with no cached copies.
     pub fn rm_blk_mem(&self) -> u64 {
-        self.rm_memory
+        self.rows[ROW_RM_MEMORY]
     }
 
     /// First-reference read misses.
     pub fn rm_first_ref(&self) -> u64 {
-        self.rm_first
+        self.rows[ROW_RM_FIRST]
     }
 
     /// Write hits.
     pub fn wh(&self) -> u64 {
-        self.wh_dirty + self.wh_clean_exclusive + self.wh_clean_shared
+        self.rows[ROW_WH_DIRTY] + self.rows[ROW_WH_CLEAN_EXCLUSIVE] + self.rows[ROW_WH_CLEAN_SHARED]
     }
 
     /// Write hits to locally-dirty blocks.
     pub fn wh_blk_drty(&self) -> u64 {
-        self.wh_dirty
+        self.rows[ROW_WH_DIRTY]
     }
 
     /// Write hits to locally-clean blocks (the paper's `wh-blk-cln`,
     /// regardless of other sharers).
     pub fn wh_blk_cln(&self) -> u64 {
-        self.wh_clean_exclusive + self.wh_clean_shared
+        self.rows[ROW_WH_CLEAN_EXCLUSIVE] + self.rows[ROW_WH_CLEAN_SHARED]
     }
 
     /// Write hits to blocks also present in another cache (Dragon's
     /// `wh-distrib`).
     pub fn wh_distrib(&self) -> u64 {
-        self.wh_clean_shared
+        self.rows[ROW_WH_CLEAN_SHARED]
     }
 
     /// Write hits to blocks in no other cache (Dragon's `wh-local`).
     pub fn wh_local(&self) -> u64 {
-        self.wh_dirty + self.wh_clean_exclusive
+        self.rows[ROW_WH_DIRTY] + self.rows[ROW_WH_CLEAN_EXCLUSIVE]
     }
 
     /// Write misses excluding first references (the paper's `wm`).
     pub fn wm(&self) -> u64 {
-        self.wm_clean + self.wm_dirty + self.wm_memory
+        self.rows[ROW_WM_CLEAN] + self.rows[ROW_WM_DIRTY] + self.rows[ROW_WM_MEMORY]
     }
 
     /// Write misses to blocks clean in another cache.
     pub fn wm_blk_cln(&self) -> u64 {
-        self.wm_clean
+        self.rows[ROW_WM_CLEAN]
     }
 
     /// Write misses to blocks dirty in another cache.
     pub fn wm_blk_drty(&self) -> u64 {
-        self.wm_dirty
+        self.rows[ROW_WM_DIRTY]
     }
 
     /// Write misses satisfied from memory with no cached copies.
     pub fn wm_blk_mem(&self) -> u64 {
-        self.wm_memory
+        self.rows[ROW_WM_MEMORY]
     }
 
     /// First-reference write misses.
     pub fn wm_first_ref(&self) -> u64 {
-        self.wm_first
+        self.rows[ROW_WM_FIRST]
     }
 
     /// Control messages (sequential invalidates, flush requests, pointer
@@ -423,6 +456,16 @@ mod tests {
     }
 
     #[test]
+    fn quiet_outcomes_leave_the_histogram_untouched() {
+        let mut c = EventCounters::new();
+        c.observe(&quiet(Event::ReadHit));
+        c.observe(&quiet(Event::Instr));
+        c.observe(&quiet(Event::ReadMiss(MissContext::MemoryOnly)));
+        c.observe(&quiet(Event::WriteHit(WriteHitContext::Dirty)));
+        assert!(c.inval_histogram().iter().all(|&b| b == 0));
+    }
+
+    #[test]
     fn side_effects_accumulate() {
         let mut c = EventCounters::new();
         let o = Outcome {
@@ -524,5 +567,27 @@ mod tests {
         assert_eq!(c.total(), 0);
         assert_eq!(c.pct(0), 0.0);
         assert_eq!(c.inval_at_most(0), 1.0);
+    }
+
+    #[test]
+    fn digest_distinguishes_counter_sets() {
+        let mut a = EventCounters::new();
+        let mut b = EventCounters::new();
+        assert_eq!(a.digest(), b.digest(), "equal counters share a digest");
+        a.observe(&quiet(Event::ReadHit));
+        assert_ne!(a.digest(), b.digest());
+        b.observe(&quiet(Event::ReadHit));
+        assert_eq!(a.digest(), b.digest());
+        // Rows are position-sensitive: a read hit is not an instr fetch.
+        let mut c = EventCounters::new();
+        c.observe(&quiet(Event::Instr));
+        assert_ne!(a.digest(), c.digest());
+        // Histogram and side effects feed the digest too.
+        let mut d = a.clone();
+        d.observe(&quiet(Event::WriteHit(WriteHitContext::CleanShared { others: 2 })));
+        assert_ne!(a.digest(), d.digest());
+        let mut e = a.clone();
+        e.observe_eviction(&EvictOutcome::WRITE_BACK);
+        assert_ne!(a.digest(), e.digest());
     }
 }

@@ -85,6 +85,79 @@ pub fn build_sized(kind: ProtocolKind, n_caches: usize, blocks: usize) -> Box<dy
     p
 }
 
+/// A computation generic over the *concrete* protocol type.
+///
+/// [`dispatch`] resolves a [`ProtocolKind`] to its concrete type exactly
+/// once and hands the visitor a sized instance, so `visit::<P>` is
+/// monomorphized per scheme: a replay loop written inside `visit` calls
+/// [`Protocol::access`] statically — inlinable, no per-reference vtable
+/// indirection — while [`build`]'s `Box<dyn Protocol>` path stays
+/// available as the dynamic reference implementation.
+pub trait ProtocolVisitor {
+    /// What the computation returns.
+    type Output;
+
+    /// Runs the computation over a concrete protocol instance.
+    fn visit<P: Protocol>(self, protocol: P) -> Self::Output;
+}
+
+/// Resolves `kind` to its concrete protocol type (the same 12-arm mapping
+/// as [`build`]) and runs `visitor` over a fresh instance — the
+/// monomorphizing twin of [`build`].
+///
+/// # Panics
+///
+/// As [`build`].
+pub fn dispatch<V: ProtocolVisitor>(kind: ProtocolKind, n_caches: usize, visitor: V) -> V::Output {
+    match kind {
+        ProtocolKind::DirNb { pointers } => {
+            visitor.visit(directory::DirNb::new(pointers, n_caches))
+        }
+        ProtocolKind::Dir0B => visitor.visit(directory::Dir0B::new(n_caches)),
+        ProtocolKind::DirB { pointers } => visitor.visit(directory::DirB::new(pointers, n_caches)),
+        ProtocolKind::CodedSet => visitor.visit(directory::CodedSet::new(n_caches)),
+        ProtocolKind::Tang => visitor.visit(directory::Tang::new(n_caches)),
+        ProtocolKind::YenFu => visitor.visit(directory::YenFu::new(n_caches)),
+        ProtocolKind::Wti => visitor.visit(snoopy::Wti::new(n_caches)),
+        ProtocolKind::Dragon => visitor.visit(snoopy::Dragon::new(n_caches)),
+        ProtocolKind::Berkeley => visitor.visit(snoopy::Berkeley::new(n_caches)),
+        ProtocolKind::WriteOnce => visitor.visit(snoopy::WriteOnce::new(n_caches)),
+        ProtocolKind::Firefly => visitor.visit(snoopy::Firefly::new(n_caches)),
+        ProtocolKind::Mesi => visitor.visit(snoopy::Mesi::new(n_caches)),
+    }
+}
+
+/// Pre-sizes the instance via [`Protocol::reserve_blocks`] before
+/// delegating to the inner visitor — [`dispatch_sized`]'s adapter.
+struct SizedVisitor<V> {
+    blocks: usize,
+    inner: V,
+}
+
+impl<V: ProtocolVisitor> ProtocolVisitor for SizedVisitor<V> {
+    type Output = V::Output;
+
+    fn visit<P: Protocol>(self, mut protocol: P) -> V::Output {
+        protocol.reserve_blocks(self.blocks);
+        self.inner.visit(protocol)
+    }
+}
+
+/// As [`dispatch`], but pre-sizes every per-block table for `blocks`
+/// distinct (dense) blocks — the monomorphizing twin of [`build_sized`].
+///
+/// # Panics
+///
+/// As [`build`].
+pub fn dispatch_sized<V: ProtocolVisitor>(
+    kind: ProtocolKind,
+    n_caches: usize,
+    blocks: usize,
+    visitor: V,
+) -> V::Output {
+    dispatch(kind, n_caches, SizedVisitor { blocks, inner: visitor })
+}
+
 /// Per-shard construction for block-sharded replay: one protocol instance
 /// per shard, each with its per-block tables (`CacheArray`, `BlockMap`,
 /// `BlockSet`, directory entries) sized via [`Protocol::reserve_blocks`]
@@ -166,6 +239,41 @@ mod tests {
             assert_eq!(p.kind(), kind);
             assert_eq!(p.num_caches(), 4);
             p.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn dispatch_resolves_the_same_concrete_type_as_build() {
+        struct KindOf;
+        impl ProtocolVisitor for KindOf {
+            type Output = (ProtocolKind, String, usize);
+            fn visit<P: Protocol>(self, p: P) -> Self::Output {
+                (p.kind(), p.name(), p.num_caches())
+            }
+        }
+        for kind in [
+            ProtocolKind::DirNb { pointers: 1 },
+            ProtocolKind::DirNb { pointers: 2 },
+            ProtocolKind::Dir0B,
+            ProtocolKind::DirB { pointers: 1 },
+            ProtocolKind::DirB { pointers: 2 },
+            ProtocolKind::CodedSet,
+            ProtocolKind::Tang,
+            ProtocolKind::YenFu,
+            ProtocolKind::Wti,
+            ProtocolKind::Dragon,
+            ProtocolKind::Berkeley,
+            ProtocolKind::WriteOnce,
+            ProtocolKind::Firefly,
+            ProtocolKind::Mesi,
+        ] {
+            let boxed = build(kind, 4);
+            let (k, name, n) = dispatch(kind, 4, KindOf);
+            assert_eq!(k, boxed.kind());
+            assert_eq!(name, boxed.name());
+            assert_eq!(n, 4);
+            let (k2, ..) = dispatch_sized(kind, 4, 100, KindOf);
+            assert_eq!(k2, kind);
         }
     }
 

@@ -11,6 +11,13 @@ use dircc_core::EventCounters;
 /// that overrides neither (the [`NoopRecorder`]) monomorphizes away and
 /// the hot loop is exactly the code it was before the hook existed.
 pub trait Recorder {
+    /// `true` only for recorders whose hooks observe nothing (the
+    /// [`NoopRecorder`]). A monomorphized replay loop may consult this to
+    /// specialize the per-reference recorder call out of the no-op
+    /// configuration entirely; recorders that observe anything MUST keep
+    /// the default `false`.
+    const IS_NOOP: bool = false;
+
     /// Observes the cumulative counters after reference number `refs`
     /// (1-based) has been fully accounted.
     #[inline(always)]
@@ -30,7 +37,9 @@ pub trait Recorder {
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct NoopRecorder;
 
-impl Recorder for NoopRecorder {}
+impl Recorder for NoopRecorder {
+    const IS_NOOP: bool = true;
+}
 
 /// One window of a time-resolved run: the counter *delta* accumulated
 /// over references `start_ref + 1 ..= end_ref`.

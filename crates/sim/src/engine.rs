@@ -55,18 +55,7 @@ use std::io;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-/// How trace CPUs map onto protocol caches (§4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum SharingModel {
-    /// One cache per CPU: hardware's view.
-    #[default]
-    Processor,
-    /// One cache per *process*: the paper's sharing definition ("a block is
-    /// considered shared only if it is accessed by more than one process").
-    /// The protocol must have at least as many caches as there are
-    /// processes.
-    Process,
-}
+pub use dircc_types::SharingModel;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -138,25 +127,25 @@ pub const MAX_VIOLATIONS: usize = 16;
 /// Internal run result before violation formatting: each finding keeps
 /// its 1-based global reference number so sharded runs can merge findings
 /// back into trace order before applying the [`MAX_VIOLATIONS`] cap.
-struct CoreResult {
-    counters: EventCounters,
-    refs: u64,
-    violations: Vec<(u64, String)>,
+pub(crate) struct CoreResult {
+    pub(crate) counters: EventCounters,
+    pub(crate) refs: u64,
+    pub(crate) violations: Vec<(u64, String)>,
 }
 
 /// Internal engine error: the 1-based global reference number it occurred
 /// at (`u64::MAX` for the end-of-run invariant check), for deterministic
 /// first-error selection across shards.
-struct EngineError {
-    gref: u64,
-    msg: String,
+pub(crate) struct EngineError {
+    pub(crate) gref: u64,
+    pub(crate) msg: String,
 }
 
 fn format_violation((gref, msg): (u64, String)) -> String {
     format!("ref {gref}: {msg}")
 }
 
-fn finish_result(raw: CoreResult) -> RunResult {
+pub(crate) fn finish_result(raw: CoreResult) -> RunResult {
     RunResult {
         counters: raw.counters,
         refs: raw.refs,
@@ -171,7 +160,7 @@ fn finish_result(raw: CoreResult) -> RunResult {
 /// version 0 (the block's initial state), exactly as the former hash-map
 /// representation defaulted.
 #[derive(Debug)]
-struct Verifier {
+pub(crate) struct Verifier {
     /// Monotonic version per block, bumped on every write.
     version: Vec<u64>,
     /// Version each cached copy holds, one table per cache.
@@ -193,7 +182,7 @@ fn table_set(table: &mut Vec<u64>, b: BlockAddr, ver: u64) {
 }
 
 impl Verifier {
-    fn new(n_caches: usize, blocks: usize) -> Self {
+    pub(crate) fn new(n_caches: usize, blocks: usize) -> Self {
         Verifier {
             version: Vec::with_capacity(blocks),
             copy: vec![Vec::with_capacity(blocks); n_caches],
@@ -209,7 +198,7 @@ impl Verifier {
         table_get(&self.version, b)
     }
 
-    fn copy_version(&self, cache: CacheId, b: BlockAddr) -> u64 {
+    pub(crate) fn copy_version(&self, cache: CacheId, b: BlockAddr) -> u64 {
         table_get(&self.copy[cache.index()], b)
     }
 
@@ -217,7 +206,7 @@ impl Verifier {
         table_set(&mut self.version, b, ver);
     }
 
-    fn set_memory(&mut self, b: BlockAddr, ver: u64) {
+    pub(crate) fn set_memory(&mut self, b: BlockAddr, ver: u64) {
         table_set(&mut self.memory, b, ver);
     }
 
@@ -532,7 +521,7 @@ pub fn run_sharded(
 }
 
 /// A [`run_sharded_with`] observer that records nothing.
-fn noop_observer(_shard: usize, _started: Instant, _dur: Duration, _refs: u64) {}
+pub(crate) fn noop_observer(_shard: usize, _started: Instant, _dur: Duration, _refs: u64) {}
 
 /// [`run_sharded`] over caller-built protocol instances (one per shard,
 /// e.g. from [`dircc_core::split_shards`]), with an observer called once
@@ -595,7 +584,7 @@ where
 /// number then capped, smallest `(gref, shard)` error winning — shared by
 /// the in-memory ([`run_sharded_with`]) and spilled
 /// ([`run_sharded_spilled`]) parallel paths so both merge identically.
-fn merge_shard_results(
+pub(crate) fn merge_shard_results(
     slots: Vec<std::sync::Mutex<Option<Result<CoreResult, EngineError>>>>,
 ) -> Result<RunResult, String> {
     let mut counters = EventCounters::new();
@@ -841,69 +830,88 @@ where
     let mut tag_stores: Option<Vec<SetAssocCache<BlockAddr>>> =
         cfg.finite_cache.map(|fc| (0..n).map(|_| SetAssocCache::new(fc)).collect());
 
-    for (r, gref) in records {
-        refs += 1;
-        if r.kind == AccessKind::InstrFetch {
-            counters.observe(&dircc_core::Outcome::quiet(Event::Instr));
-            recorder.record(refs, &counters);
-            continue;
-        }
-        let cache_idx = match cfg.sharing {
-            SharingModel::Processor => r.cpu.raw(),
-            SharingModel::Process => r.pid.raw(),
-        };
-        if usize::from(cache_idx) >= n {
-            return Err(EngineError {
-                gref,
-                msg: format!(
-                    "reference {gref}: cache index {cache_idx} out of range for {n} caches \
-                     ({}, {}, {:?} at {}; did you size the protocol for the sharing model?)",
-                    r.cpu, r.pid, r.kind, r.addr
-                ),
-            });
-        }
-        let cache = CacheId::new(cache_idx);
-        let orig_block = cfg.geometry.block_of(r.addr);
-        let (block, first_ref) = resolve(orig_block, (refs - 1) as usize);
-        let out = protocol.access(cache, r.kind, block, first_ref);
-        counters.observe(&out);
+    // One reference, shared by both loops below (`r`, `gref`, and the
+    // surrounding mutable state bind at the expansion site).
+    macro_rules! step {
+        ($r:ident, $gref:ident) => {{
+            refs += 1;
+            if $r.kind == AccessKind::InstrFetch {
+                counters.observe(&dircc_core::Outcome::quiet(Event::Instr));
+                recorder.record(refs, &counters);
+                continue;
+            }
+            let cache_idx = match cfg.sharing {
+                SharingModel::Processor => $r.cpu.raw(),
+                SharingModel::Process => $r.pid.raw(),
+            };
+            if usize::from(cache_idx) >= n {
+                return Err(EngineError {
+                    gref: $gref,
+                    msg: format!(
+                        "reference {}: cache index {cache_idx} out of range for {n} caches \
+                         ({}, {}, {:?} at {}; did you size the protocol for the sharing model?)",
+                        $gref, $r.cpu, $r.pid, $r.kind, $r.addr
+                    ),
+                });
+            }
+            let cache = CacheId::new(cache_idx);
+            let orig_block = cfg.geometry.block_of($r.addr);
+            let (block, first_ref) = resolve(orig_block, (refs - 1) as usize);
+            let out = protocol.access(cache, $r.kind, block, first_ref);
+            counters.observe(&out);
 
-        if let Some(v) = verifier.as_mut() {
-            verify_access(
-                protocol,
-                v,
-                cache,
-                r.kind,
-                block,
-                display(block),
-                &out,
-                &mut violations,
-                gref,
-            );
-        }
-        if let Some(stores) = tag_stores.as_mut() {
-            let store = &mut stores[cache.index()];
-            if let Lookup::Inserted { evicted: Some(victim) } =
-                store.lookup_or_insert(orig_block, block)
-            {
-                let evo = protocol.evict(cache, victim.state);
-                counters.observe_eviction(&evo);
-                if evo.write_back {
-                    if let Some(v) = verifier.as_mut() {
-                        // The evicted copy holds the latest data in
-                        // every protocol that answers WRITE_BACK.
-                        let ver = v.copy_version(cache, victim.state);
-                        v.set_memory(victim.state, ver);
+            if let Some(v) = verifier.as_mut() {
+                verify_access(
+                    protocol,
+                    v,
+                    cache,
+                    $r.kind,
+                    block,
+                    display(block),
+                    &out,
+                    &mut violations,
+                    $gref,
+                );
+            }
+            if let Some(stores) = tag_stores.as_mut() {
+                let store = &mut stores[cache.index()];
+                if let Lookup::Inserted { evicted: Some(victim) } =
+                    store.lookup_or_insert(orig_block, block)
+                {
+                    let evo = protocol.evict(cache, victim.state);
+                    counters.observe_eviction(&evo);
+                    if evo.write_back {
+                        if let Some(v) = verifier.as_mut() {
+                            // The evicted copy holds the latest data in
+                            // every protocol that answers WRITE_BACK.
+                            let ver = v.copy_version(cache, victim.state);
+                            v.set_memory(victim.state, ver);
+                        }
                     }
                 }
             }
+            recorder.record(refs, &counters);
+        }};
+    }
+
+    // The invariant cadence is hoisted out of the common (cadence 0)
+    // configuration: that loop carries no per-reference modulo test at
+    // all, instead of a dead branch per reference.
+    let every = cfg.check_invariants_every;
+    let records = records.into_iter();
+    if every == 0 {
+        for (r, gref) in records {
+            step!(r, gref);
         }
-        recorder.record(refs, &counters);
-        if cfg.check_invariants_every > 0 && refs.is_multiple_of(cfg.check_invariants_every) {
-            protocol.check_invariants().map_err(|e| EngineError {
-                gref,
-                msg: format!("invariant violation at reference {gref}: {e}"),
-            })?;
+    } else {
+        for (r, gref) in records {
+            step!(r, gref);
+            if refs.is_multiple_of(every) {
+                protocol.check_invariants().map_err(|e| EngineError {
+                    gref,
+                    msg: format!("invariant violation at reference {gref}: {e}"),
+                })?;
+            }
         }
     }
     if cfg.check_invariants_every > 0 {
@@ -917,7 +925,7 @@ where
 }
 
 #[allow(clippy::too_many_arguments)]
-fn verify_access<P: Protocol + ?Sized>(
+pub(crate) fn verify_access<P: Protocol + ?Sized>(
     protocol: &P,
     v: &mut Verifier,
     cache: CacheId,

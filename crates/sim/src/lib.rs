@@ -7,6 +7,10 @@
 //! * [`engine`] — replays traces through any
 //!   [`Protocol`](dircc_core::Protocol), with an optional value-level
 //!   coherence verifier;
+//! * [`mono`] — the monomorphized structure-of-arrays fast path:
+//!   per-scheme statically dispatched replay loops over precomputed
+//!   `kind`/`cache_idx`/`block_id`/`first_ref` arrays, bit-identical to
+//!   [`engine`] and severalfold faster;
 //! * [`metrics`] — bus-cycles-per-reference and per-transaction metrics;
 //! * [`workbench`] — the three synthetic paper traces plus memoized runs,
 //!   with a [`Workbench::warm`](workbench::Workbench::warm) fan-out that
@@ -42,6 +46,7 @@ pub mod busqueue;
 pub mod engine;
 pub mod experiments;
 pub mod metrics;
+pub mod mono;
 pub mod par;
 pub mod report;
 pub mod workbench;
@@ -52,7 +57,8 @@ pub use engine::{
     RunResult, SharingModel,
 };
 pub use metrics::Evaluation;
+pub use mono::{run_indexed_mono, run_indexed_mono_with, run_sharded_mono, run_sharded_mono_with};
 pub use par::{default_jobs, par_map_indexed};
 pub use workbench::{
-    filter_from_label, filter_label, RunSeries, RunTiming, TraceFilter, Workbench,
+    filter_from_label, filter_label, ReplayEngine, RunSeries, RunTiming, TraceFilter, Workbench,
 };

@@ -55,13 +55,15 @@ use dircc_obs::{chrome_trace, window_jsonl_line, RunMeta};
 use dircc_sim::experiments::{extensions, figures, network, studies, system, tables};
 use dircc_sim::{
     default_jobs, filter_label, report, run_chunked, run_indexed, run_sharded, run_sharded_spilled,
-    shard_stream, spill_sharded, Evaluation, RunConfig, RunResult, TraceFilter, Workbench,
+    shard_stream, spill_sharded, Evaluation, ReplayEngine, RunConfig, RunResult, TraceFilter,
+    Workbench,
 };
 use dircc_trace::chunk::{DEFAULT_CHUNK_RECORDS, MAX_CHUNK_RECORDS};
 use dircc_trace::codec::BinaryWriter;
 use dircc_trace::gen::{Generator, Profile};
 use dircc_trace::sharing::SharingProfile;
 use dircc_trace::stats::TraceStats;
+use dircc_trace::store::TraceStore;
 use dircc_trace::{open_trace, BlockInterner, ChunkedWriter, Records, TraceRecord};
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
@@ -179,6 +181,8 @@ struct Args {
     scheme: Option<String>,
     chunk: Option<usize>,
     verify: bool,
+    repeat: Option<u64>,
+    engine: Option<ReplayEngine>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -204,6 +208,8 @@ fn parse_args() -> Result<Args, String> {
         scheme: None,
         chunk: None,
         verify: false,
+        repeat: None,
+        engine: None,
     };
     while let Some(flag) = args.next() {
         let mut value =
@@ -258,6 +264,20 @@ fn parse_args() -> Result<Args, String> {
                 parsed.chunk = Some(n);
             }
             "--verify" => parsed.verify = true,
+            "--repeat" => {
+                let n: u64 = value("--repeat")?.parse().map_err(|e| format!("--repeat: {e}"))?;
+                if n == 0 {
+                    return Err("--repeat must be at least 1".to_string());
+                }
+                parsed.repeat = Some(n);
+            }
+            "--engine" => {
+                let label = value("--engine")?;
+                parsed.engine = Some(
+                    ReplayEngine::from_label(&label)
+                        .ok_or_else(|| format!("--engine must be dyn or mono, not {label}"))?,
+                );
+            }
             "--in" => parsed.input = Some(value("--in")?),
             other if !other.starts_with('-') && parsed.target.is_none() => {
                 parsed.target = Some(other.to_string());
@@ -306,6 +326,12 @@ fn validate_io(args: &Args) -> Result<(), String> {
     if args.verify && spec.name != "replay" {
         return Err(format!("--verify only applies to replay, not {}", spec.name));
     }
+    if args.repeat.is_some() && spec.name != "bench" {
+        return Err(format!("--repeat only applies to bench, not {}", spec.name));
+    }
+    if args.engine.is_some() && !matches!(spec.name, "bench" | "benchcmp") {
+        return Err(format!("--engine only applies to bench and benchcmp, not {}", spec.name));
+    }
     if args.shards > 1 {
         if spec.name == "profile" {
             return Err("profile rejects --shards: windowed sampling observes the global \
@@ -351,7 +377,7 @@ fn usage() -> String {
     let mut lines = vec!["usage: dircc <command> [target] [--refs N] [--seed S] [--jobs N] \
          [--shards N] [--profile pops|thor|pero|custom] [--out FILE | --in FILE] [--smoke] \
          [--verbose] [--window K] [--spans FILE] [--cpus N] [--blocks M] [--depth D] \
-         [--scheme S] [--chunk N] [--verify]"
+         [--scheme S] [--chunk N] [--verify] [--repeat N] [--engine dyn|mono]"
         .to_string()];
     let mut line = String::from("commands:");
     for c in COMMANDS {
@@ -714,37 +740,109 @@ fn run_workbench_command(args: &Args, all: bool) -> Result<(), String> {
     result
 }
 
-/// `dircc bench`: replays the calibrated paper matrix (the same
-/// (protocol, filter) x trace work list `dircc all` warms), then writes a
-/// machine-readable throughput report. Every run row records the
-/// `--shards` count it replayed with (counters are shard-invariant; only
-/// wall-clock changes). Replay wall-clock sums CPU time across workers,
-/// so `--jobs 1` is the number to quote; with `--shards N` each run's
-/// wall is the outer replay span (shard threads overlap inside it).
-/// `--smoke` runs a tiny matrix for CI.
-fn bench(args: &Args) -> Result<(), String> {
-    let wb = match (args.refs, args.smoke) {
-        (Some(n), _) => Workbench::paper_scaled(n, args.seed),
-        (None, true) => Workbench::paper_scaled(20_000, args.seed),
-        (None, false) => Workbench::paper(args.seed),
+/// The paper-suite profiles at the scale the bench flags select.
+fn bench_profiles(args: &Args) -> Vec<Profile> {
+    let scale = match (args.refs, args.smoke) {
+        (Some(n), _) => Some(n),
+        (None, true) => Some(20_000),
+        (None, false) => None,
+    };
+    match scale {
+        Some(n) => Profile::paper_suite().into_iter().map(|p| p.with_total_refs(n)).collect(),
+        None => Profile::paper_suite(),
     }
-    .with_shards(args.shards);
-    let executed = wb.warm(&wb.paper_workload(), args.jobs);
-    let timings = wb.timings();
+}
+
+/// Counter digests of every bench-matrix run, keyed by the (scheme,
+/// trace, filter) labels the timing rows carry. Counters are memoized, so
+/// this replays nothing on a warmed workbench. The digest is
+/// engine-invariant (mono and dyn are bit-identical), which is exactly
+/// what lets `benchcmp` pin one engine's fresh counters against a
+/// baseline written by the other.
+fn run_digests(wb: &Workbench) -> std::collections::HashMap<(String, String, String), u64> {
+    let mut map = std::collections::HashMap::new();
+    let names = wb.trace_names();
+    for (kind, filter) in wb.paper_workload() {
+        let scheme = kind.display_name(wb.n_caches());
+        for (trace, name) in names.iter().enumerate() {
+            let digest = wb.counters(kind, trace, filter).digest();
+            map.insert((scheme.clone(), name.clone(), filter_label(filter).to_string()), digest);
+        }
+    }
+    map
+}
+
+/// `dircc bench`: replays the calibrated paper matrix (the same
+/// (protocol, filter) x trace work list `dircc all` warms) `--repeat`
+/// times (default 3) and writes a machine-readable throughput report with
+/// the **median** wall per run. Every run row records the `--shards`
+/// count and `--engine` it replayed with plus the run's counter digest
+/// (counters are shard-, repeat- and engine-invariant; only wall-clock
+/// changes). Repeats share one trace store, so generation/interning is
+/// paid once while every repeat's replay starts from a cold run memo.
+/// Replay wall-clock sums CPU time across workers, so `--jobs 1` is the
+/// number to quote; with `--shards N` each run's wall is the outer replay
+/// span (shard threads overlap inside it). `--smoke` runs a tiny matrix
+/// for CI.
+fn bench(args: &Args) -> Result<(), String> {
+    let engine = args.engine.unwrap_or_default();
+    let repeat = args.repeat.unwrap_or(3);
+    let store = std::sync::Arc::new(TraceStore::new(bench_profiles(args), args.seed));
+    let mut repeats: Vec<Vec<dircc_sim::RunTiming>> = Vec::new();
+    let mut executed = 0usize;
+    let mut warm_wb = None;
+    for _ in 0..repeat {
+        let wb = Workbench::with_store(std::sync::Arc::clone(&store))
+            .with_shards(args.shards)
+            .with_engine(engine);
+        executed = wb.warm(&wb.paper_workload(), args.jobs);
+        repeats.push(wb.timings());
+        warm_wb = Some(wb);
+    }
+    let wb = warm_wb.expect("--repeat is at least 1");
+    let digests = run_digests(&wb);
+
+    // Median wall per run across repeats (lower middle for even counts),
+    // ordered by the first repeat's completion order.
+    let timings: Vec<dircc_sim::RunTiming> = repeats[0]
+        .iter()
+        .map(|t| {
+            let key = (t.scheme.clone(), t.trace.clone(), t.filter);
+            let mut walls: Vec<std::time::Duration> = repeats
+                .iter()
+                .filter_map(|rep| {
+                    rep.iter()
+                        .find(|r| {
+                            (r.scheme.as_str(), r.trace.as_str(), r.filter)
+                                == (key.0.as_str(), key.1.as_str(), key.2)
+                        })
+                        .map(|r| r.wall)
+                })
+                .collect();
+            walls.sort();
+            dircc_sim::RunTiming { wall: walls[(walls.len() - 1) / 2], ..t.clone() }
+        })
+        .collect();
 
     use std::fmt::Write as _;
     let mut json = String::from("{\n  \"runs\": [\n");
     let (mut total_refs, mut total_wall) = (0u64, std::time::Duration::ZERO);
     for (i, t) in timings.iter().enumerate() {
         let filter = filter_label(t.filter);
+        let digest = digests
+            .get(&(t.scheme.clone(), t.trace.clone(), filter.to_string()))
+            .ok_or_else(|| format!("bench: no digest for {}/{}/{filter}", t.scheme, t.trace))?;
         let _ = write!(
             json,
             "    {{\"scheme\": \"{}\", \"trace\": \"{}\", \"filter\": \"{}\", \
-             \"shards\": {}, \"refs\": {}, \"wall_ms\": {:.3}, \"refs_per_sec\": {:.0}}}",
+             \"shards\": {}, \"engine\": \"{}\", \"digest\": \"{:016x}\", \"refs\": {}, \
+             \"wall_ms\": {:.3}, \"refs_per_sec\": {:.0}}}",
             t.scheme,
             t.trace,
             filter,
             args.shards,
+            engine.label(),
+            digest,
             t.refs,
             t.wall.as_secs_f64() * 1e3,
             t.refs_per_sec()
@@ -800,10 +898,12 @@ fn bench(args: &Args) -> Result<(), String> {
         if total_wall.is_zero() { 0.0 } else { total_refs as f64 / total_wall.as_secs_f64() };
     let _ = write!(
         json,
-        "  ],\n  \"totals\": {{\"runs\": {}, \"shards\": {}, \"refs\": {}, \"wall_ms\": {:.3}, \
-         \"refs_per_sec\": {:.0}}}\n}}\n",
+        "  ],\n  \"totals\": {{\"runs\": {}, \"shards\": {}, \"engine\": \"{}\", \
+         \"repeat\": {}, \"refs\": {}, \"wall_ms\": {:.3}, \"refs_per_sec\": {:.0}}}\n}}\n",
         executed,
         args.shards,
+        engine.label(),
+        repeat,
         total_refs,
         total_wall.as_secs_f64() * 1e3,
         total_rps
@@ -812,8 +912,9 @@ fn bench(args: &Args) -> Result<(), String> {
     let path = args.out.clone().unwrap_or_else(|| "BENCH_replay.json".to_string());
     write_output(&path, &json)?;
     println!(
-        "bench: {executed} runs, {total_refs} refs, {:.1} ms replay (cpu), \
-         {:.1}M refs/sec -> {path}",
+        "bench: {executed} runs x {repeat} repeat(s), {} engine, {total_refs} refs, \
+         {:.1} ms median replay (cpu), {:.1}M refs/sec -> {path}",
+        engine.label(),
         total_wall.as_secs_f64() * 1e3,
         total_rps / 1e6
     );
@@ -935,6 +1036,10 @@ struct BenchRun {
     filter: String,
     /// `None` when the report predates the `shards` schema field.
     shards: Option<u64>,
+    /// `None` when the report predates the monomorphized-replay schema.
+    /// Deliberately **excluded** from the comparison key: digests are
+    /// engine-invariant, so one baseline gates both engines.
+    digest: Option<String>,
     refs: u64,
     wall_ms: f64,
 }
@@ -1003,6 +1108,7 @@ fn parse_bench_runs(text: &str) -> Vec<BenchRun> {
                 trace: json_str_field(l, "trace")?,
                 filter: json_str_field(l, "filter")?,
                 shards: json_num_field(l, "shards").map(|s| s as u64),
+                digest: json_str_field(l, "digest"),
                 refs: json_num_field(l, "refs")? as u64,
                 wall_ms: json_num_field(l, "wall_ms")?,
             })
@@ -1128,14 +1234,17 @@ fn profile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `dircc benchcmp`: re-runs the bench matrix and compares the
-/// deterministic per-run fields (scheme, trace, filter, shards, refs)
-/// against a baseline report (`--in`, default `BENCH_smoke.json` with
-/// `--smoke`, else `BENCH_replay.json`). Runs are matched by sorted key —
-/// a bench report lists runs in completion order, which varies with
-/// `--jobs`. A baseline whose schema predates the `shards` field is
-/// rejected with a pointer to regenerate it. Any drift fails the process;
-/// wall-clock changes are reported but never fatal.
+/// `dircc benchcmp`: re-runs the bench matrix (on `--engine`, default
+/// mono) and compares the deterministic per-run fields (scheme, trace,
+/// filter, shards, refs, counter digest) against a baseline report
+/// (`--in`, default `BENCH_smoke.json` with `--smoke`, else
+/// `BENCH_replay.json`). Runs are matched by sorted key — a bench report
+/// lists runs in completion order, which varies with `--jobs`. The
+/// baseline's engine is ignored: digests are engine-invariant, so one
+/// baseline gates both engines (the mono-vs-dyn bit-identity check CI
+/// leans on). A baseline whose schema predates the `shards` or `digest`
+/// field is rejected with a pointer to regenerate it. Any drift fails the
+/// process; wall-clock changes are reported but never fatal.
 fn benchcmp(args: &Args) -> Result<(), String> {
     let path = args.input.clone().unwrap_or_else(|| {
         if args.smoke {
@@ -1157,6 +1266,14 @@ fn benchcmp(args: &Args) -> Result<(), String> {
             baseline.len()
         ));
     }
+    let missing = baseline.iter().filter(|b| b.digest.is_none()).count();
+    if missing > 0 {
+        return Err(format!(
+            "{path}: {missing} of {} run(s) lack the \"digest\" field — the baseline predates \
+             the monomorphized-replay schema; regenerate it with `dircc bench`",
+            baseline.len()
+        ));
+    }
     let base_ingest = parse_ingest_rows(&text);
     if base_ingest.is_empty() {
         return Err(format!(
@@ -1170,30 +1287,41 @@ fn benchcmp(args: &Args) -> Result<(), String> {
         (None, true) => Workbench::paper_scaled(20_000, args.seed),
         (None, false) => Workbench::paper(args.seed),
     }
-    .with_shards(args.shards);
+    .with_shards(args.shards)
+    .with_engine(args.engine.unwrap_or_default());
     wb.warm(&wb.paper_workload(), args.jobs);
     let timings = wb.timings();
+    let digests = run_digests(&wb);
 
     let mut drift = Vec::new();
     if timings.len() != baseline.len() {
         drift.push(format!("run count: baseline {}, fresh {}", baseline.len(), timings.len()));
     }
-    let mut base_keys: Vec<(String, String, String, u64, u64)> = baseline
+    // The comparison key carries the counter digest but not the engine:
+    // mono and dyn are bit-identical, so a baseline written by either
+    // engine gates both.
+    let mut base_keys: Vec<(String, String, String, u64, u64, String)> = baseline
         .iter()
         .map(|b| {
-            (b.scheme.clone(), b.trace.clone(), b.filter.clone(), b.shards.unwrap_or(1), b.refs)
+            (
+                b.scheme.clone(),
+                b.trace.clone(),
+                b.filter.clone(),
+                b.shards.unwrap_or(1),
+                b.refs,
+                b.digest.clone().unwrap_or_default(),
+            )
         })
         .collect();
-    let mut fresh_keys: Vec<(String, String, String, u64, u64)> = timings
+    let mut fresh_keys: Vec<(String, String, String, u64, u64, String)> = timings
         .iter()
         .map(|t| {
-            (
-                t.scheme.clone(),
-                t.trace.clone(),
-                filter_label(t.filter).to_string(),
-                args.shards as u64,
-                t.refs,
-            )
+            let filter = filter_label(t.filter).to_string();
+            let digest = digests
+                .get(&(t.scheme.clone(), t.trace.clone(), filter.clone()))
+                .map(|d| format!("{d:016x}"))
+                .unwrap_or_default();
+            (t.scheme.clone(), t.trace.clone(), filter, args.shards as u64, t.refs, digest)
         })
         .collect();
     base_keys.sort();
@@ -1201,8 +1329,9 @@ fn benchcmp(args: &Args) -> Result<(), String> {
     for (b, f) in base_keys.iter().zip(fresh_keys.iter()) {
         if b != f {
             drift.push(format!(
-                "baseline {}/{}/{} shards={} refs={} vs fresh {}/{}/{} shards={} refs={}",
-                b.0, b.1, b.2, b.3, b.4, f.0, f.1, f.2, f.3, f.4
+                "baseline {}/{}/{} shards={} refs={} digest={} vs fresh {}/{}/{} shards={} \
+                 refs={} digest={}",
+                b.0, b.1, b.2, b.3, b.4, b.5, f.0, f.1, f.2, f.3, f.4, f.5
             ));
         }
     }

@@ -1,0 +1,405 @@
+//! Monomorphized structure-of-arrays replay — the fast path.
+//!
+//! [`run_indexed`](crate::engine::run_indexed) already replays a dense-id
+//! stream with zero hashing, but still pays three per-reference costs the
+//! configuration makes constant:
+//!
+//! 1. **a vtable call** — `Box<dyn Protocol>` forces every
+//!    [`Protocol::access`] through dynamic dispatch, which also walls off
+//!    inlining;
+//! 2. **AoS record walking** — 16-byte [`TraceRecord`]s plus the
+//!    sharing-model match and `geometry.block_of` address math per
+//!    reference;
+//! 3. **cold-path branches** — verifier, finite-cache, invariant-cadence
+//!    and recorder tests that are dead in the common bench configuration.
+//!
+//! This module removes all three. [`run_indexed_mono`] resolves the
+//! [`ProtocolKind`] to its *concrete* type once (via
+//! [`dircc_core::dispatch_sized`]) and monomorphizes the replay loop per
+//! scheme, so `access` is statically dispatched and inlinable. The loop
+//! reads a [`SoaStream`] — flat `kind`/`cache_idx`/`block_id`/`first_ref`
+//! arrays with sharing and address math precomputed — and when the
+//! configuration is quiet (no verifier, infinite caches, no invariant
+//! cadence, [`Recorder::IS_NOOP`], and the stream-wide `max_cache_idx`
+//! proves the bounds check dead) it runs a branch-free batched loop with
+//! every cold path specialized out. Any other configuration takes the
+//! full loop below, which replicates
+//! [`run_core`](crate::engine)'s semantics — counters, violations, error
+//! messages — bit for bit; the dyn path stays as the reference
+//! implementation, pinned against this one by the `mono` test suite and
+//! the `benchcmp` CI gate.
+//!
+//! [`run_sharded_mono`] is the sharded twin: per-shard concrete instances
+//! replay per-shard [`SoaStream`]s on scoped threads and merge through
+//! the same fold as [`run_sharded`](crate::engine::run_sharded), attacking
+//! the documented shard overhead from both the loop and sub-stream sides
+//! (the SoA split is memoized in the
+//! [`TraceStore`](dircc_trace::TraceStore) like the partition itself).
+
+use crate::engine::{
+    finish_result, merge_shard_results, noop_observer, verify_access, CoreResult, EngineError,
+    RunConfig, RunResult, Verifier,
+};
+use dircc_cache::{Lookup, SetAssocCache};
+use dircc_core::ProtocolVisitor;
+use dircc_core::{dispatch_sized, Event, EventCounters, Outcome, Protocol, ProtocolKind};
+use dircc_obs::{NoopRecorder, Recorder};
+use dircc_trace::{ShardedSoa, ShardedStream, SoaStream, TraceRecord};
+use dircc_types::{AccessKind, BlockAddr, CacheId};
+use std::time::{Duration, Instant};
+
+/// References per dispatch of the quiet batched loop. One batch's arrays
+/// (4 × 8 bytes per ref) stay comfortably inside L1 alongside the
+/// protocol's working set.
+const BATCH: usize = 4096;
+
+/// Replays a structure-of-arrays stream through a **monomorphized**
+/// instance of `kind` — counters, violations and errors bit-identical to
+/// [`run_indexed`](crate::engine::run_indexed) over the same records
+/// (pinned by the `mono` test suite), typically severalfold faster.
+///
+/// `records` must be the stream `soa` was built from: the hot loop never
+/// touches it, but finite-cache set selection and diagnostics do.
+///
+/// # Errors
+///
+/// As [`run_indexed`](crate::engine::run_indexed); additionally errs if
+/// `soa` is misaligned with `records` or was built under a different
+/// sharing model than `cfg` uses.
+pub fn run_indexed_mono(
+    kind: ProtocolKind,
+    n_caches: usize,
+    records: &[TraceRecord],
+    soa: &SoaStream,
+    cfg: &RunConfig,
+) -> Result<RunResult, String> {
+    run_indexed_mono_with(kind, n_caches, records, soa, cfg, &mut NoopRecorder)
+}
+
+/// [`run_indexed_mono`] with a [`Recorder`] observing the cumulative
+/// counters after every reference. Counters are unaffected by the
+/// recorder (a non-noop recorder routes through the full loop, which is
+/// counter-identical to the quiet one).
+///
+/// # Errors
+///
+/// As [`run_indexed_mono`].
+pub fn run_indexed_mono_with<R: Recorder>(
+    kind: ProtocolKind,
+    n_caches: usize,
+    records: &[TraceRecord],
+    soa: &SoaStream,
+    cfg: &RunConfig,
+    recorder: &mut R,
+) -> Result<RunResult, String> {
+    check_aligned(records, soa, cfg)?;
+    struct Run<'a, R> {
+        records: &'a [TraceRecord],
+        soa: &'a SoaStream,
+        cfg: &'a RunConfig,
+        recorder: &'a mut R,
+    }
+    impl<R: Recorder> ProtocolVisitor for Run<'_, R> {
+        type Output = Result<CoreResult, EngineError>;
+        fn visit<P: Protocol>(self, mut protocol: P) -> Self::Output {
+            run_soa_core(&mut protocol, self.records, self.soa, None, None, self.cfg, self.recorder)
+        }
+    }
+    dispatch_sized(kind, n_caches, soa.num_blocks, Run { records, soa, cfg, recorder })
+        .map(finish_result)
+        .map_err(|e| e.msg)
+}
+
+/// Replays a block-sharded partition through **monomorphized** per-shard
+/// instances of `kind` on scoped threads (inline for one shard), folding
+/// the per-shard results exactly as
+/// [`run_sharded`](crate::engine::run_sharded) does — the result is
+/// bit-identical to both the dyn sharded path and the serial paths.
+///
+/// `soa` must be the SoA split of `sharded` (from
+/// [`ShardedSoa::build`] or the
+/// [`TraceStore::sharded_soa`](dircc_trace::TraceStore::sharded_soa)
+/// memo).
+///
+/// # Errors
+///
+/// As [`run_sharded`](crate::engine::run_sharded); additionally errs on a
+/// shard-count or sharing-model mismatch between `soa`, `sharded` and
+/// `cfg`.
+pub fn run_sharded_mono(
+    kind: ProtocolKind,
+    n_caches: usize,
+    sharded: &ShardedStream,
+    soa: &ShardedSoa,
+    cfg: &RunConfig,
+) -> Result<RunResult, String> {
+    run_sharded_mono_with(kind, n_caches, sharded, soa, cfg, noop_observer)
+}
+
+/// [`run_sharded_mono`] with an observer called once per shard replay —
+/// `observe(shard, started, wall, refs)` — from the thread that replayed
+/// it, mirroring [`run_sharded_with`](crate::engine::run_sharded_with).
+///
+/// # Errors
+///
+/// As [`run_sharded_mono`].
+pub fn run_sharded_mono_with<O>(
+    kind: ProtocolKind,
+    n_caches: usize,
+    sharded: &ShardedStream,
+    soa: &ShardedSoa,
+    cfg: &RunConfig,
+    observe: O,
+) -> Result<RunResult, String>
+where
+    O: Fn(usize, Instant, Duration, u64) + Sync,
+{
+    let shards = sharded.shards();
+    let soa_shards = soa.shards();
+    if soa_shards.len() != shards.len() {
+        return Err(format!(
+            "soa partition has {} shard(s) for {} stream shard(s); rebuild it from the same \
+             partition",
+            soa_shards.len(),
+            shards.len()
+        ));
+    }
+    for (sh, so) in shards.iter().zip(soa_shards) {
+        check_aligned(&sh.records, so, cfg)?;
+    }
+
+    struct RunShard<'a> {
+        records: &'a [TraceRecord],
+        soa: &'a SoaStream,
+        grefs: &'a [u64],
+        global_ids: &'a [u32],
+        cfg: &'a RunConfig,
+    }
+    impl ProtocolVisitor for RunShard<'_> {
+        type Output = Result<CoreResult, EngineError>;
+        fn visit<P: Protocol>(self, mut protocol: P) -> Self::Output {
+            run_soa_core(
+                &mut protocol,
+                self.records,
+                self.soa,
+                Some(self.grefs),
+                Some(self.global_ids),
+                self.cfg,
+                &mut NoopRecorder,
+            )
+        }
+    }
+
+    let slots: Vec<std::sync::Mutex<Option<Result<CoreResult, EngineError>>>> =
+        shards.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    {
+        let run_one = |idx: usize| {
+            let started = Instant::now();
+            let sh = &shards[idx];
+            // The concrete type is resolved per shard on its own worker:
+            // no `Box<dyn Protocol>` ever crosses into the replay loop.
+            let res = dispatch_sized(
+                kind,
+                n_caches,
+                sh.num_blocks,
+                RunShard {
+                    records: &sh.records,
+                    soa: &soa_shards[idx],
+                    grefs: &sh.global_refs,
+                    global_ids: &sh.global_ids,
+                    cfg,
+                },
+            );
+            let refs = match &res {
+                Ok(o) => o.refs,
+                Err(_) => sh.records.len() as u64,
+            };
+            observe(idx, started, started.elapsed(), refs);
+            *slots[idx].lock().expect("shard slot poisoned") = Some(res);
+        };
+        if shards.len() == 1 {
+            run_one(0);
+        } else {
+            std::thread::scope(|scope| {
+                for idx in 0..shards.len() {
+                    let run_one = &run_one;
+                    scope.spawn(move || run_one(idx));
+                }
+            });
+        }
+    }
+    merge_shard_results(slots)
+}
+
+fn check_aligned(records: &[TraceRecord], soa: &SoaStream, cfg: &RunConfig) -> Result<(), String> {
+    if records.len() != soa.len() {
+        return Err(format!(
+            "soa stream has {} entries for {} records; rebuild it from the same stream",
+            soa.len(),
+            records.len()
+        ));
+    }
+    if soa.sharing != cfg.sharing {
+        return Err(format!(
+            "soa stream was built under {:?} sharing but the run uses {:?}; rebuild it for this \
+             sharing model",
+            soa.sharing, cfg.sharing
+        ));
+    }
+    Ok(())
+}
+
+/// The monomorphized replay core: quiet batched loop when every cold path
+/// is provably dead, full [`run_core`](crate::engine)-equivalent loop
+/// otherwise. `grefs`/`global_ids` are `None` for unsharded streams
+/// (global reference number = loop count, violation labels = dense ids)
+/// and the shard's tables for shard sub-streams.
+fn run_soa_core<P: Protocol, R: Recorder>(
+    protocol: &mut P,
+    records: &[TraceRecord],
+    soa: &SoaStream,
+    grefs: Option<&[u64]>,
+    global_ids: Option<&[u32]>,
+    cfg: &RunConfig,
+    recorder: &mut R,
+) -> Result<CoreResult, EngineError> {
+    let n = protocol.num_caches();
+    let len = soa.len();
+
+    // Every cold branch constant-false? Then no reference can error
+    // (max_cache_idx proves the bounds check dead), no state beyond the
+    // protocol and counters exists, and the whole configuration
+    // specializes down to the quiet loop.
+    let quiet = R::IS_NOOP
+        && !cfg.verify
+        && cfg.finite_cache.is_none()
+        && cfg.check_invariants_every == 0
+        && usize::from(soa.max_cache_idx) < n;
+    if quiet {
+        let kind = &soa.kind[..len];
+        let cache_idx = &soa.cache_idx[..len];
+        let block_id = &soa.block_id[..len];
+        let first_ref = &soa.first_ref[..len];
+        let mut counters = EventCounters::new();
+        let mut i = 0usize;
+        while i < len {
+            let end = (i + BATCH).min(len);
+            for j in i..end {
+                let k = kind[j];
+                if k == AccessKind::InstrFetch {
+                    counters.observe(&Outcome::quiet(Event::Instr));
+                    continue;
+                }
+                let out = protocol.access(
+                    CacheId::new(cache_idx[j]),
+                    k,
+                    BlockAddr::from_index(u64::from(block_id[j])),
+                    first_ref[j],
+                );
+                counters.observe(&out);
+            }
+            i = end;
+        }
+        recorder.finish(len as u64, &counters);
+        return Ok(CoreResult { counters, refs: len as u64, violations: Vec::new() });
+    }
+
+    // Full loop: semantics of `run_core`, reference for reference — same
+    // counters, violations, error text and invariant cadence — but over
+    // the SoA arrays, with the invariant modulo test hoisted to batch
+    // boundaries (batches end exactly where the serial cadence checks).
+    let mut counters = EventCounters::new();
+    let mut verifier = cfg.verify.then(|| Verifier::new(n, soa.num_blocks));
+    let mut violations: Vec<(u64, String)> = Vec::new();
+    let mut tag_stores: Option<Vec<SetAssocCache<BlockAddr>>> =
+        cfg.finite_cache.map(|fc| (0..n).map(|_| SetAssocCache::new(fc)).collect());
+    let every = cfg.check_invariants_every;
+    let mut i = 0usize;
+    while i < len {
+        // Next reference count that is a multiple of `every` (or the whole
+        // stream when the cadence is off).
+        let end = (i as u64)
+            .checked_div(every)
+            .map_or(len, |q| ((q + 1) * every).min(len as u64) as usize);
+        for j in i..end {
+            let refs = (j + 1) as u64;
+            let k = soa.kind[j];
+            if k == AccessKind::InstrFetch {
+                counters.observe(&Outcome::quiet(Event::Instr));
+                recorder.record(refs, &counters);
+                continue;
+            }
+            let gref = grefs.map_or(refs, |g| g[j]);
+            let cache_idx = soa.cache_idx[j];
+            if usize::from(cache_idx) >= n {
+                let r = &records[j];
+                return Err(EngineError {
+                    gref,
+                    msg: format!(
+                        "reference {gref}: cache index {cache_idx} out of range for {n} caches \
+                         ({}, {}, {:?} at {}; did you size the protocol for the sharing model?)",
+                        r.cpu, r.pid, r.kind, r.addr
+                    ),
+                });
+            }
+            let cache = CacheId::new(cache_idx);
+            let block = BlockAddr::from_index(u64::from(soa.block_id[j]));
+            let out = protocol.access(cache, k, block, soa.first_ref[j]);
+            counters.observe(&out);
+
+            if let Some(v) = verifier.as_mut() {
+                let shown = match global_ids {
+                    None => block,
+                    Some(g) => BlockAddr::from_index(u64::from(g[block.index() as usize])),
+                };
+                verify_access(protocol, v, cache, k, block, shown, &out, &mut violations, gref);
+            }
+            if let Some(stores) = tag_stores.as_mut() {
+                // Set selection uses raw address bits, so the finite tag
+                // stores key on the ORIGINAL block address — the one cold
+                // path that still reads the AoS records.
+                let orig_block = cfg.geometry.block_of(records[j].addr);
+                let store = &mut stores[cache.index()];
+                if let Lookup::Inserted { evicted: Some(victim) } =
+                    store.lookup_or_insert(orig_block, block)
+                {
+                    let evo = protocol.evict(cache, victim.state);
+                    counters.observe_eviction(&evo);
+                    if evo.write_back {
+                        if let Some(v) = verifier.as_mut() {
+                            // The evicted copy holds the latest data in
+                            // every protocol that answers WRITE_BACK.
+                            let ver = v.copy_version(cache, victim.state);
+                            v.set_memory(victim.state, ver);
+                        }
+                    }
+                }
+            }
+            recorder.record(refs, &counters);
+        }
+        i = end;
+        // The serial cadence only checks when the boundary reference is a
+        // data reference (its instr path `continue`s past the check).
+        if every > 0
+            && i > 0
+            && (i as u64).is_multiple_of(every)
+            && soa.kind[i - 1] != AccessKind::InstrFetch
+        {
+            if let Err(e) = protocol.check_invariants() {
+                let gref = grefs.map_or(i as u64, |g| g[i - 1]);
+                return Err(EngineError {
+                    gref,
+                    msg: format!("invariant violation at reference {gref}: {e}"),
+                });
+            }
+        }
+    }
+    if every > 0 {
+        protocol.check_invariants().map_err(|e| EngineError {
+            gref: u64::MAX,
+            msg: format!("final invariant violation: {e}"),
+        })?;
+    }
+    recorder.finish(len as u64, &counters);
+    Ok(CoreResult { counters, refs: len as u64, violations })
+}

@@ -31,6 +31,7 @@
 
 use crate::engine::{run_indexed, run_indexed_with, RunConfig};
 use crate::metrics::Evaluation;
+use crate::mono::{run_indexed_mono, run_indexed_mono_with, run_sharded_mono_with};
 use dircc_core::{build_sized, EventCounters, ProtocolKind};
 use dircc_obs::{RunMeta, SpanLog, WindowSample, WindowedRecorder};
 use dircc_trace::gen::Profile;
@@ -48,6 +49,44 @@ struct MemoKey {
     kind: ProtocolKind,
     trace: usize,
     filter: TraceFilter,
+}
+
+/// Which replay loop [`Workbench::counters`] drives.
+///
+/// Both engines produce **bit-identical** counters for every scheme,
+/// trace, filter and shard count (pinned by the `mono` test suite and the
+/// `benchcmp` digest gate); they differ only in speed. [`Mono`] is the
+/// default.
+///
+/// [`Mono`]: ReplayEngine::Mono
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplayEngine {
+    /// The reference path: `Box<dyn Protocol>` replaying the AoS record
+    /// stream through [`crate::engine`], one vtable call per reference.
+    Dyn,
+    /// The fast path: a per-scheme monomorphized loop over the store's
+    /// memoized structure-of-arrays stream ([`crate::mono`]).
+    #[default]
+    Mono,
+}
+
+impl ReplayEngine {
+    /// The label this engine carries in bench reports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplayEngine::Dyn => "dyn",
+            ReplayEngine::Mono => "mono",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "dyn" => Some(ReplayEngine::Dyn),
+            "mono" => Some(ReplayEngine::Mono),
+            _ => None,
+        }
+    }
 }
 
 /// The stable label a [`TraceFilter`] carries in reports, span metadata
@@ -118,12 +157,13 @@ impl RunTiming {
 /// memoized runs.
 #[derive(Debug)]
 pub struct Workbench {
-    store: TraceStore,
+    store: Arc<TraceStore>,
     memo: Mutex<HashMap<MemoKey, Arc<OnceLock<Arc<EventCounters>>>>>,
     stats_memo: Mutex<HashMap<usize, Arc<OnceLock<Arc<TraceStats>>>>>,
     spans: SpanLog,
     window: Option<u64>,
     shards: usize,
+    engine: ReplayEngine,
     series: Mutex<Vec<RunSeries>>,
 }
 
@@ -153,13 +193,24 @@ impl Workbench {
             profiles.windows(2).all(|w| w[0].cpus == w[1].cpus),
             "profiles must agree on CPU count"
         );
+        Self::with_store(Arc::new(TraceStore::new(profiles, seed)))
+    }
+
+    /// Creates a workbench over an already-built (possibly shared)
+    /// [`TraceStore`]. Repeated bench runs hand each fresh workbench the
+    /// same store, so trace generation, interning and SoA splits are paid
+    /// once while the run memo — and thus the measured replay — starts
+    /// cold every repeat.
+    pub fn with_store(store: Arc<TraceStore>) -> Self {
+        assert!(store.num_traces() > 0, "need at least one trace profile");
         Workbench {
-            store: TraceStore::new(profiles, seed),
+            store,
             memo: Mutex::new(HashMap::new()),
             stats_memo: Mutex::new(HashMap::new()),
             spans: SpanLog::new(),
             window: None,
             shards: 1,
+            engine: ReplayEngine::default(),
             series: Mutex::new(Vec::new()),
         }
     }
@@ -203,6 +254,18 @@ impl Workbench {
     /// The shard count replays use (1 = serial replay).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// Selects the replay engine for subsequently executed runs. Counters
+    /// are bit-identical across engines; only wall-clock changes.
+    pub fn with_engine(mut self, engine: ReplayEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The replay engine runs use ([`ReplayEngine::Mono`] by default).
+    pub fn engine(&self) -> ReplayEngine {
+        self.engine
     }
 
     /// Number of caches (= CPUs) in the simulated machine.
@@ -305,31 +368,46 @@ impl Workbench {
             // u32 ids once per trace; the replay loop then runs with zero
             // hashing and every per-block table pre-sized. Bit-identical
             // to un-interned replay (renaming is a bijection; pinned by
-            // the engine's equality tests).
-            let (dense, num_blocks) = self.spans.time("intern", Some(meta(0)), || {
+            // the engine's equality tests). The mono engine additionally
+            // pulls the memoized structure-of-arrays split here — SoA
+            // construction is intern-phase work, so replay spans compare
+            // replay work only across engines.
+            let mono = self.engine == ReplayEngine::Mono;
+            let sharding = self.shards > 1 && self.window.is_none();
+            let (dense, num_blocks, soa) = self.spans.time("intern", Some(meta(0)), || {
                 let dense = self.store.dense_blocks(trace, filter, cfg.geometry);
                 let num_blocks = self.store.interner(trace, cfg.geometry).num_blocks();
-                (dense, num_blocks)
+                let soa = (mono && !sharding)
+                    .then(|| self.store.soa(trace, filter, cfg.geometry, cfg.sharing));
+                (dense, num_blocks, soa)
             });
             // Sharded replay reuses the store's memoized partition (same
             // mod router as the engine's infinite-cache `shard_stream`),
             // built before the replay span so throughput numbers compare
             // replay work only.
-            let sharded = (self.shards > 1 && self.window.is_none())
-                .then(|| self.store.sharded(trace, filter, cfg.geometry, self.shards));
+            let sharded =
+                sharding.then(|| self.store.sharded(trace, filter, cfg.geometry, self.shards));
+            let sharded_soa = (mono && sharding).then(|| {
+                self.store.sharded_soa(trace, filter, cfg.geometry, self.shards, cfg.sharing)
+            });
             let timer = self.spans.start();
             let result = if let Some(window) = self.window {
-                let mut protocol = build_sized(kind, self.n_caches(), num_blocks);
                 let mut recorder = WindowedRecorder::new(window);
-                let result = run_indexed_with(
-                    protocol.as_mut(),
-                    &records,
-                    &dense,
-                    num_blocks,
-                    &cfg,
-                    &mut recorder,
-                )
-                .expect("trace replay failed");
+                let result = if let Some(soa) = &soa {
+                    run_indexed_mono_with(kind, self.n_caches(), &records, soa, &cfg, &mut recorder)
+                        .expect("trace replay failed")
+                } else {
+                    let mut protocol = build_sized(kind, self.n_caches(), num_blocks);
+                    run_indexed_with(
+                        protocol.as_mut(),
+                        &records,
+                        &dense,
+                        num_blocks,
+                        &cfg,
+                        &mut recorder,
+                    )
+                    .expect("trace replay failed")
+                };
                 self.series.lock().expect("series poisoned").push(RunSeries {
                     kind,
                     scheme: scheme.clone(),
@@ -341,17 +419,26 @@ impl Workbench {
                 });
                 result
             } else if let Some(sharded) = &sharded {
-                let protocols =
-                    dircc_core::split_shards(kind, self.n_caches(), &sharded.shard_blocks());
-                crate::engine::run_sharded_with(protocols, sharded, &cfg, |shard, at, dur, refs| {
+                let observe = |shard: usize, at: std::time::Instant, dur: Duration, refs: u64| {
                     self.spans.record_at(
                         "replay-shard",
                         at,
                         dur,
                         Some(RunMeta { shard: Some(shard), ..meta(refs) }),
                     );
-                })
-                .expect("trace replay failed")
+                };
+                if let Some(soa) = &sharded_soa {
+                    run_sharded_mono_with(kind, self.n_caches(), sharded, soa, &cfg, observe)
+                        .expect("trace replay failed")
+                } else {
+                    let protocols =
+                        dircc_core::split_shards(kind, self.n_caches(), &sharded.shard_blocks());
+                    crate::engine::run_sharded_with(protocols, sharded, &cfg, observe)
+                        .expect("trace replay failed")
+                }
+            } else if let Some(soa) = &soa {
+                run_indexed_mono(kind, self.n_caches(), &records, soa, &cfg)
+                    .expect("trace replay failed")
             } else {
                 let mut protocol = build_sized(kind, self.n_caches(), num_blocks);
                 run_indexed(protocol.as_mut(), &records, &dense, num_blocks, &cfg)

@@ -1,0 +1,269 @@
+//! Bit-identity of the monomorphized SoA replay against the dyn engine.
+//!
+//! The tentpole guarantee of the mono fast path: for every scheme, trace,
+//! filter, geometry, sharing model and shard count, `run_indexed_mono` /
+//! `run_sharded_mono` produce **bit-identical** results to the reference
+//! `run_indexed` / `run_sharded` — same [`EventCounters`], same verifier
+//! verdicts, same error text, same windowed deltas. The SoA arrays
+//! themselves are pinned against an independent AoS-derived recomputation
+//! first, so a precompute bug cannot hide behind a matching replay bug.
+
+use dircc_cache::FiniteCacheConfig;
+use dircc_core::{build_sized, ProtocolKind};
+use dircc_obs::WindowedRecorder;
+use dircc_sim::engine::run_indexed_with;
+use dircc_sim::mono::run_indexed_mono_with;
+use dircc_sim::{
+    run_indexed, run_indexed_mono, run_sharded, run_sharded_mono, shard_stream, ReplayEngine,
+    RunConfig, SharingModel, TraceFilter, Workbench,
+};
+use dircc_trace::gen::Profile;
+use dircc_trace::soa::{soa_reference_values, SoaStream};
+use dircc_trace::store::TraceStore;
+use dircc_trace::{ShardedSoa, TraceRecord};
+use dircc_types::BlockGeometry;
+use std::sync::Arc;
+
+const CPUS: usize = 4;
+
+/// Every taxonomy point the simulator replays.
+const KINDS: [ProtocolKind; 13] = [
+    ProtocolKind::DirNb { pointers: 1 },
+    ProtocolKind::DirNb { pointers: 2 },
+    ProtocolKind::DirNb { pointers: 4 },
+    ProtocolKind::Dir0B,
+    ProtocolKind::DirB { pointers: 1 },
+    ProtocolKind::CodedSet,
+    ProtocolKind::Tang,
+    ProtocolKind::YenFu,
+    ProtocolKind::Wti,
+    ProtocolKind::Dragon,
+    ProtocolKind::Berkeley,
+    ProtocolKind::WriteOnce,
+    ProtocolKind::Firefly,
+];
+
+fn store() -> TraceStore {
+    let profiles = Profile::paper_suite().into_iter().map(|p| p.with_total_refs(6_000)).collect();
+    TraceStore::new(profiles, 9)
+}
+
+/// The SoA precompute equals an independent AoS-derived recomputation for
+/// every trace × filter × geometry × sharing model — cache indices,
+/// first-reference bits, kinds, and the dense block ids themselves.
+#[test]
+fn soa_streams_match_aos_derivation_across_the_matrix() {
+    let store = store();
+    for trace in 0..store.num_traces() {
+        for filter in TraceFilter::ALL {
+            for geometry in [BlockGeometry::PAPER, BlockGeometry::new(5)] {
+                for sharing in [SharingModel::Processor, SharingModel::Process] {
+                    let records = store.records(trace, filter);
+                    let soa = store.soa(trace, filter, geometry, sharing);
+                    let (cache_idx, first_ref) = soa_reference_values(&records, geometry, sharing);
+                    let label = format!("trace {trace} {filter:?} {geometry:?} {sharing:?}");
+                    assert_eq!(soa.len(), records.len(), "{label}: length");
+                    assert_eq!(soa.cache_idx, cache_idx, "{label}: cache indices");
+                    assert_eq!(soa.first_ref, first_ref, "{label}: first-ref bits");
+                    let kinds: Vec<_> = records.iter().map(|r| r.kind).collect();
+                    assert_eq!(soa.kind, kinds, "{label}: kinds");
+                    let dense = store.dense_blocks(trace, filter, geometry);
+                    for (j, r) in records.iter().enumerate() {
+                        if r.is_data() {
+                            assert_eq!(soa.block_id[j], dense[j], "{label}: block id at {j}");
+                        }
+                    }
+                    assert_eq!(
+                        soa.max_cache_idx,
+                        cache_idx
+                            .iter()
+                            .zip(&records[..])
+                            .filter(|(_, r)| r.is_data())
+                            .map(|(&i, _)| i)
+                            .max()
+                            .unwrap_or(0),
+                        "{label}: max cache index"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Serial and sharded mono replay vs the dyn reference, full result
+/// compared (counters, refs, verifier verdicts) — every scheme, every
+/// trace, shards ∈ {1, 2, 8}, verifier on.
+#[test]
+fn mono_replay_is_bit_identical_to_dyn_for_every_scheme() {
+    let store = store();
+    let cfg = RunConfig { verify: true, ..RunConfig::default().with_process_sharing() };
+    for trace in 0..store.num_traces() {
+        let records = store.records(trace, TraceFilter::Full);
+        let dense = store.dense_blocks(trace, TraceFilter::Full, cfg.geometry);
+        let num_blocks = store.interner(trace, cfg.geometry).num_blocks();
+        let soa = store.soa(trace, TraceFilter::Full, cfg.geometry, cfg.sharing);
+        for kind in KINDS {
+            let mut p = build_sized(kind, CPUS, num_blocks);
+            let dy = run_indexed(p.as_mut(), &records, &dense, num_blocks, &cfg).unwrap();
+            let mo = run_indexed_mono(kind, CPUS, &records, &soa, &cfg).unwrap();
+            assert_eq!(dy.counters, mo.counters, "{kind} trace {trace} serial counters");
+            assert_eq!(dy.refs, mo.refs, "{kind} trace {trace} serial refs");
+            assert_eq!(dy.violations, mo.violations, "{kind} trace {trace} serial verdicts");
+            for shards in [1usize, 2, 8] {
+                let sharded = store.sharded(trace, TraceFilter::Full, cfg.geometry, shards);
+                let ssoa =
+                    store.sharded_soa(trace, TraceFilter::Full, cfg.geometry, shards, cfg.sharing);
+                let ds = run_sharded(kind, CPUS, &sharded, &cfg).unwrap();
+                let ms = run_sharded_mono(kind, CPUS, &sharded, &ssoa, &cfg).unwrap();
+                assert_eq!(ds.counters, ms.counters, "{kind} trace {trace} @{shards} counters");
+                assert_eq!(ds.violations, ms.violations, "{kind} trace {trace} @{shards} verdicts");
+                assert_eq!(dy.counters, ms.counters, "{kind} trace {trace} @{shards} vs serial");
+            }
+        }
+    }
+}
+
+/// Finite caches route mono through the full loop: eviction order,
+/// write-back traffic and verifier verdicts must match the dyn engine.
+#[test]
+fn finite_cache_mono_matches_dyn() {
+    let store = store();
+    let cfg = RunConfig {
+        verify: true,
+        ..RunConfig::default()
+            .with_process_sharing()
+            .with_finite_caches(FiniteCacheConfig::new(4, 2))
+    };
+    for kind in [ProtocolKind::Dir0B, ProtocolKind::Berkeley, ProtocolKind::Mesi] {
+        for trace in 0..store.num_traces() {
+            let records = store.records(trace, TraceFilter::Full);
+            let dense = store.dense_blocks(trace, TraceFilter::Full, cfg.geometry);
+            let num_blocks = store.interner(trace, cfg.geometry).num_blocks();
+            let soa = store.soa(trace, TraceFilter::Full, cfg.geometry, cfg.sharing);
+            let mut p = build_sized(kind, CPUS, num_blocks);
+            let dy = run_indexed(p.as_mut(), &records, &dense, num_blocks, &cfg).unwrap();
+            let mo = run_indexed_mono(kind, CPUS, &records, &soa, &cfg).unwrap();
+            assert_eq!(dy.counters, mo.counters, "{kind} trace {trace} finite counters");
+            assert_eq!(dy.violations, mo.violations, "{kind} trace {trace} finite verdicts");
+        }
+    }
+}
+
+/// A windowed mono replay produces the same window deltas as the dyn one
+/// (the recorder sees identical cumulative counters after every ref).
+#[test]
+fn windowed_mono_matches_dyn_sample_for_sample() {
+    let store = store();
+    let cfg = RunConfig::default().with_process_sharing();
+    let records = store.records(0, TraceFilter::Full);
+    let dense = store.dense_blocks(0, TraceFilter::Full, cfg.geometry);
+    let num_blocks = store.interner(0, cfg.geometry).num_blocks();
+    let soa = store.soa(0, TraceFilter::Full, cfg.geometry, cfg.sharing);
+    for kind in [ProtocolKind::Dir0B, ProtocolKind::Dragon] {
+        let mut dy_rec = WindowedRecorder::new(700);
+        let mut p = build_sized(kind, CPUS, num_blocks);
+        let dy =
+            run_indexed_with(p.as_mut(), &records, &dense, num_blocks, &cfg, &mut dy_rec).unwrap();
+        let mut mo_rec = WindowedRecorder::new(700);
+        let mo = run_indexed_mono_with(kind, CPUS, &records, &soa, &cfg, &mut mo_rec).unwrap();
+        assert_eq!(dy.counters, mo.counters, "{kind} windowed counters");
+        assert_eq!(dy_rec.into_samples(), mo_rec.into_samples(), "{kind} window deltas");
+    }
+}
+
+/// An undersized protocol fails with byte-identical error text on both
+/// engines (the SoA loop reads the AoS record back for diagnostics).
+#[test]
+fn bounds_error_text_is_identical_across_engines() {
+    let store = store();
+    let cfg = RunConfig::default().with_process_sharing();
+    let records = store.records(0, TraceFilter::Full);
+    let dense = store.dense_blocks(0, TraceFilter::Full, cfg.geometry);
+    let num_blocks = store.interner(0, cfg.geometry).num_blocks();
+    let soa = store.soa(0, TraceFilter::Full, cfg.geometry, cfg.sharing);
+    let kind = ProtocolKind::Dir0B;
+    let mut p = build_sized(kind, 2, num_blocks);
+    let dy = run_indexed(p.as_mut(), &records, &dense, num_blocks, &cfg).unwrap_err();
+    let mo = run_indexed_mono(kind, 2, &records, &soa, &cfg).unwrap_err();
+    assert_eq!(dy, mo, "undersized-protocol error text diverged");
+    assert!(dy.contains("out of range for 2 caches"), "unexpected error: {dy}");
+}
+
+/// Misaligned or wrong-sharing SoA streams are rejected up front.
+#[test]
+fn mismatched_soa_streams_are_rejected() {
+    let records: Vec<TraceRecord> = Vec::new();
+    let empty = SoaStream::build(&[], &[], 0, SharingModel::Process);
+    let cfg = RunConfig::default();
+    // Sharing mismatch: cfg defaults to Processor, stream is Process.
+    let err = run_indexed_mono(ProtocolKind::Wti, CPUS, &records, &empty, &cfg).unwrap_err();
+    assert!(err.contains("sharing"), "unexpected error: {err}");
+    // Length mismatch.
+    let store = store();
+    let recs = store.records(0, TraceFilter::Full);
+    let err = run_indexed_mono(
+        ProtocolKind::Wti,
+        CPUS,
+        &recs,
+        &empty,
+        &RunConfig::default().with_process_sharing(),
+    )
+    .unwrap_err();
+    assert!(err.contains("rebuild it from the same stream"), "unexpected error: {err}");
+    // Shard-count mismatch.
+    let dense = store.dense_blocks(0, TraceFilter::Full, cfg.geometry);
+    let num_blocks = store.interner(0, cfg.geometry).num_blocks();
+    let sharded = shard_stream(&recs, &dense, num_blocks, 4, &cfg);
+    let ssoa = ShardedSoa::build(
+        &shard_stream(&recs, &dense, num_blocks, 2, &cfg),
+        SharingModel::Processor,
+    );
+    let err = run_sharded_mono(ProtocolKind::Wti, CPUS, &sharded, &ssoa, &cfg).unwrap_err();
+    assert!(err.contains("shard"), "unexpected error: {err}");
+}
+
+/// The workbench produces identical counters under both engines, and two
+/// workbenches sharing one store generate each trace only once.
+#[test]
+fn workbench_engines_agree_and_share_the_store() {
+    let profiles: Vec<Profile> =
+        Profile::paper_suite().into_iter().map(|p| p.with_total_refs(6_000)).collect();
+    let store = Arc::new(TraceStore::new(profiles, 9));
+    let dy = Workbench::with_store(Arc::clone(&store)).with_engine(ReplayEngine::Dyn);
+    let mo = Workbench::with_store(Arc::clone(&store));
+    assert_eq!(mo.engine(), ReplayEngine::Mono, "mono is the default engine");
+    for kind in [ProtocolKind::DirNb { pointers: 1 }, ProtocolKind::Dragon, ProtocolKind::Tang] {
+        for trace in 0..dy.num_traces() {
+            for filter in TraceFilter::ALL {
+                assert_eq!(
+                    *dy.counters(kind, trace, filter),
+                    *mo.counters(kind, trace, filter),
+                    "{kind} trace {trace} {filter:?} diverged across engines"
+                );
+            }
+        }
+    }
+    assert_eq!(store.generations(), store.num_traces() as u64, "each trace generated once");
+
+    // Sharded workbenches agree across engines too.
+    let dy4 =
+        Workbench::with_store(Arc::clone(&store)).with_engine(ReplayEngine::Dyn).with_shards(4);
+    let mo4 = Workbench::with_store(Arc::clone(&store)).with_shards(4);
+    for trace in 0..dy4.num_traces() {
+        assert_eq!(
+            *dy4.counters(ProtocolKind::Dir0B, trace, TraceFilter::Full),
+            *mo4.counters(ProtocolKind::Dir0B, trace, TraceFilter::Full),
+            "sharded engines diverged on trace {trace}"
+        );
+    }
+}
+
+/// Engine labels round-trip (the CLI flag surface).
+#[test]
+fn engine_labels_round_trip() {
+    for e in [ReplayEngine::Dyn, ReplayEngine::Mono] {
+        assert_eq!(ReplayEngine::from_label(e.label()), Some(e));
+    }
+    assert_eq!(ReplayEngine::from_label("bogus"), None);
+    assert_eq!(ReplayEngine::default(), ReplayEngine::Mono);
+}

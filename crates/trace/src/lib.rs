@@ -36,6 +36,11 @@
 //!   into per-block shards (with shard-local renaming and global
 //!   reference numbers) so one run can replay its shards in parallel and
 //!   merge counters back bit-identically.
+//! * [`soa`] — structure-of-arrays replay streams: a
+//!   [`SoaStream`](soa::SoaStream) splits a dense-id stream into flat
+//!   `kind`/`cache_idx`/`block_id`/`first_ref` arrays with the sharing
+//!   model and address math precomputed, so the replay hot loop touches
+//!   no [`TraceRecord`] at all.
 //!
 //! # Examples
 //!
@@ -59,6 +64,7 @@ pub mod intern;
 pub mod record;
 pub mod shard;
 pub mod sharing;
+pub mod soa;
 pub mod spill;
 pub mod stats;
 pub mod store;
@@ -69,5 +75,6 @@ pub use chunk::{
 pub use intern::BlockInterner;
 pub use record::{RecordFlags, TraceRecord};
 pub use shard::{Shard, ShardedStream};
+pub use soa::{ShardedSoa, SoaStream};
 pub use spill::{SpilledShard, SpilledShards};
 pub use store::{TraceFilter, TraceStore};

@@ -1,0 +1,251 @@
+//! Structure-of-arrays replay streams.
+//!
+//! The dense-id rewrite (see [`crate::intern`]) removed hashing from the
+//! replay loop but still walks 16-byte [`TraceRecord`]s and redoes the
+//! sharing-model match plus `geometry.block_of` address math per
+//! reference. A [`SoaStream`] finishes the job: it splits one
+//! (records, dense-ids) pair into four flat arrays —
+//! `kind` / `cache_idx` / `block_id` / `first_ref` — with the
+//! sharing-model cache index and the global first-reference bit
+//! precomputed at build time, so a replay loop touches no `TraceRecord`
+//! and performs no address math at all.
+//!
+//! `max_cache_idx` is the stream-wide maximum over *data* references:
+//! when it is below the protocol's cache count the per-reference bounds
+//! check is provably dead and a replay loop may skip it entirely; the
+//! engine's mono path falls back to the checking loop (with its exact
+//! serial error message, which needs the original records) otherwise.
+//!
+//! A [`ShardedSoa`] is the same split applied to every shard of a
+//! [`ShardedStream`], aligned one-to-one with its shards so the sharded
+//! replay path keeps the original records available for cold paths
+//! (finite-cache set selection, diagnostics) while the hot loop reads
+//! only flat arrays.
+
+use crate::record::TraceRecord;
+use crate::shard::ShardedStream;
+use dircc_types::{AccessKind, BlockGeometry, SharingModel};
+
+/// A dense-id record stream split into flat per-field arrays, with the
+/// sharing-model cache index and first-reference bit precomputed.
+///
+/// All arrays have one entry per record, in trace order. Entries for
+/// instruction fetches carry placeholders in `cache_idx` / `block_id` /
+/// `first_ref` that replay never reads (exactly as the dense-id stream
+/// carries a placeholder id for them).
+#[derive(Debug, Clone)]
+pub struct SoaStream {
+    /// Access kind per record.
+    pub kind: Vec<AccessKind>,
+    /// Cache index per record under the stream's sharing model
+    /// (`cpu` for [`SharingModel::Processor`], `pid` for
+    /// [`SharingModel::Process`]).
+    pub cache_idx: Vec<u16>,
+    /// Dense block id per record (shard-local for shard sub-streams).
+    pub block_id: Vec<u32>,
+    /// Whether the record is its block's first reference in this stream.
+    pub first_ref: Vec<bool>,
+    /// Distinct data blocks in the stream — sizes replay tables.
+    pub num_blocks: usize,
+    /// The sharing model `cache_idx` was computed under.
+    pub sharing: SharingModel,
+    /// Maximum `cache_idx` over data references (0 if there are none):
+    /// if this is below the protocol's cache count, no reference can
+    /// fail the bounds check.
+    pub max_cache_idx: u16,
+}
+
+impl SoaStream {
+    /// Splits a record stream and its aligned dense-id stream (from
+    /// [`crate::intern::BlockInterner::dense_stream`]) into flat arrays
+    /// under `sharing`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is not aligned with `records` or a dense id is
+    /// out of range for `num_blocks`.
+    pub fn build(
+        records: &[TraceRecord],
+        dense: &[u32],
+        num_blocks: usize,
+        sharing: SharingModel,
+    ) -> Self {
+        assert_eq!(records.len(), dense.len(), "dense-id stream must align with the record stream");
+        let len = records.len();
+        let mut kind = Vec::with_capacity(len);
+        let mut cache_idx = Vec::with_capacity(len);
+        let mut block_id = Vec::with_capacity(len);
+        let mut first_ref = Vec::with_capacity(len);
+        let mut seen = vec![0u64; num_blocks.div_ceil(64)];
+        let mut max_cache_idx = 0u16;
+        for (r, &id) in records.iter().zip(dense) {
+            kind.push(r.kind);
+            if r.is_data() {
+                assert!(
+                    (id as usize) < num_blocks,
+                    "dense id {id} out of range for {num_blocks} blocks"
+                );
+                let idx = match sharing {
+                    SharingModel::Processor => r.cpu.raw(),
+                    SharingModel::Process => r.pid.raw(),
+                };
+                max_cache_idx = max_cache_idx.max(idx);
+                let (word, bit) = (id as usize / 64, 1u64 << (id % 64));
+                first_ref.push(seen[word] & bit == 0);
+                seen[word] |= bit;
+                cache_idx.push(idx);
+                block_id.push(id);
+            } else {
+                cache_idx.push(0);
+                block_id.push(0);
+                first_ref.push(false);
+            }
+        }
+        SoaStream { kind, cache_idx, block_id, first_ref, num_blocks, sharing, max_cache_idx }
+    }
+
+    /// Number of records in the stream.
+    pub fn len(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kind.is_empty()
+    }
+}
+
+/// The structure-of-arrays split of every shard of a [`ShardedStream`],
+/// aligned one-to-one with [`ShardedStream::shards`].
+#[derive(Debug, Clone)]
+pub struct ShardedSoa {
+    shards: Vec<SoaStream>,
+    sharing: SharingModel,
+}
+
+impl ShardedSoa {
+    /// Builds the per-shard SoA split of `sharded` under `sharing`.
+    pub fn build(sharded: &ShardedStream, sharing: SharingModel) -> Self {
+        let shards = sharded
+            .shards()
+            .iter()
+            .map(|sh| SoaStream::build(&sh.records, &sh.dense, sh.num_blocks, sharing))
+            .collect();
+        ShardedSoa { shards, sharing }
+    }
+
+    /// The per-shard streams, in shard-index order.
+    pub fn shards(&self) -> &[SoaStream] {
+        &self.shards
+    }
+
+    /// The sharing model the cache indices were computed under.
+    pub fn sharing(&self) -> SharingModel {
+        self.sharing
+    }
+}
+
+/// Recomputes the reference values a [`SoaStream`] must match, straight
+/// from the AoS records — shared by this module's tests and the sim
+/// crate's property suite so both pin the same definition.
+pub fn soa_reference_values(
+    records: &[TraceRecord],
+    geometry: BlockGeometry,
+    sharing: SharingModel,
+) -> (Vec<u16>, Vec<bool>) {
+    // Derived from raw addresses, not dense ids: renaming is a bijection,
+    // so address-level and dense-id first references must agree.
+    let mut cache_idx = Vec::with_capacity(records.len());
+    let mut first_ref = Vec::with_capacity(records.len());
+    let mut seen = std::collections::HashSet::new();
+    for r in records {
+        if r.is_data() {
+            cache_idx.push(match sharing {
+                SharingModel::Processor => r.cpu.raw(),
+                SharingModel::Process => r.pid.raw(),
+            });
+            first_ref.push(seen.insert(geometry.block_of(r.addr)));
+        } else {
+            cache_idx.push(0);
+            first_ref.push(false);
+        }
+    }
+    (cache_idx, first_ref)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{Generator, Profile};
+    use crate::intern::BlockInterner;
+    use dircc_types::BlockGeometry;
+
+    fn stream() -> (Vec<TraceRecord>, Vec<u32>, usize) {
+        let records: Vec<TraceRecord> =
+            Generator::new(Profile::thor().with_total_refs(4_000), 11).collect();
+        let interner = BlockInterner::from_records(records.iter(), BlockGeometry::PAPER);
+        let dense = interner.dense_stream(&records);
+        let n = interner.num_blocks();
+        (records, dense, n)
+    }
+
+    #[test]
+    fn soa_matches_aos_derivation() {
+        let (records, dense, n) = stream();
+        for sharing in [SharingModel::Processor, SharingModel::Process] {
+            let soa = SoaStream::build(&records, &dense, n, sharing);
+            assert_eq!(soa.len(), records.len());
+            assert_eq!(soa.num_blocks, n);
+            assert_eq!(soa.sharing, sharing);
+            let (cache_idx, first_ref) =
+                soa_reference_values(&records, BlockGeometry::PAPER, sharing);
+            assert_eq!(soa.cache_idx, cache_idx);
+            assert_eq!(soa.first_ref, first_ref);
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(soa.kind[i], r.kind);
+                if r.is_data() {
+                    assert_eq!(soa.block_id[i], dense[i]);
+                }
+            }
+            let max = records
+                .iter()
+                .zip(&soa.cache_idx)
+                .filter(|(r, _)| r.is_data())
+                .map(|(_, &c)| c)
+                .max()
+                .unwrap_or(0);
+            assert_eq!(soa.max_cache_idx, max);
+        }
+    }
+
+    #[test]
+    fn first_ref_bits_appear_once_per_block() {
+        let (records, dense, n) = stream();
+        let soa = SoaStream::build(&records, &dense, n, SharingModel::Processor);
+        let firsts = records.iter().zip(&soa.first_ref).filter(|(r, &f)| r.is_data() && f).count();
+        assert_eq!(firsts, n, "exactly one first reference per distinct block");
+    }
+
+    #[test]
+    fn sharded_soa_aligns_with_the_partition() {
+        let (records, dense, n) = stream();
+        let sharded = ShardedStream::build(&records, &dense, n, 3, |_, gid| gid as usize % 3);
+        let soa = ShardedSoa::build(&sharded, SharingModel::Process);
+        assert_eq!(soa.shards().len(), sharded.num_shards());
+        assert_eq!(soa.sharing(), SharingModel::Process);
+        for (sh, so) in sharded.shards().iter().zip(soa.shards()) {
+            assert_eq!(so.len(), sh.records.len());
+            assert_eq!(so.num_blocks, sh.num_blocks);
+            let expect = SoaStream::build(&sh.records, &sh.dense, sh.num_blocks, so.sharing);
+            assert_eq!(so.block_id, expect.block_id);
+            assert_eq!(so.first_ref, expect.first_ref);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn misaligned_dense_rejected() {
+        let (records, dense, n) = stream();
+        let _ = SoaStream::build(&records, &dense[1..], n, SharingModel::Processor);
+    }
+}

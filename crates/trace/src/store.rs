@@ -20,7 +20,8 @@ use crate::gen::{Generator, Profile};
 use crate::intern::BlockInterner;
 use crate::record::TraceRecord;
 use crate::shard::ShardedStream;
-use dircc_types::BlockGeometry;
+use crate::soa::{ShardedSoa, SoaStream};
+use dircc_types::{BlockGeometry, SharingModel};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -85,6 +86,12 @@ pub struct TraceStore {
     /// Memoized block-sharded partitions, one per
     /// (trace, filter, geometry, shard count).
     sharded: MemoMap<(usize, usize, BlockGeometry, usize), Arc<ShardedStream>>,
+    /// Memoized structure-of-arrays streams, one per
+    /// (trace, filter, geometry, sharing model).
+    soa: MemoMap<(usize, usize, BlockGeometry, SharingModel), Arc<SoaStream>>,
+    /// Memoized per-shard structure-of-arrays streams, one per
+    /// (trace, filter, geometry, shard count, sharing model).
+    sharded_soa: MemoMap<(usize, usize, BlockGeometry, usize, SharingModel), Arc<ShardedSoa>>,
 }
 
 impl TraceStore {
@@ -104,6 +111,8 @@ impl TraceStore {
             interners: Mutex::new(HashMap::new()),
             dense: Mutex::new(HashMap::new()),
             sharded: Mutex::new(HashMap::new()),
+            soa: Mutex::new(HashMap::new()),
+            sharded_soa: Mutex::new(HashMap::new()),
         }
     }
 
@@ -232,6 +241,63 @@ impl TraceStore {
         })
         .clone()
     }
+
+    /// The structure-of-arrays split of one (trace, filter) stream under
+    /// `geometry` and `sharing` — flat `kind`/`cache_idx`/`block_id`/
+    /// `first_ref` arrays with the sharing-model cache index and address
+    /// math precomputed (see [`SoaStream`]). Materialized once per key and
+    /// shared thereafter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is out of range.
+    pub fn soa(
+        &self,
+        trace: usize,
+        filter: TraceFilter,
+        geometry: BlockGeometry,
+        sharing: SharingModel,
+    ) -> Arc<SoaStream> {
+        let cell = {
+            let mut map = self.soa.lock().expect("soa memo poisoned");
+            map.entry((trace, filter.slot(), geometry, sharing)).or_default().clone()
+        };
+        cell.get_or_init(|| {
+            let records = self.records(trace, filter);
+            let dense = self.dense_blocks(trace, filter, geometry);
+            let num_blocks = self.interner(trace, geometry).num_blocks();
+            Arc::new(SoaStream::build(&records, &dense, num_blocks, sharing))
+        })
+        .clone()
+    }
+
+    /// The per-shard structure-of-arrays split of one sharded partition
+    /// (see [`TraceStore::sharded`]), aligned one-to-one with its shards.
+    /// Materialized once per (trace, filter, geometry, shards, sharing)
+    /// and shared thereafter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is out of range or `shards` is zero.
+    pub fn sharded_soa(
+        &self,
+        trace: usize,
+        filter: TraceFilter,
+        geometry: BlockGeometry,
+        shards: usize,
+        sharing: SharingModel,
+    ) -> Arc<ShardedSoa> {
+        assert!(shards >= 1, "need at least one shard");
+        let cell = {
+            let mut map = self.sharded_soa.lock().expect("sharded soa memo poisoned");
+            map.entry((trace, filter.slot(), geometry, shards, sharing)).or_default().clone()
+        };
+        cell.get_or_init(|| {
+            let sharded = self.sharded(trace, filter, geometry, shards);
+            Arc::new(ShardedSoa::build(&sharded, sharing))
+        })
+        .clone()
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +397,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn soa_streams_are_memoized_per_sharing_model() {
+        let s = store();
+        let g = BlockGeometry::PAPER;
+        let a = s.soa(0, TraceFilter::Full, g, SharingModel::Processor);
+        let b = s.soa(0, TraceFilter::Full, g, SharingModel::Processor);
+        assert!(Arc::ptr_eq(&a, &b), "same key shares the split");
+        let proc = s.soa(0, TraceFilter::Full, g, SharingModel::Process);
+        assert!(!Arc::ptr_eq(&a, &proc), "sharing model is part of the key");
+        assert_eq!(a.len(), s.records(0, TraceFilter::Full).len());
+        assert_eq!(a.num_blocks, s.interner(0, g).num_blocks());
+        assert_eq!(s.generations(), 1, "the split reuses the stored stream");
+        let sh = s.sharded_soa(0, TraceFilter::Full, g, 3, SharingModel::Process);
+        let sh2 = s.sharded_soa(0, TraceFilter::Full, g, 3, SharingModel::Process);
+        assert!(Arc::ptr_eq(&sh, &sh2));
+        assert_eq!(sh.shards().len(), 3);
+        let total: usize = sh.shards().iter().map(|s| s.len()).sum();
+        assert_eq!(total, a.len());
     }
 
     #[test]

@@ -35,11 +35,13 @@ mod access;
 mod addr;
 mod ids;
 mod set;
+mod sharing;
 
 pub use access::AccessKind;
 pub use addr::{Address, BlockAddr, BlockGeometry, BlockId, WordIndex};
 pub use ids::{CacheId, CpuId, ProcessId};
 pub use set::{CacheIdSet, CacheIdSetIter};
+pub use sharing::SharingModel;
 
 /// The number of bytes in a machine word (32 bits), as in the paper's
 /// VAX-derived traces and one-word-wide bus models.

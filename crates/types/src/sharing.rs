@@ -1,0 +1,18 @@
+//! The CPU→cache sharing model (§4.4).
+//!
+//! Lives in `dircc-types` (rather than the engine) because the trace layer
+//! precomputes sharing-dependent cache indices when it builds
+//! structure-of-arrays replay streams.
+
+/// How trace CPUs map onto protocol caches (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SharingModel {
+    /// One cache per CPU: hardware's view.
+    #[default]
+    Processor,
+    /// One cache per *process*: the paper's sharing definition ("a block is
+    /// considered shared only if it is accessed by more than one process").
+    /// The protocol must have at least as many caches as there are
+    /// processes.
+    Process,
+}

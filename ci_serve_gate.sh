@@ -1,0 +1,89 @@
+#!/bin/sh
+# Serve smoke gate, shared by ci.sh and .github/workflows/ci.yml: boot
+# the daemon on an ephemeral port, prove served /run responses are
+# byte-identical to a local `dircc replay --json` (and invariant across
+# shards/engine), observe the repeat as a cache hit, drive a mixed
+# hit/miss workload with zero errors, then drain via /shutdown and fail
+# on any orphaned daemon. Callers wrap this in `timeout` for a hard
+# ceiling; every step inside is bounded regardless (client timeouts,
+# capped polls).
+set -eu
+
+DIRCC=${DIRCC:-./target/release/dircc}
+BENCH_OUT=${BENCH_SERVE_OUT:-BENCH_serve.json}
+TMP=$(mktemp -d)
+PID=""
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+"$DIRCC" serve --addr 127.0.0.1:0 --workers 2 \
+    >"$TMP/serve.out" 2>"$TMP/serve.err" &
+PID=$!
+
+# The listen line is flushed to stdout before the accept loop starts.
+URL=""
+i=0
+while [ $i -lt 50 ]; do
+    URL=$(sed -n 's/^dircc serve: listening on //p' "$TMP/serve.out")
+    [ -n "$URL" ] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "serve gate: daemon died before listening" >&2
+        cat "$TMP/serve.err" >&2
+        exit 1
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+if [ -z "$URL" ]; then
+    echo "serve gate: daemon never printed its listen URL" >&2
+    exit 1
+fi
+echo "serve gate: daemon at $URL (pid $PID)"
+
+# Byte-identity gate: the served response for a config must diff clean
+# against a local replay of the same config — first as a cache miss...
+"$DIRCC" submit --serve "$URL" --scheme Dir1NB --profile pops --refs 20000 \
+    --expect-cache miss >"$TMP/served_miss.json"
+"$DIRCC" replay --json --scheme Dir1NB --profile pops --refs 20000 \
+    >"$TMP/local.json"
+diff "$TMP/served_miss.json" "$TMP/local.json"
+# ...then again as an observable cache hit serving the same bytes...
+"$DIRCC" submit --serve "$URL" --scheme Dir1NB --profile pops --refs 20000 \
+    --expect-cache hit >"$TMP/served_hit.json"
+diff "$TMP/served_miss.json" "$TMP/served_hit.json"
+# ...and once more sharded on the dyn engine (a distinct cache key, so a
+# miss) — counters are pinned shard- and engine-invariant.
+"$DIRCC" submit --serve "$URL" --scheme Dir1NB --profile pops --refs 20000 \
+    --shards 3 --engine dyn --expect-cache miss >"$TMP/served_sharded.json"
+diff "$TMP/served_miss.json" "$TMP/served_sharded.json"
+
+# The other routes answer: health, a windowed series, the span export.
+"$DIRCC" submit --serve "$URL" --op health | grep -q '"status": "ok"'
+"$DIRCC" submit --serve "$URL" --op series --scheme Wti --profile thor \
+    --refs 8000 --window 2000 | wc -l | grep -qx 4
+"$DIRCC" submit --serve "$URL" --op spans | grep -q '"cat": "dircc"'
+
+# Load gate: a mixed hit/miss schedule from concurrent clients must
+# complete with zero errors and report latency percentiles.
+"$DIRCC" bench --serve "$URL" --clients 4 --requests 400 --refs 5000 \
+    --out "$BENCH_OUT"
+
+# Drain gate: /shutdown finishes in-flight work and the process exits 0
+# on its own; anything still alive after the grace window is an orphan.
+"$DIRCC" submit --serve "$URL" --op shutdown >/dev/null
+i=0
+while [ $i -lt 50 ] && kill -0 "$PID" 2>/dev/null; do
+    sleep 0.2
+    i=$((i + 1))
+done
+if kill -0 "$PID" 2>/dev/null; then
+    echo "serve gate: daemon did not drain after /shutdown (orphan)" >&2
+    exit 1
+fi
+wait "$PID"
+grep -q "drained after" "$TMP/serve.out"
+PID=""
+echo "serve gate: PASS"

@@ -44,6 +44,7 @@ pub use dircc_cache as cache;
 pub use dircc_check as check;
 pub use dircc_core as core;
 pub use dircc_obs as obs;
+pub use dircc_serve as serve;
 pub use dircc_sim as sim;
 pub use dircc_trace as trace;
 pub use dircc_types as types;

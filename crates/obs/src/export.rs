@@ -12,7 +12,7 @@ use crate::span::Span;
 use std::fmt::Write as _;
 
 /// Escapes a string for embedding in a JSON string literal.
-fn escape(s: &str) -> String {
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -61,12 +61,68 @@ pub fn chrome_trace(spans: &[Span]) -> String {
             if let Some(shard) = m.shard {
                 let _ = write!(out, ", \"shard\": {shard}");
             }
-            out.push_str("}}");
+            out.push('}');
         }
         out.push('}');
         out.push_str(if i + 1 < spans.len() { ",\n" } else { "\n" });
     }
     out.push_str("]\n");
+    out
+}
+
+/// Renders the complete [`EventCounters`](dircc_core::EventCounters)
+/// state as one JSON object — every getter, the invalidation histogram
+/// and the FNV-1a digest (hex, the same rendering `dircc bench` rows
+/// use). The digest is shard- and engine-invariant, so two responses
+/// describing the same run are bit-identical however they were
+/// computed; the serve daemon's `/run` responses and `dircc replay
+/// --json` both embed this object, which is what lets CI diff them.
+pub fn counters_json(c: &dircc_core::EventCounters) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+    let fields: [(&str, u64); 29] = [
+        ("total", c.total()),
+        ("instr", c.instr()),
+        ("data_refs", c.data_refs()),
+        ("reads", c.reads()),
+        ("writes", c.writes()),
+        ("read_hits", c.read_hits()),
+        ("rm", c.rm()),
+        ("rm_first_ref", c.rm_first_ref()),
+        ("rm_blk_cln", c.rm_blk_cln()),
+        ("rm_blk_drty", c.rm_blk_drty()),
+        ("rm_blk_mem", c.rm_blk_mem()),
+        ("wh", c.wh()),
+        ("wh_blk_drty", c.wh_blk_drty()),
+        ("wh_blk_cln", c.wh_blk_cln()),
+        ("wh_distrib", c.wh_distrib()),
+        ("wh_local", c.wh_local()),
+        ("wm", c.wm()),
+        ("wm_first_ref", c.wm_first_ref()),
+        ("wm_blk_cln", c.wm_blk_cln()),
+        ("wm_blk_drty", c.wm_blk_drty()),
+        ("wm_blk_mem", c.wm_blk_mem()),
+        ("control_messages", c.control_messages()),
+        ("broadcasts", c.broadcasts()),
+        ("write_backs", c.write_backs()),
+        ("cache_supplies", c.cache_supplies()),
+        ("updates", c.updates()),
+        ("aux_messages", c.aux_messages()),
+        ("directory_evictions", c.directory_evictions()),
+        ("cache_evictions", c.cache_evictions()),
+    ];
+    for (name, value) in fields {
+        let _ = write!(out, "\"{name}\": {value}, ");
+    }
+    out.push_str("\"inval_hist\": [");
+    for (i, n) in c.inval_histogram().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{n}");
+    }
+    let _ = write!(out, "], \"digest\": \"{:016x}\"", c.digest());
+    out.push('}');
     out
 }
 
@@ -174,6 +230,13 @@ mod tests {
         assert!(json.contains("\"refs\": 21, \"shard\": 1"));
         assert!(!json.contains("\"refs\": 42, \"shard\""), "unsharded spans omit the field");
         assert_eq!(json.matches("\"cat\": \"dircc\"").count(), 3);
+        // Spans with meta once emitted an unbalanced extra `}`, which
+        // broke every consumer that actually parsed the export.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "braces must balance: {json}"
+        );
     }
 
     #[test]
@@ -202,5 +265,20 @@ mod tests {
     fn strings_are_escaped() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn counters_json_carries_every_field_and_the_digest() {
+        let mut c = EventCounters::new();
+        c.observe(&Outcome::quiet(Event::ReadHit));
+        c.observe(&Outcome::quiet(Event::ReadMiss(MissContext::MemoryOnly)));
+        let json = counters_json(&c);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"total\": 2"));
+        assert!(json.contains("\"read_hits\": 1"));
+        assert!(json.contains("\"rm_blk_mem\": 1"));
+        assert!(json.contains("\"inval_hist\": [0, "));
+        assert!(json.contains(&format!("\"digest\": \"{:016x}\"", c.digest())));
+        assert!(!json.contains('\n'), "single line, embeddable in JSONL");
     }
 }

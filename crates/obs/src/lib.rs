@@ -52,6 +52,6 @@ pub mod export;
 pub mod recorder;
 pub mod span;
 
-pub use export::{chrome_trace, window_jsonl_line};
+pub use export::{chrome_trace, counters_json, escape, window_jsonl_line};
 pub use recorder::{NoopRecorder, Recorder, WindowSample, WindowedRecorder};
 pub use span::{RunMeta, Span, SpanLog, SpanTimer};

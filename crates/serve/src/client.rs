@@ -1,0 +1,193 @@
+//! A small blocking HTTP client, for the load generator, the `submit`
+//! CLI command, and the loopback tests. Speaks exactly the dialect the
+//! server emits: `Connection: close`, `Content-Length` or chunked
+//! bodies.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::http::read_line;
+
+/// One complete response.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    /// Header names lowercased, arrival order.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as text (lossy — responses are always UTF-8 JSON).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn bad_data(message: String) -> std::io::Error {
+    std::io::Error::new(ErrorKind::InvalidData, message)
+}
+
+/// Strips an `http://` prefix and any trailing `/` from a base URL,
+/// leaving `host:port` for `TcpStream::connect`.
+pub fn host_of(base_url: &str) -> &str {
+    base_url.strip_prefix("http://").unwrap_or(base_url).trim_end_matches('/')
+}
+
+/// Issues one request against `base_url` (e.g.
+/// `http://127.0.0.1:4888`) and reads the complete response.
+pub fn request(
+    base_url: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> std::io::Result<Response> {
+    let stream = TcpStream::connect(host_of(base_url))?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+
+    // One buffered write: a server refusing this connection (429/503)
+    // responds after a single read and closes — a multi-write request
+    // would hit EPIPE on the later writes and lose the response.
+    let mut wire = Vec::with_capacity(256 + body.map_or(0, <[u8]>::len));
+    write!(wire, "{method} {path} HTTP/1.1\r\n")?;
+    write!(wire, "Host: {}\r\n", host_of(base_url))?;
+    write!(wire, "Connection: close\r\n")?;
+    if let Some(body) = body {
+        write!(wire, "Content-Length: {}\r\n", body.len())?;
+        write!(wire, "Content-Type: application/json\r\n")?;
+    }
+    write!(wire, "\r\n")?;
+    if let Some(body) = body {
+        wire.extend_from_slice(body);
+    }
+    let mut w = &stream;
+    w.write_all(&wire)?;
+    w.flush()?;
+
+    let mut reader = BufReader::new(&stream);
+    read_response(&mut reader)
+}
+
+/// Parses a response from an already-connected reader.
+pub fn read_response(reader: &mut dyn BufRead) -> std::io::Result<Response> {
+    let line = |reader: &mut dyn BufRead, what: &str| -> std::io::Result<String> {
+        match read_line(reader) {
+            Ok(Some(line)) => Ok(line),
+            Ok(None) => Err(bad_data(format!("connection closed before {what}"))),
+            Err(e) => Err(bad_data(format!("while reading {what}: {e}"))),
+        }
+    };
+
+    let status_line = line(reader, "the status line")?;
+    let mut parts = status_line.splitn(3, ' ');
+    let status = match (parts.next(), parts.next()) {
+        (Some(version), Some(code)) if version.starts_with("HTTP/1.") => code
+            .parse::<u16>()
+            .map_err(|_| bad_data(format!("unparseable status code in {status_line:?}")))?,
+        _ => return Err(bad_data(format!("unparseable status line {status_line:?}"))),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let header = line(reader, "a header")?;
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(bad_data(format!("header line without ':': {header:?}")));
+        };
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let find = |name: &str| headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str());
+    let mut body = Vec::new();
+    if find("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+        loop {
+            let size_line = line(reader, "a chunk size")?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad_data(format!("bad chunk size {size_line:?}")))?;
+            if size == 0 {
+                // Trailer section: lines until the blank terminator.
+                while !line(reader, "a chunk trailer")?.is_empty() {}
+                break;
+            }
+            let start = body.len();
+            body.resize(start + size, 0);
+            reader.read_exact(&mut body[start..])?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+            if &crlf != b"\r\n" {
+                return Err(bad_data("chunk data not CRLF-terminated".to_string()));
+            }
+        }
+    } else if let Some(length) = find("content-length") {
+        let length: usize =
+            length.parse().map_err(|_| bad_data(format!("bad Content-Length {length:?}")))?;
+        body.resize(length, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+
+    Ok(Response { status, headers, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(wire: &[u8]) -> std::io::Result<Response> {
+        read_response(&mut BufReader::new(wire))
+    }
+
+    #[test]
+    fn strips_url_scheme_and_trailing_slash() {
+        assert_eq!(host_of("http://127.0.0.1:4888/"), "127.0.0.1:4888");
+        assert_eq!(host_of("127.0.0.1:4888"), "127.0.0.1:4888");
+    }
+
+    #[test]
+    fn parses_a_content_length_response() {
+        let r = parse(b"HTTP/1.1 200 OK\r\nX-Cache: hit\r\nContent-Length: 2\r\n\r\n{}")
+            .expect("valid");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("x-cache"), Some("hit"));
+        assert_eq!(r.body, b"{}");
+    }
+
+    #[test]
+    fn parses_a_chunked_response() {
+        let r = parse(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nhello\n\r\n6\r\nworld\n\r\n0\r\n\r\n",
+        )
+        .expect("valid");
+        assert_eq!(r.text(), "hello\nworld\n");
+    }
+
+    #[test]
+    fn reads_to_eof_without_a_length() {
+        let r = parse(b"HTTP/1.1 200 OK\r\n\r\nrest").expect("valid");
+        assert_eq!(r.body, b"rest");
+    }
+
+    #[test]
+    fn rejects_garbage_status_lines() {
+        for wire in [&b"nonsense\r\n\r\n"[..], b"HTTP/1.1 abc OK\r\n\r\n", b""] {
+            assert!(parse(wire).is_err(), "{wire:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_chunked_bodies() {
+        let wire = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nhel";
+        assert!(parse(wire).is_err());
+    }
+}

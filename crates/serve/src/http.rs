@@ -1,0 +1,473 @@
+//! Minimal HTTP/1.1 request parsing and response writing.
+//!
+//! The build environment is offline, so the whole layer is hand-rolled on
+//! `std` — no hyper, no async. The parser is deliberately strict and
+//! bounded: request lines and header lines are capped at
+//! [`MAX_LINE_BYTES`], header count at [`MAX_HEADERS`], and bodies at
+//! [`MAX_BODY_BYTES`], so a misbehaving client can never grow server
+//! memory without bound. Reads go through `Read::read_exact`, which
+//! retries `ErrorKind::Interrupted` and surfaces short reads as
+//! `UnexpectedEof` — the partial-read tests drive the parser one byte at
+//! a time with interrupts injected between every byte (mirroring the
+//! trace codec's EOF tests) to pin that behavior.
+
+use std::io::{BufRead, ErrorKind, Write};
+
+/// Longest accepted request line or header line, in bytes.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most headers accepted on one request.
+pub const MAX_HEADERS: usize = 64;
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The connection closed cleanly before a request line arrived —
+    /// not an error worth a response (the peer is gone).
+    ClosedBeforeRequest,
+    /// A transport error while reading.
+    Io(std::io::Error),
+    /// A protocol violation → `400 Bad Request`.
+    Malformed(String),
+    /// A body-carrying method without `Content-Length` → `411`.
+    LengthRequired,
+    /// `Content-Length` beyond [`MAX_BODY_BYTES`] → `413`.
+    BodyTooLarge(usize),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ClosedBeforeRequest => write!(f, "connection closed before a request"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::LengthRequired => write!(f, "missing Content-Length"),
+            HttpError::BodyTooLarge(n) => {
+                write!(f, "body of {n} bytes exceeds the {MAX_BODY_BYTES}-byte limit")
+            }
+        }
+    }
+}
+
+impl HttpError {
+    /// The status code an error response should carry (`None`: the peer
+    /// is gone or the transport broke — write nothing).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::ClosedBeforeRequest | HttpError::Io(_) => None,
+            HttpError::Malformed(_) => Some(400),
+            HttpError::LengthRequired => Some(411),
+            HttpError::BodyTooLarge(_) => Some(413),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Method token, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path only; any `?query` is kept verbatim).
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes (empty without one).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one `\n`-terminated line of at most `MAX_LINE_BYTES` bytes,
+/// stripping the trailing `\r\n` / `\n`. `Ok(None)` means EOF before any
+/// byte arrived.
+pub(crate) fn read_line(r: &mut dyn BufRead) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::with_capacity(80);
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Malformed("unexpected EOF inside a line".to_string()));
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|_| HttpError::Malformed("line is not valid UTF-8".to_string()));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(HttpError::Malformed(format!(
+                "line exceeds the {MAX_LINE_BYTES}-byte limit"
+            )));
+        }
+    }
+}
+
+/// Reads and validates one full request from `r`.
+pub fn read_request(r: &mut dyn BufRead) -> Result<Request, HttpError> {
+    let line = read_line(r)?.ok_or(HttpError::ClosedBeforeRequest)?;
+    let mut parts = line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "request line must be `METHOD PATH HTTP/1.1`, got {line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!("unsupported protocol version {version:?}")));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::Malformed(format!(
+            "request path must start with '/', got {path:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?
+            .ok_or_else(|| HttpError::Malformed("EOF inside the header block".to_string()))?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("header line without ':': {line:?}")));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed(format!("invalid header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > MAX_HEADERS {
+            return Err(HttpError::Malformed(format!("more than {MAX_HEADERS} headers")));
+        }
+    }
+
+    let req = Request { method: method.to_string(), path: path.to_string(), headers, body: vec![] };
+    if req.header("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed("chunked request bodies are not supported".to_string()));
+    }
+    let content_length = match req.header("content-length") {
+        Some(v) => Some(v.parse::<usize>().map_err(|_| {
+            HttpError::Malformed(format!("Content-Length is not a non-negative integer: {v:?}"))
+        })?),
+        None => None,
+    };
+    let body_len = match (req.method.as_str(), content_length) {
+        (_, Some(n)) if n > MAX_BODY_BYTES => return Err(HttpError::BodyTooLarge(n)),
+        (_, Some(n)) => n,
+        ("POST" | "PUT" | "PATCH", None) => return Err(HttpError::LengthRequired),
+        (_, None) => 0,
+    };
+    let mut body = vec![0u8; body_len];
+    match r.read_exact(&mut body) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => {
+            return Err(HttpError::Malformed(format!(
+                "body truncated: Content-Length {body_len} but the connection closed early"
+            )))
+        }
+        Err(e) => return Err(HttpError::Io(e)),
+    }
+    Ok(Request { body, ..req })
+}
+
+/// Canonical reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete `Connection: close` response with a
+/// `Content-Length` body.
+pub fn write_response(
+    w: &mut dyn Write,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(w, "HTTP/1.1 {status} {}\r\n", reason(status))?;
+    write!(w, "Content-Type: application/json\r\n")?;
+    write!(w, "Content-Length: {}\r\n", body.len())?;
+    write!(w, "Connection: close\r\n")?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(w, "\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// A `Transfer-Encoding: chunked` response body: one chunk per
+/// [`write_chunk`](Self::write_chunk), terminated by
+/// [`finish`](Self::finish).
+pub struct ChunkedBody<'w> {
+    w: &'w mut dyn Write,
+}
+
+impl<'w> ChunkedBody<'w> {
+    /// Writes the response head and returns the open chunked body.
+    pub fn begin(
+        w: &'w mut dyn Write,
+        status: u16,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<Self> {
+        write!(w, "HTTP/1.1 {status} {}\r\n", reason(status))?;
+        write!(w, "Content-Type: application/json\r\n")?;
+        write!(w, "Transfer-Encoding: chunked\r\n")?;
+        write!(w, "Connection: close\r\n")?;
+        for (name, value) in extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "\r\n")?;
+        Ok(ChunkedBody { w })
+    }
+
+    /// Writes one chunk (empty chunks are skipped: a zero-length chunk
+    /// would terminate the stream).
+    pub fn write_chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        write!(self.w, "\r\n")
+    }
+
+    /// Terminates the stream with the zero-length chunk.
+    pub fn finish(self) -> std::io::Result<()> {
+        write!(self.w, "0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Read};
+
+    /// Delivers the wire bytes one at a time, returning
+    /// `ErrorKind::Interrupted` before every byte — the harshest legal
+    /// `Read` implementation (mirrors the codec EOF tests of PR 6).
+    struct TrickleReader {
+        data: Vec<u8>,
+        pos: usize,
+        interrupt_next: bool,
+    }
+
+    impl TrickleReader {
+        fn new(data: &[u8]) -> Self {
+            TrickleReader { data: data.to_vec(), pos: 0, interrupt_next: true }
+        }
+    }
+
+    impl Read for TrickleReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(std::io::Error::new(ErrorKind::Interrupted, "try again"));
+            }
+            self.interrupt_next = true;
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    fn parse(wire: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(wire))
+    }
+
+    fn parse_trickled(wire: &[u8]) -> Result<Request, HttpError> {
+        // A 1-byte buffer keeps BufReader from absorbing the trickle.
+        read_request(&mut BufReader::with_capacity(1, TrickleReader::new(wire)))
+    }
+
+    const POST: &[u8] = b"POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+
+    #[test]
+    fn parses_a_complete_post() {
+        let req = parse(POST).expect("valid request");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"), "header lookup is case-insensitive");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn survives_byte_at_a_time_reads_with_interrupts() {
+        let req = parse_trickled(POST).expect("trickled request");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        let req = parse(b"GET /healthz HTTP/1.1\nHost: x\n\n").expect("LF-only request");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for wire in [
+            &b"GET\r\n\r\n"[..],
+            b"GET /x\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET nopath HTTP/1.1\r\n\r\n",
+            b" /x HTTP/1.1\r\n\r\n",
+        ] {
+            match parse(wire) {
+                Err(HttpError::Malformed(_)) => {}
+                other => panic!("{:?}: expected Malformed, got {other:?}", wire),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_content_length_on_post_is_length_required() {
+        match parse(b"POST /run HTTP/1.1\r\n\r\n") {
+            Err(e @ HttpError::LengthRequired) => assert_eq!(e.status(), Some(411)),
+            other => panic!("expected LengthRequired, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_without_content_length_has_an_empty_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").expect("bodyless GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected_without_allocating() {
+        let wire = format!("POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        match parse(wire.as_bytes()) {
+            Err(e @ HttpError::BodyTooLarge(_)) => assert_eq!(e.status(), Some(413)),
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_numeric_content_length_is_malformed() {
+        for cl in ["ten", "-1", "4.5", ""] {
+            let wire = format!("POST /run HTTP/1.1\r\nContent-Length: {cl}\r\n\r\nbody");
+            match parse(wire.as_bytes()) {
+                Err(HttpError::Malformed(m)) => assert!(m.contains("Content-Length"), "{m}"),
+                other => panic!("{cl:?}: expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_malformed_at_every_cut() {
+        for cut in POST.len() - 4..POST.len() {
+            match parse(&POST[..cut]) {
+                Err(HttpError::Malformed(m)) => assert!(m.contains("truncated"), "{m}"),
+                other => panic!("cut at {cut}: expected Malformed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_closed_not_an_error_response() {
+        match parse(b"") {
+            Err(e @ HttpError::ClosedBeforeRequest) => assert_eq!(e.status(), None),
+            other => panic!("expected ClosedBeforeRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_inside_the_header_block_is_malformed() {
+        match parse(b"GET /x HTTP/1.1\r\nHost: x\r\n") {
+            Err(HttpError::Malformed(_)) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlong_lines_and_header_floods_are_bounded() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES + 1));
+        assert!(matches!(parse(long.as_bytes()), Err(HttpError::Malformed(_))));
+        let mut flood = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS + 1 {
+            flood.push_str(&format!("h{i}: v\r\n"));
+        }
+        flood.push_str("\r\n");
+        assert!(matches!(parse(flood.as_bytes()), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn chunked_request_bodies_are_rejected() {
+        match parse(b"POST /run HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n") {
+            Err(HttpError::Malformed(m)) => assert!(m.contains("chunked"), "{m}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_header_lines_are_rejected() {
+        for wire in [&b"GET /x HTTP/1.1\r\nnocolon\r\n\r\n"[..], b"GET /x HTTP/1.1\r\n: v\r\n\r\n"]
+        {
+            assert!(matches!(parse(wire), Err(HttpError::Malformed(_))), "{wire:?}");
+        }
+    }
+
+    #[test]
+    fn responses_have_the_expected_shape() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, &[("Retry-After", "1")], b"{}").expect("write");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn chunked_bodies_encode_and_terminate() {
+        let mut out = Vec::new();
+        {
+            let mut body = ChunkedBody::begin(&mut out, 200, &[]).expect("head");
+            body.write_chunk(b"hello\n").expect("chunk");
+            body.write_chunk(b"").expect("empty chunk is skipped");
+            body.write_chunk(b"world\n").expect("chunk");
+            body.finish().expect("finish");
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("6\r\nhello\n\r\n"));
+        assert!(text.contains("6\r\nworld\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+}

@@ -1,0 +1,36 @@
+//! dircc-serve: a long-running simulation service.
+//!
+//! A std-only HTTP/1.1 JSON daemon — the build environment is offline,
+//! so everything from request parsing to the threadpool is hand-rolled
+//! on the standard library. The crate knows nothing about directory
+//! schemes: simulation is injected through the [`JobHandler`] trait
+//! (implemented by `dircc-sim`), which keeps the package graph acyclic.
+//!
+//! Routes:
+//!
+//! | route            | method | body                                          |
+//! |------------------|--------|-----------------------------------------------|
+//! | `/healthz`       | GET    | daemon status + cache/queue stats             |
+//! | `/run`           | POST   | job → counters + evaluation JSON (LRU-cached) |
+//! | `/series`        | POST   | job → windowed RunSeries as chunked JSONL     |
+//! | `/spans`         | GET    | chrome-trace span export                      |
+//! | `/shutdown`      | POST   | begin graceful drain                          |
+//!
+//! Backpressure: a bounded connection queue; 429 + `Retry-After` when
+//! full. Caching: LRU on the canonical job config with single-flight
+//! fills, so identical concurrent submissions run the workbench once.
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod json;
+pub mod queue;
+pub mod server;
+
+pub use cache::{Lru, Outcome, ResultCache};
+pub use client::{request, Response};
+pub use job::{JobEngine, JobError, JobSpec, DEFAULT_SEED};
+pub use json::Json;
+pub use queue::{Bounded, PushError};
+pub use server::{HandlerError, JobHandler, ServeConfig, ServeStats, Server};

@@ -1,0 +1,194 @@
+//! Bounded MPMC queue of accepted connections.
+//!
+//! The accept loop `try_push`es; workers block on `pop`. A full queue
+//! is the backpressure signal — the accept thread answers 429 inline
+//! instead of letting work pile up unboundedly. `close()` starts the
+//! drain: pushes are refused, but `pop` keeps returning queued items
+//! until the queue is empty, then yields `None` so workers exit. That
+//! ordering is exactly "graceful shutdown drains in-flight jobs".
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused. The rejected value rides along so the caller
+/// can still respond on the connection.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// At capacity → backpressure (429).
+    Full(T),
+    /// Draining → refuse new work (503).
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded blocking queue.
+pub struct Bounded<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+impl<T> Bounded<T> {
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Bounded {
+            capacity,
+            inner: Mutex::new(Inner { items: VecDeque::with_capacity(capacity), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Queued item count right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking, or hands the item back.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item. `None` means closed *and* drained —
+    /// the worker should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue wait");
+        }
+    }
+
+    /// Begins the drain: refuses new pushes, wakes every blocked
+    /// worker. Queued items remain poppable.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_refuses_with_the_item() {
+        let q = Bounded::new(2);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        match q.try_push("c") {
+            Err(PushError::Full("c")) => {}
+            other => panic!("expected Full(\"c\"), got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_yields_none() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        match q.try_push(3) {
+            Err(PushError::Closed(3)) => {}
+            other => panic!("expected Closed(3), got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1), "queued work survives close");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "drained + closed ends the worker");
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(Bounded::<u32>::new(4));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give the workers time to block on the empty queue.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        q.close();
+        for w in workers {
+            assert_eq!(w.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_move_every_item() {
+        let q = Arc::new(Bounded::new(8));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = q.pop() {
+                        got.push(item);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let mut item = p * 100 + i;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(()) => break,
+                                Err(PushError::Full(back)) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..4).flat_map(|p| (0..50).map(move |i| p * 100 + i)).collect();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,360 @@
+//! The serve daemon: accept loop, worker threadpool, router.
+//!
+//! Thread layout: the calling thread runs the accept loop; `workers`
+//! scoped threads block on the connection queue. The accept thread
+//! never simulates — when the queue is full it answers 429 inline and
+//! moves on, so backpressure costs the peer a retry, not the server a
+//! thread. Shutdown is cooperative (`POST /shutdown`): the workspace
+//! denies `unsafe_code`, so a raw SIGTERM handler is off the table —
+//! process supervisors should send the endpoint a request (CI does) or
+//! SIGKILL after a drain window.
+//!
+//! Simulation lives behind [`JobHandler`] so this crate stays free of a
+//! dependency on the simulator (the `dircc` binary lives in
+//! `dircc-sim`, which depends on this crate — an edge back would be a
+//! package cycle).
+
+use std::io::{BufReader, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::cache::ResultCache;
+use crate::http::{read_request, write_response, ChunkedBody, Request};
+use crate::job::JobSpec;
+use crate::json::escape;
+use crate::queue::{Bounded, PushError};
+
+/// A job the handler could not serve, carrying the HTTP status to
+/// relay (400 for unresolvable names, 500 for internal faults).
+#[derive(Debug, Clone)]
+pub struct HandlerError {
+    pub status: u16,
+    pub message: String,
+}
+
+impl HandlerError {
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        HandlerError { status: 400, message: message.into() }
+    }
+
+    pub fn internal(message: impl Into<String>) -> Self {
+        HandlerError { status: 500, message: message.into() }
+    }
+}
+
+/// What the service does when a request reaches it. Implemented by the
+/// simulator (`dircc-sim`); implemented by stubs in this crate's tests.
+pub trait JobHandler: Send + Sync {
+    /// Runs (or reuses) a simulation, returning the complete `/run`
+    /// response body — a single JSON line.
+    fn run(&self, job: &JobSpec) -> Result<String, HandlerError>;
+
+    /// Returns the windowed run-series JSONL lines for `/series`.
+    fn series(&self, job: &JobSpec) -> Result<Vec<String>, HandlerError>;
+
+    /// Returns the chrome-trace span export for `/spans`.
+    fn spans(&self) -> String;
+}
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads simulating and answering requests.
+    pub workers: usize,
+    /// LRU result-cache capacity (canonical run configs).
+    pub cache_entries: usize,
+    /// Accepted-connection queue depth before 429s start.
+    pub queue_depth: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Emit one stderr log line per request.
+    pub log: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            cache_entries: 64,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            log: true,
+        }
+    }
+}
+
+/// Totals reported when the daemon drains and [`Server::run`] returns.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeStats {
+    pub requests: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+/// A bound-but-not-yet-serving daemon.
+pub struct Server {
+    listener: TcpListener,
+    shared: Shared,
+}
+
+struct Shared {
+    config: ServeConfig,
+    handler: Arc<dyn JobHandler>,
+    cache: ResultCache,
+    queue: Bounded<TcpStream>,
+    draining: AtomicBool,
+    requests: AtomicU64,
+    local: SocketAddr,
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\": \"{}\"}}\n", escape(message))
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    pub fn bind(
+        addr: &str,
+        config: ServeConfig,
+        handler: Arc<dyn JobHandler>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let queue = Bounded::new(config.queue_depth);
+        let cache = ResultCache::new(config.cache_entries);
+        Ok(Server {
+            listener,
+            shared: Shared {
+                config,
+                handler,
+                cache,
+                queue,
+                draining: AtomicBool::new(false),
+                requests: AtomicU64::new(0),
+                local,
+            },
+        })
+    }
+
+    /// The bound address — the real port when `addr` asked for `:0`.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local
+    }
+
+    /// Serves until a `POST /shutdown` drains the daemon. Blocking.
+    pub fn run(self) -> ServeStats {
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            for _ in 0..shared.config.workers.max(1) {
+                scope.spawn(move || {
+                    while let Some(stream) = shared.queue.pop() {
+                        shared.handle_connection(stream);
+                    }
+                });
+            }
+            self.accept_loop(shared);
+            // Leaving the scope joins the workers, which drain the
+            // queue (closed by /shutdown) before exiting.
+        });
+        let (cache_hits, cache_misses) = shared.cache.stats();
+        ServeStats { requests: shared.requests.load(Ordering::Relaxed), cache_hits, cache_misses }
+    }
+
+    fn accept_loop(&self, shared: &Shared) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) if shared.draining.load(Ordering::SeqCst) => return,
+                Err(_) => {
+                    // Transient accept failure (e.g. fd pressure):
+                    // back off briefly rather than spin.
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if shared.draining.load(Ordering::SeqCst) {
+                // Includes the self-connection /shutdown makes to wake
+                // this loop; real late arrivals get a 503.
+                shared.refuse(stream, 503, &[], "server is draining");
+                return;
+            }
+            match shared.queue.try_push(stream) {
+                Ok(()) => {}
+                Err(PushError::Full(stream)) => {
+                    shared.refuse(
+                        stream,
+                        429,
+                        &[("Retry-After", "1")],
+                        "job queue is full, retry shortly",
+                    );
+                }
+                Err(PushError::Closed(stream)) => {
+                    shared.refuse(stream, 503, &[], "server is draining");
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Shared {
+    /// Answers a connection the queue never saw (backpressure or
+    /// drain). Consumes what the peer already sent first so the
+    /// response isn't lost to a connection reset.
+    fn refuse(&self, stream: TcpStream, status: u16, extra: &[(&str, &str)], message: &str) {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+        let mut sink = [0u8; 4096];
+        let _ = (&stream).read(&mut sink);
+        let body = error_body(message);
+        let _ = write_response(&mut &stream, status, extra, body.as_bytes());
+        self.log("-", "-", "-", status, None, "-");
+    }
+
+    fn handle_connection(&self, stream: TcpStream) {
+        let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "-".to_string());
+        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+        let started = Instant::now();
+        let mut reader = BufReader::new(&stream);
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(e) => {
+                if let Some(status) = e.status() {
+                    let body = error_body(&e.to_string());
+                    let _ = write_response(&mut &stream, status, &[], body.as_bytes());
+                    self.log(&peer, "-", "-", status, Some(started), "-");
+                }
+                return;
+            }
+        };
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let (status, cache) = self.route(&request, &stream);
+        self.log(&peer, &request.method, &request.path, status, Some(started), cache);
+    }
+
+    fn route(&self, request: &Request, stream: &TcpStream) -> (u16, &'static str) {
+        let mut w = stream;
+        let respond = |w: &mut &TcpStream, status: u16, body: &str| -> u16 {
+            let _ = write_response(w, status, &[], body.as_bytes());
+            status
+        };
+        let method_not_allowed = |w: &mut &TcpStream, allowed: &str| -> (u16, &'static str) {
+            let body = error_body(&format!("method not allowed, use {allowed}"));
+            let _ = write_response(w, 405, &[("Allow", allowed)], body.as_bytes());
+            (405, "-")
+        };
+
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                let (hits, misses) = self.cache.stats();
+                let status = if self.draining.load(Ordering::SeqCst) { "draining" } else { "ok" };
+                let body = format!(
+                    "{{\"status\": \"{status}\", \"workers\": {}, \"queued\": {}, \
+                     \"requests\": {}, \"cache_hits\": {hits}, \"cache_misses\": {misses}}}\n",
+                    self.config.workers,
+                    self.queue.len(),
+                    self.requests.load(Ordering::Relaxed),
+                );
+                (respond(&mut w, 200, &body), "-")
+            }
+            (_, "/healthz") => method_not_allowed(&mut w, "GET"),
+            ("POST", "/run") => {
+                let job = match JobSpec::from_json(&request.body) {
+                    Ok(job) => job,
+                    Err(e) => return (respond(&mut w, 400, &error_body(&e.to_string())), "-"),
+                };
+                let (result, outcome) = self.cache.get_or_fill(&job.canonical(), || {
+                    self.handler.run(&job).map_err(|e| (e.status, e.message))
+                });
+                match result {
+                    Ok(body) => {
+                        let label = outcome.wire_label();
+                        let _ = write_response(&mut w, 200, &[("X-Cache", label)], body.as_bytes());
+                        (200, label)
+                    }
+                    Err((status, message)) => (respond(&mut w, status, &error_body(&message)), "-"),
+                }
+            }
+            (_, "/run") => method_not_allowed(&mut w, "POST"),
+            ("POST", "/series") => {
+                let job = match JobSpec::from_json(&request.body) {
+                    Ok(job) => job,
+                    Err(e) => return (respond(&mut w, 400, &error_body(&e.to_string())), "-"),
+                };
+                match self.handler.series(&job) {
+                    Ok(lines) => {
+                        let mut write_all = || -> std::io::Result<()> {
+                            let mut body = ChunkedBody::begin(&mut w, 200, &[])?;
+                            for line in &lines {
+                                body.write_chunk(line.as_bytes())?;
+                            }
+                            body.finish()
+                        };
+                        let _ = write_all();
+                        (200, "-")
+                    }
+                    Err(e) => (respond(&mut w, e.status, &error_body(&e.message)), "-"),
+                }
+            }
+            (_, "/series") => method_not_allowed(&mut w, "POST"),
+            ("GET", "/spans") => (respond(&mut w, 200, &self.handler.spans()), "-"),
+            (_, "/spans") => method_not_allowed(&mut w, "GET"),
+            ("POST", "/shutdown") => {
+                self.draining.store(true, Ordering::SeqCst);
+                let status = respond(&mut w, 200, "{\"status\": \"draining\"}\n");
+                self.queue.close();
+                // Wake the accept loop so it observes the drain flag.
+                let _ = TcpStream::connect(self.local);
+                (status, "-")
+            }
+            (_, "/shutdown") => method_not_allowed(&mut w, "POST"),
+            (_, path) => {
+                let body = error_body(&format!(
+                    "unknown route {path:?} (routes: /healthz /run /series /spans /shutdown)"
+                ));
+                (respond(&mut w, 404, &body), "-")
+            }
+        }
+    }
+
+    fn log(
+        &self,
+        peer: &str,
+        method: &str,
+        path: &str,
+        status: u16,
+        started: Option<Instant>,
+        cache: &str,
+    ) {
+        if !self.config.log {
+            return;
+        }
+        let wall = started.map_or_else(
+            || "-".to_string(),
+            |t| format!("{:.1}ms", t.elapsed().as_secs_f64() * 1e3),
+        );
+        eprintln!("serve: {peer} \"{method} {path}\" {status} {wall} cache={cache}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bodies_escape_their_message() {
+        assert_eq!(error_body("a\"b"), "{\"error\": \"a\\\"b\"}\n");
+    }
+
+    #[test]
+    fn handler_error_constructors_carry_status() {
+        assert_eq!(HandlerError::bad_request("x").status, 400);
+        assert_eq!(HandlerError::internal("x").status, 500);
+    }
+}

@@ -49,6 +49,7 @@ pub mod metrics;
 pub mod mono;
 pub mod par;
 pub mod report;
+pub mod service;
 pub mod workbench;
 
 pub use engine::{
@@ -59,6 +60,10 @@ pub use engine::{
 pub use metrics::Evaluation;
 pub use mono::{run_indexed_mono, run_indexed_mono_with, run_sharded_mono, run_sharded_mono_with};
 pub use par::{default_jobs, par_map_indexed};
+pub use service::{
+    load_generate, load_pool, percentile, profile_by_name, run_response_json, scheme_by_name,
+    LoadReport, WorkbenchHandler,
+};
 pub use workbench::{
     filter_from_label, filter_label, ReplayEngine, RunSeries, RunTiming, TraceFilter, Workbench,
 };

@@ -16,6 +16,9 @@
 //! dircc benchcmp [--smoke] [--in FILE]    # bench-regression gate
 //! dircc check [--smoke] [--cpus N] [--blocks M] [--depth D] [--scheme S]
 //! dircc profile <experiment> [--window K] [--out FILE] [--spans FILE]
+//! dircc serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--queue N]
+//! dircc submit --serve URL --scheme S [--profile P] [--op run|series|health|spans|shutdown]
+//! dircc bench --serve URL [--clients N] [--requests M]   # HTTP load generator
 //! ```
 //!
 //! `dircc check` exhaustively explores every protocol's state space up to
@@ -52,11 +55,13 @@ use dircc_bus::{CostConfig, CostModel};
 use dircc_check::{check_protocol, CheckConfig};
 use dircc_core::ProtocolKind;
 use dircc_obs::{chrome_trace, window_jsonl_line, RunMeta};
+use dircc_serve::{client, JobHandler, ServeConfig, Server};
 use dircc_sim::experiments::{extensions, figures, network, studies, system, tables};
 use dircc_sim::{
-    default_jobs, filter_label, report, run_chunked, run_indexed, run_sharded, run_sharded_spilled,
+    default_jobs, filter_from_label, filter_label, load_generate, percentile, profile_by_name,
+    report, run_chunked, run_indexed, run_response_json, run_sharded, run_sharded_spilled,
     shard_stream, spill_sharded, Evaluation, ReplayEngine, RunConfig, RunResult, TraceFilter,
-    Workbench,
+    Workbench, WorkbenchHandler,
 };
 use dircc_trace::chunk::{DEFAULT_CHUNK_RECORDS, MAX_CHUNK_RECORDS};
 use dircc_trace::codec::BinaryWriter;
@@ -110,6 +115,10 @@ enum Kind {
     Check,
     /// Windowed time-series + span profile of one experiment's work list.
     Profile,
+    /// Long-running HTTP simulation service (see the `dircc-serve` crate).
+    Serve,
+    /// One-shot HTTP client for a running `dircc serve` daemon.
+    Submit,
 }
 
 struct CommandSpec {
@@ -149,6 +158,8 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec { name: "benchcmp", kind: Kind::BenchCmp, io: Io::Reads, in_all: false },
     CommandSpec { name: "check", kind: Kind::Check, io: Io::None, in_all: false },
     CommandSpec { name: "profile", kind: Kind::Profile, io: Io::Writes, in_all: false },
+    CommandSpec { name: "serve", kind: Kind::Serve, io: Io::None, in_all: false },
+    CommandSpec { name: "submit", kind: Kind::Submit, io: Io::None, in_all: false },
     CommandSpec { name: "gen", kind: Kind::Gen, io: Io::Writes, in_all: false },
     CommandSpec { name: "record", kind: Kind::Record, io: Io::Writes, in_all: false },
     CommandSpec { name: "replay", kind: Kind::Replay, io: Io::Reads, in_all: false },
@@ -183,6 +194,17 @@ struct Args {
     verify: bool,
     repeat: Option<u64>,
     engine: Option<ReplayEngine>,
+    json: bool,
+    addr: Option<String>,
+    workers: Option<usize>,
+    cache_entries: Option<usize>,
+    queue: Option<usize>,
+    serve_url: Option<String>,
+    op: Option<String>,
+    clients: Option<usize>,
+    requests: Option<usize>,
+    filter: Option<String>,
+    expect_cache: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -210,6 +232,17 @@ fn parse_args() -> Result<Args, String> {
         verify: false,
         repeat: None,
         engine: None,
+        json: false,
+        addr: None,
+        workers: None,
+        cache_entries: None,
+        queue: None,
+        serve_url: None,
+        op: None,
+        clients: None,
+        requests: None,
+        filter: None,
+        expect_cache: None,
     };
     while let Some(flag) = args.next() {
         let mut value =
@@ -278,6 +311,70 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| format!("--engine must be dyn or mono, not {label}"))?,
                 );
             }
+            "--json" => parsed.json = true,
+            "--addr" => parsed.addr = Some(value("--addr")?),
+            "--workers" => {
+                parsed.workers =
+                    Some(value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?);
+                if parsed.workers == Some(0) {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--cache-entries" => {
+                parsed.cache_entries = Some(
+                    value("--cache-entries")?
+                        .parse()
+                        .map_err(|e| format!("--cache-entries: {e}"))?,
+                );
+                if parsed.cache_entries == Some(0) {
+                    return Err("--cache-entries must be at least 1".to_string());
+                }
+            }
+            "--queue" => {
+                parsed.queue =
+                    Some(value("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?);
+                if parsed.queue == Some(0) {
+                    return Err("--queue must be at least 1".to_string());
+                }
+            }
+            "--serve" => parsed.serve_url = Some(value("--serve")?),
+            "--op" => {
+                let op = value("--op")?;
+                if !matches!(op.as_str(), "run" | "series" | "health" | "spans" | "shutdown") {
+                    return Err(format!(
+                        "--op must be run, series, health, spans or shutdown, not {op}"
+                    ));
+                }
+                parsed.op = Some(op);
+            }
+            "--clients" => {
+                parsed.clients =
+                    Some(value("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?);
+                if parsed.clients == Some(0) {
+                    return Err("--clients must be at least 1".to_string());
+                }
+            }
+            "--requests" => {
+                parsed.requests =
+                    Some(value("--requests")?.parse().map_err(|e| format!("--requests: {e}"))?);
+                if parsed.requests == Some(0) {
+                    return Err("--requests must be at least 1".to_string());
+                }
+            }
+            "--filter" => {
+                let label = value("--filter")?;
+                if filter_from_label(&label).is_none() {
+                    return Err(format!("--filter must be full or no-spins, not {label}"));
+                }
+                parsed.filter = Some(label);
+            }
+            "--expect-cache" => {
+                let want = value("--expect-cache")?;
+                if !matches!(want.as_str(), "hit" | "miss") {
+                    return Err(format!("--expect-cache must be hit or miss, not {want}"));
+                }
+                parsed.expect_cache = Some(want);
+            }
             "--in" => parsed.input = Some(value("--in")?),
             other if !other.starts_with('-') && parsed.target.is_none() => {
                 parsed.target = Some(other.to_string());
@@ -302,9 +399,12 @@ fn validate_io(args: &Args) -> Result<(), String> {
             spec.name
         ));
     }
+    if args.window.is_some() && !matches!(spec.name, "profile" | "submit") {
+        return Err(format!("--window only applies to profile and submit, not {}", spec.name));
+    }
     if spec.name != "profile" {
-        if args.window.is_some() || args.spans_out.is_some() {
-            return Err(format!("--window/--spans only apply to profile, not {}", spec.name));
+        if args.spans_out.is_some() {
+            return Err(format!("--spans only applies to profile, not {}", spec.name));
         }
         if args.target.is_some() {
             return Err(format!(
@@ -314,8 +414,14 @@ fn validate_io(args: &Args) -> Result<(), String> {
             ));
         }
     }
-    if !matches!(spec.name, "check" | "replay") && (args.cpus.is_some() || args.scheme.is_some()) {
-        return Err(format!("--cpus/--scheme only apply to check and replay, not {}", spec.name));
+    if args.cpus.is_some() && !matches!(spec.name, "check" | "replay") {
+        return Err(format!("--cpus only applies to check and replay, not {}", spec.name));
+    }
+    if args.scheme.is_some() && !matches!(spec.name, "check" | "replay" | "submit") {
+        return Err(format!(
+            "--scheme only applies to check, replay and submit, not {}",
+            spec.name
+        ));
     }
     if spec.name != "check" && (args.blocks.is_some() || args.depth.is_some()) {
         return Err(format!("--blocks/--depth only apply to check, not {}", spec.name));
@@ -329,8 +435,39 @@ fn validate_io(args: &Args) -> Result<(), String> {
     if args.repeat.is_some() && spec.name != "bench" {
         return Err(format!("--repeat only applies to bench, not {}", spec.name));
     }
-    if args.engine.is_some() && !matches!(spec.name, "bench" | "benchcmp") {
-        return Err(format!("--engine only applies to bench and benchcmp, not {}", spec.name));
+    if args.engine.is_some() && !matches!(spec.name, "bench" | "benchcmp" | "submit") {
+        return Err(format!(
+            "--engine only applies to bench, benchcmp and submit, not {}",
+            spec.name
+        ));
+    }
+    if args.json && spec.name != "replay" {
+        return Err(format!("--json only applies to replay, not {}", spec.name));
+    }
+    if (args.addr.is_some()
+        || args.workers.is_some()
+        || args.cache_entries.is_some()
+        || args.queue.is_some())
+        && spec.name != "serve"
+    {
+        return Err(format!(
+            "--addr/--workers/--cache-entries/--queue only apply to serve, not {}",
+            spec.name
+        ));
+    }
+    if args.serve_url.is_some() && !matches!(spec.name, "submit" | "bench") {
+        return Err(format!("--serve only applies to submit and bench, not {}", spec.name));
+    }
+    if (args.op.is_some() || args.expect_cache.is_some() || args.filter.is_some())
+        && spec.name != "submit"
+    {
+        return Err(format!(
+            "--op/--filter/--expect-cache only apply to submit, not {}",
+            spec.name
+        ));
+    }
+    if (args.clients.is_some() || args.requests.is_some()) && spec.name != "bench" {
+        return Err(format!("--clients/--requests only apply to bench, not {}", spec.name));
     }
     if args.shards > 1 {
         if spec.name == "profile" {
@@ -340,7 +477,7 @@ fn validate_io(args: &Args) -> Result<(), String> {
         }
         let sharded_ok =
             matches!(spec.kind, Kind::Workbench | Kind::All | Kind::Bench | Kind::BenchCmp)
-                || matches!(spec.name, "check" | "replay");
+                || matches!(spec.name, "check" | "replay" | "submit");
         if !sharded_ok {
             return Err(format!(
                 "--shards only applies to workbench experiments, all, bench, benchcmp, check \
@@ -377,7 +514,10 @@ fn usage() -> String {
     let mut lines = vec!["usage: dircc <command> [target] [--refs N] [--seed S] [--jobs N] \
          [--shards N] [--profile pops|thor|pero|custom] [--out FILE | --in FILE] [--smoke] \
          [--verbose] [--window K] [--spans FILE] [--cpus N] [--blocks M] [--depth D] \
-         [--scheme S] [--chunk N] [--verify] [--repeat N] [--engine dyn|mono]"
+         [--scheme S] [--chunk N] [--verify] [--repeat N] [--engine dyn|mono] [--json] \
+         [--addr HOST:PORT] [--workers N] [--cache-entries N] [--queue N] [--serve URL] \
+         [--op run|series|health|spans|shutdown] [--filter full|no-spins] \
+         [--expect-cache hit|miss] [--clients N] [--requests M]"
         .to_string()];
     let mut line = String::from("commands:");
     for c in COMMANDS {
@@ -390,16 +530,6 @@ fn usage() -> String {
     }
     lines.push(line);
     lines.join("\n")
-}
-
-fn profile_by_name(name: &str) -> Result<Profile, String> {
-    match name.to_ascii_lowercase().as_str() {
-        "pops" => Ok(Profile::pops()),
-        "thor" => Ok(Profile::thor()),
-        "pero" => Ok(Profile::pero()),
-        "custom" => Ok(Profile::custom()),
-        other => Err(format!("unknown profile {other}")),
-    }
 }
 
 fn workbench(args: &Args) -> Workbench {
@@ -558,6 +688,16 @@ fn replay(args: &Args) -> Result<(), String> {
     if cpus == 0 || cpus > 64 {
         return Err("--cpus must be in 1..=64".to_string());
     }
+    if args.json {
+        if args.input.is_some() {
+            return Err("--json renders the serve /run response schema, which is defined \
+                 over the in-memory --profile traces; drop --in"
+                .to_string());
+        }
+        if args.verify {
+            return Err("--json and --verify are mutually exclusive".to_string());
+        }
+    }
     let kinds = replay_kinds(args, cpus)?;
     let cfg = RunConfig { verify: args.verify, ..RunConfig::default().with_process_sharing() };
     let started = std::time::Instant::now();
@@ -566,6 +706,18 @@ fn replay(args: &Args) -> Result<(), String> {
         None => replay_memory(args, &kinds, cpus, &cfg)?,
     };
     let wall = started.elapsed();
+
+    if args.json {
+        // The serve daemon's /run response schema, one line per scheme —
+        // CI diffs this byte-for-byte against what the daemon returns.
+        let trace_name = profile_by_name(&args.profile)?.name.to_string();
+        for (&kind, res) in kinds.iter().zip(&results) {
+            let name = dircc_core::build(kind, cpus).name().to_string();
+            let eval = Evaluation::new(name, kind, cpus, res.counters.clone());
+            print!("{}", run_response_json(&eval, &trace_name, args.refs, args.seed, "full"));
+        }
+        return Ok(());
+    }
 
     let (model, cost_cfg) = (CostModel::pipelined(), CostConfig::PAPER);
     println!(
@@ -785,6 +937,9 @@ fn run_digests(wb: &Workbench) -> std::collections::HashMap<(String, String, Str
 /// span (shard threads overlap inside it). `--smoke` runs a tiny matrix
 /// for CI.
 fn bench(args: &Args) -> Result<(), String> {
+    if args.serve_url.is_some() {
+        return bench_serve(args);
+    }
     let engine = args.engine.unwrap_or_default();
     let repeat = args.repeat.unwrap_or(3);
     let store = std::sync::Arc::new(TraceStore::new(bench_profiles(args), args.seed));
@@ -923,6 +1078,189 @@ fn bench(args: &Args) -> Result<(), String> {
         if !summary.is_empty() {
             eprint!("{summary}");
         }
+    }
+    Ok(())
+}
+
+/// `dircc serve`: binds the HTTP simulation daemon and blocks until a
+/// `POST /shutdown` drains it. The listen line goes to stdout (and is
+/// flushed) before the accept loop starts, so scripts can wait for it.
+fn serve_cmd(args: &Args) -> Result<(), String> {
+    let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:4888".to_string());
+    let config = ServeConfig {
+        workers: args.workers.unwrap_or_else(default_jobs),
+        cache_entries: args.cache_entries.unwrap_or(64),
+        queue_depth: args.queue.unwrap_or(64),
+        ..ServeConfig::default()
+    };
+    let handler = std::sync::Arc::new(WorkbenchHandler::new());
+    let server = Server::bind(&addr, config, handler.clone() as std::sync::Arc<dyn JobHandler>)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("dircc serve: listening on http://{}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let stats = server.run();
+    println!(
+        "dircc serve: drained after {} request(s) ({} cache hit(s), {} miss(es), \
+         {} workbench run(s))",
+        stats.requests,
+        stats.cache_hits,
+        stats.cache_misses,
+        handler.executed_runs()
+    );
+    Ok(())
+}
+
+/// The `/run`/`/series` job body a `dircc submit` builds from its flags.
+fn submit_job_json(args: &Args) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let scheme = args.scheme.as_ref().ok_or("submit needs --scheme (e.g. --scheme Dir1NB)")?;
+    let mut body = format!(
+        "{{\"scheme\": \"{}\", \"trace\": \"{}\", \"seed\": {}",
+        dircc_obs::escape(scheme),
+        dircc_obs::escape(&args.profile),
+        args.seed
+    );
+    if let Some(n) = args.refs {
+        let _ = write!(body, ", \"refs\": {n}");
+    }
+    if let Some(filter) = &args.filter {
+        let _ = write!(body, ", \"filter\": \"{filter}\"");
+    }
+    if args.shards > 1 {
+        let _ = write!(body, ", \"shards\": {}", args.shards);
+    }
+    if let Some(engine) = args.engine {
+        let _ = write!(body, ", \"engine\": \"{}\"", engine.label());
+    }
+    if let Some(window) = args.window {
+        let _ = write!(body, ", \"window\": {window}");
+    }
+    body.push('}');
+    Ok(body)
+}
+
+/// `dircc submit`: one request against a running daemon. The response
+/// body goes to stdout verbatim (it is already JSON/JSONL), so
+/// `submit --op run > got.json` diffs directly against
+/// `replay --json > want.json`. `--expect-cache hit|miss` turns the
+/// response's `X-Cache` header into an exit-code assertion for CI.
+fn submit_cmd(args: &Args) -> Result<(), String> {
+    let url = args
+        .serve_url
+        .as_ref()
+        .ok_or("submit needs --serve URL (e.g. --serve http://127.0.0.1:4888)")?;
+    let op = args.op.as_deref().unwrap_or("run");
+    let resp = match op {
+        "health" => client::request(url, "GET", "/healthz", None),
+        "spans" => client::request(url, "GET", "/spans", None),
+        "shutdown" => client::request(url, "POST", "/shutdown", Some(b"{}")),
+        "run" | "series" => {
+            let body = submit_job_json(args)?;
+            let path = if op == "run" { "/run" } else { "/series" };
+            client::request(url, "POST", path, Some(body.as_bytes()))
+        }
+        other => {
+            return Err(format!("--op must be run, series, health, spans or shutdown, not {other}"))
+        }
+    }
+    .map_err(|e| format!("{url}: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("{url}: HTTP {}: {}", resp.status, resp.text().trim()));
+    }
+    if let Some(want) = &args.expect_cache {
+        let got = resp.header("x-cache").unwrap_or("(absent)");
+        if got != want {
+            return Err(format!("expected X-Cache: {want}, server answered X-Cache: {got}"));
+        }
+    }
+    print!("{}", resp.text());
+    Ok(())
+}
+
+/// `dircc bench --serve URL`: the HTTP load generator. Drives a mixed
+/// hit/miss schedule (the 4 headline schemes x 3 paper traces, so the
+/// first cycle misses and later cycles hit) from `--clients` threads,
+/// asserts every response's counter digest is consistent per config, and
+/// writes per-request latency percentiles to `BENCH_serve.json`.
+fn bench_serve(args: &Args) -> Result<(), String> {
+    let url = args.serve_url.clone().expect("bench_serve called with --serve");
+    if args.repeat.is_some() || args.engine.is_some() || args.shards > 1 || args.smoke {
+        return Err("bench --serve takes --clients/--requests/--refs/--seed; \
+             --repeat/--engine/--shards/--smoke configure the local replay bench"
+            .to_string());
+    }
+    let clients = args.clients.unwrap_or(8);
+    let requests = args.requests.unwrap_or(2000);
+    let refs = args.refs.unwrap_or(20_000);
+    let report = load_generate(&url, clients, requests, refs, args.seed);
+
+    let p = |q: f64| percentile(&report.latencies_ms, q);
+    let (p50, p90, p99) = (p(50.0), p(90.0), p(99.0));
+    let max = report.latencies_ms.last().copied().unwrap_or(0.0);
+    let completed = report.latencies_ms.len();
+
+    use std::fmt::Write as _;
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"serve\": {{\"url\": \"{}\", \"clients\": {clients}, \"requests\": {requests}, \
+         \"refs\": {refs}, \"seed\": {}}},",
+        dircc_obs::escape(&url),
+        args.seed
+    );
+    let _ = writeln!(
+        json,
+        "  \"results\": {{\"completed\": {completed}, \"cache_hits\": {}, \
+         \"cache_misses\": {}, \"retries\": {}, \"errors\": {}}},",
+        report.hits,
+        report.misses,
+        report.retries,
+        report.errors.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"latency_ms\": {{\"p50\": {p50:.3}, \"p90\": {p90:.3}, \"p99\": {p99:.3}, \
+         \"max\": {max:.3}}},"
+    );
+    let _ = write!(
+        json,
+        "  \"wall_ms\": {:.3},\n  \"throughput_rps\": {:.1},\n",
+        report.wall.as_secs_f64() * 1e3,
+        report.throughput_rps()
+    );
+    json.push_str("  \"configs\": [\n");
+    let n_configs = report.digests.len();
+    for (i, (config, digest)) in report.digests.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"scheme\": \"{}\", \"trace\": \"{}\", \"digest\": \"{digest}\"}}",
+            config.scheme, config.trace
+        );
+        json.push_str(if i + 1 < n_configs { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = args.out.clone().unwrap_or_else(|| "BENCH_serve.json".to_string());
+    write_output(&path, &json)?;
+    println!(
+        "bench --serve: {completed}/{requests} request(s) x {clients} client(s), \
+         {} hit(s), {} miss(es), {} retried 429(s), {} error(s)",
+        report.hits,
+        report.misses,
+        report.retries,
+        report.errors.len()
+    );
+    println!(
+        "  latency p50 {p50:.2} ms  p90 {p90:.2} ms  p99 {p99:.2} ms  max {max:.2} ms  \
+         throughput {:.0} req/s -> {path}",
+        report.throughput_rps()
+    );
+    if !report.errors.is_empty() {
+        for e in report.errors.iter().take(10) {
+            eprintln!("bench --serve: error: {e}");
+        }
+        return Err(format!("bench --serve: {} failed request(s)", report.errors.len()));
     }
     Ok(())
 }
@@ -1423,6 +1761,8 @@ fn main() -> ExitCode {
         Kind::BenchCmp => benchcmp(&args),
         Kind::Check => check(&args),
         Kind::Profile => profile(&args),
+        Kind::Serve => serve_cmd(&args),
+        Kind::Submit => submit_cmd(&args),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

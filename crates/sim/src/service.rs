@@ -1,0 +1,515 @@
+//! The simulator behind `dircc serve`: resolves wire-format jobs
+//! against the protocol registry and trace profiles, runs them on
+//! memoized [`Workbench`]es, and renders the response JSON.
+//!
+//! The serve daemon itself (`dircc-serve`) knows nothing about
+//! directory schemes — this module implements its
+//! [`JobHandler`](dircc_serve::JobHandler) trait. Response bodies are
+//! rendered by [`run_response_json`], which `dircc replay --json`
+//! shares, so a served `/run` response is byte-identical to a local
+//! replay of the same config — the CI serve gate diffs exactly that.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dircc_bus::{CostConfig, CostModel};
+use dircc_core::{EventCounters, ProtocolKind};
+use dircc_obs::{chrome_trace, counters_json, window_jsonl_line, Span};
+use dircc_serve::{client, HandlerError, JobEngine, JobSpec, Lru};
+use dircc_trace::gen::Profile;
+use dircc_trace::store::TraceStore;
+
+use crate::metrics::Evaluation;
+use crate::workbench::{filter_from_label, filter_label, ReplayEngine, Workbench};
+
+/// Resolves a trace-profile name (`pops`, `THOR`, …) case-insensitively.
+pub fn profile_by_name(name: &str) -> Result<Profile, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "pops" => Ok(Profile::pops()),
+        "thor" => Ok(Profile::thor()),
+        "pero" => Ok(Profile::pero()),
+        "custom" => Ok(Profile::custom()),
+        other => Err(format!("unknown profile {other}")),
+    }
+}
+
+/// Resolves a scheme name (`Dir1NB`, `tang`, …) case-insensitively
+/// against the full checked protocol set at `cpus` caches.
+pub fn scheme_by_name(name: &str, cpus: usize) -> Result<ProtocolKind, String> {
+    let want = name.to_ascii_lowercase();
+    let kind = dircc_check::default_kinds()
+        .iter()
+        .copied()
+        .find(|k| dircc_core::build(*k, cpus).name().to_ascii_lowercase() == want);
+    kind.ok_or_else(|| {
+        let names: Vec<String> = dircc_check::default_kinds()
+            .iter()
+            .map(|k| dircc_core::build(*k, cpus).name().to_string())
+            .collect();
+        format!("unknown scheme {name}; one of: {}", names.join(" "))
+    })
+}
+
+/// Renders the complete `/run` response body: the canonical job echo,
+/// the full counter state (with digest) and the paper's pipelined-model
+/// evaluation. One JSON line. `dircc replay --json` prints this same
+/// rendering from a local replay, so served-vs-local diffs are
+/// byte-exact. The echo deliberately omits shards/engine: counters are
+/// invariant across both (pinned elsewhere), so responses describing
+/// the same run compare equal however it was executed.
+pub fn run_response_json(
+    eval: &Evaluation,
+    trace: &str,
+    refs_requested: Option<u64>,
+    seed: u64,
+    filter: &str,
+) -> String {
+    let (model, cost_cfg) = (CostModel::pipelined(), CostConfig::PAPER);
+    let (scheme, counters) = (&eval.name, &eval.counters);
+    let refs_echo = refs_requested.map_or_else(|| "null".to_string(), |n| n.to_string());
+    format!(
+        "{{\"job\": {{\"scheme\": \"{scheme}\", \"trace\": \"{trace}\", \"refs\": {refs_echo}, \
+         \"seed\": {seed}, \"filter\": \"{filter}\"}}, \"refs\": {}, \"counters\": {}, \
+         \"evaluation\": {{\"cycles_per_ref\": {:.6}, \"transactions_per_ref\": {:.6}, \
+         \"cycles_per_transaction\": {:.6}}}}}\n",
+        counters.total(),
+        counters_json(counters),
+        eval.cycles_per_ref(&model, &cost_cfg),
+        eval.transactions_per_ref(),
+        eval.cycles_per_transaction(&model, &cost_cfg),
+    )
+}
+
+/// How many generated [`TraceStore`]s the handler keeps warm. Each
+/// distinct (trace, refs, seed) costs one generated record set; the
+/// paper suite plus a few scaled variants fit comfortably.
+const STORE_CACHE_ENTRIES: usize = 8;
+
+/// The [`JobHandler`](dircc_serve::JobHandler) the daemon runs:
+/// memoized single-profile trace stores plus a span log accumulated
+/// across requests for `/spans`.
+pub struct WorkbenchHandler {
+    stores: Mutex<Lru<Arc<TraceStore>>>,
+    spans: Mutex<Vec<Span>>,
+    executed: AtomicU64,
+}
+
+impl Default for WorkbenchHandler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkbenchHandler {
+    pub fn new() -> Self {
+        WorkbenchHandler {
+            stores: Mutex::new(Lru::new(STORE_CACHE_ENTRIES)),
+            spans: Mutex::new(Vec::new()),
+            executed: AtomicU64::new(0),
+        }
+    }
+
+    /// Workbench replays executed so far (cache hits served by the
+    /// daemon's result cache never reach the workbench, so this is the
+    /// number the dedup tests pin).
+    pub fn executed_runs(&self) -> u64 {
+        self.executed.load(Ordering::SeqCst)
+    }
+
+    /// The shared generated trace for (trace, refs, seed) — one store
+    /// per distinct config, so repeated jobs at different schemes reuse
+    /// the generation/filter/intern work.
+    fn store_for(&self, job: &JobSpec) -> Result<Arc<TraceStore>, HandlerError> {
+        let mut profile = profile_by_name(&job.trace).map_err(HandlerError::bad_request)?;
+        if let Some(n) = job.refs {
+            profile = profile.with_total_refs(n);
+        }
+        let key = format!(
+            "{}|{}|{}",
+            profile.name.to_string().to_ascii_lowercase(),
+            job.refs.map_or_else(|| "profile".to_string(), |n| n.to_string()),
+            job.seed
+        );
+        let mut stores = self.stores.lock().expect("store cache");
+        if let Some(store) = stores.get(&key) {
+            return Ok(Arc::clone(store));
+        }
+        let store = Arc::new(TraceStore::new(vec![profile], job.seed));
+        stores.insert(&key, Arc::clone(&store));
+        Ok(store)
+    }
+
+    /// Resolves the job's scheme/filter/engine and runs it on a fresh
+    /// workbench over the shared store, returning everything a
+    /// response needs.
+    fn execute(&self, job: &JobSpec, window: Option<u64>) -> Result<Executed, HandlerError> {
+        let store = self.store_for(job)?;
+        let n_caches = usize::from(store.profiles()[0].cpus);
+        let kind = scheme_by_name(&job.scheme, n_caches).map_err(HandlerError::bad_request)?;
+        let filter = filter_from_label(&job.filter)
+            .ok_or_else(|| HandlerError::bad_request(format!("unknown filter {}", job.filter)))?;
+        let engine = match job.engine {
+            JobEngine::Mono => ReplayEngine::Mono,
+            JobEngine::Dyn => ReplayEngine::Dyn,
+        };
+        let mut wb = Workbench::with_store(Arc::clone(&store))
+            .with_shards(job.shards as usize)
+            .with_engine(engine);
+        if let Some(w) = window {
+            wb = wb.with_window(w);
+        }
+        let counters = EventCounters::clone(&wb.counters(kind, 0, filter));
+        let trace_name = store.profiles()[0].name.to_string();
+        let scheme_name = dircc_core::build(kind, n_caches).name().to_string();
+        self.executed.fetch_add(wb.executed_runs() as u64, Ordering::SeqCst);
+        self.spans.lock().expect("span log").extend(wb.span_log().spans());
+        Ok(Executed { wb, kind, filter, counters, scheme_name, trace_name, n_caches })
+    }
+}
+
+struct Executed {
+    wb: Workbench,
+    kind: ProtocolKind,
+    filter: crate::workbench::TraceFilter,
+    counters: EventCounters,
+    scheme_name: String,
+    trace_name: String,
+    n_caches: usize,
+}
+
+impl dircc_serve::JobHandler for WorkbenchHandler {
+    fn run(&self, job: &JobSpec) -> Result<String, HandlerError> {
+        let ex = self.execute(job, None)?;
+        let eval =
+            Evaluation::new(ex.scheme_name.clone(), ex.kind, ex.n_caches, ex.counters.clone());
+        Ok(run_response_json(&eval, &ex.trace_name, job.refs, job.seed, &job.filter))
+    }
+
+    fn series(&self, job: &JobSpec) -> Result<Vec<String>, HandlerError> {
+        let window = match job.window {
+            Some(w) => w,
+            None => self.default_window_refs(job)?,
+        };
+        let ex = self.execute(job, Some(window))?;
+        let series = ex.wb.time_series();
+        let s = series
+            .iter()
+            .find(|s| s.kind == ex.kind && s.trace == 0 && s.filter == ex.filter)
+            .ok_or_else(|| HandlerError::internal("windowed run left no time series"))?;
+        let (model, cost_cfg) = (CostModel::pipelined(), CostConfig::PAPER);
+        let label = filter_label(ex.filter);
+        Ok(s.windows
+            .iter()
+            .map(|w| {
+                let cpr = Evaluation::new(
+                    ex.scheme_name.clone(),
+                    ex.kind,
+                    ex.n_caches,
+                    w.counters.clone(),
+                )
+                .cycles_per_ref(&model, &cost_cfg);
+                let mut line = window_jsonl_line(&ex.scheme_name, &ex.trace_name, label, w, cpr);
+                line.push('\n');
+                line
+            })
+            .collect())
+    }
+
+    fn spans(&self) -> String {
+        chrome_trace(&self.spans.lock().expect("span log"))
+    }
+}
+
+impl WorkbenchHandler {
+    /// The `/series` auto window: 64 windows over the trace, matching
+    /// `dircc profile`'s default.
+    fn default_window_refs(&self, job: &JobSpec) -> Result<u64, HandlerError> {
+        let mut profile = profile_by_name(&job.trace).map_err(HandlerError::bad_request)?;
+        if let Some(n) = job.refs {
+            profile = profile.with_total_refs(n);
+        }
+        Ok((profile.total_refs / 64).max(1))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Load generator (`dircc bench --serve`)
+// ---------------------------------------------------------------------
+
+/// One distinct run config the load schedule cycles through.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    pub scheme: String,
+    pub trace: String,
+}
+
+/// What `load_generate` measured.
+pub struct LoadReport {
+    pub url: String,
+    pub clients: usize,
+    pub requests: usize,
+    pub refs: u64,
+    pub seed: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub retries: u64,
+    /// Failed requests, with their error text (empty on a clean run).
+    pub errors: Vec<String>,
+    pub wall: Duration,
+    /// Per-request latencies in milliseconds, sorted ascending.
+    pub latencies_ms: Vec<f64>,
+    /// Each config exercised, with the counter digest its responses
+    /// carried (every response for one config must agree).
+    pub digests: Vec<(LoadConfig, String)>,
+}
+
+impl LoadReport {
+    /// Requests per second over the whole run.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        (self.latencies_ms.len() as f64) / self.wall.as_secs_f64()
+    }
+}
+
+/// The p-th percentile (0..=100) of an ascending-sorted sample.
+pub fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// The mixed hit/miss schedule: the paper's four headline schemes
+/// crossed with the three paper traces — request `i` takes config
+/// `i % 12`, so the first cycle is all cache misses and every later
+/// cycle is all hits.
+pub fn load_pool(n_caches: usize) -> Vec<LoadConfig> {
+    let kinds = [
+        ProtocolKind::DirNb { pointers: 1 },
+        ProtocolKind::Wti,
+        ProtocolKind::Dir0B,
+        ProtocolKind::Dragon,
+    ];
+    let traces = ["POPS", "THOR", "PERO"];
+    kinds
+        .iter()
+        .flat_map(|&k| {
+            let scheme = dircc_core::build(k, n_caches).name().to_string();
+            traces.iter().map(move |t| LoadConfig { scheme: scheme.clone(), trace: t.to_string() })
+        })
+        .collect()
+}
+
+/// Extracts `counters.digest` from a `/run` response body.
+fn digest_of(body: &str) -> Option<String> {
+    let v = dircc_serve::json::parse(body.as_bytes()).ok()?;
+    let counters = v.as_obj()?.get("counters")?.as_obj()?;
+    counters.get("digest")?.as_str().map(str::to_string)
+}
+
+/// Hammers a running daemon with `requests` `/run` jobs from `clients`
+/// concurrent threads on the [`load_pool`] schedule. 429s back off and
+/// retry; any other failure is recorded as an error. Also cross-checks
+/// that every response for one config carries the same counter digest.
+pub fn load_generate(
+    url: &str,
+    clients: usize,
+    requests: usize,
+    refs: u64,
+    seed: u64,
+) -> LoadReport {
+    let pool = load_pool(4);
+    let clients = clients.max(1);
+
+    #[derive(Default)]
+    struct Tally {
+        latencies_ms: Vec<f64>,
+        hits: u64,
+        misses: u64,
+        retries: u64,
+        errors: Vec<String>,
+        digests: HashMap<usize, String>,
+    }
+
+    let started = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let pool = &pool;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut t = Tally::default();
+                    for i in (c..requests).step_by(clients) {
+                        let config = &pool[i % pool.len()];
+                        let body = format!(
+                            "{{\"scheme\": \"{}\", \"trace\": \"{}\", \"refs\": {refs}, \
+                             \"seed\": {seed}}}",
+                            config.scheme, config.trace
+                        );
+                        let mut attempts = 0u32;
+                        loop {
+                            let t0 = Instant::now();
+                            match client::request(url, "POST", "/run", Some(body.as_bytes())) {
+                                Ok(resp) if resp.status == 200 => {
+                                    t.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                                    match resp.header("x-cache") {
+                                        Some("hit") => t.hits += 1,
+                                        _ => t.misses += 1,
+                                    }
+                                    if let Some(digest) = digest_of(&resp.text()) {
+                                        let seen = t
+                                            .digests
+                                            .entry(i % pool.len())
+                                            .or_insert_with(|| digest.clone());
+                                        if *seen != digest {
+                                            t.errors.push(format!(
+                                                "{}/{}: digest drift {seen} vs {digest}",
+                                                config.scheme, config.trace
+                                            ));
+                                        }
+                                    } else {
+                                        t.errors.push(format!(
+                                            "{}/{}: response has no counters.digest",
+                                            config.scheme, config.trace
+                                        ));
+                                    }
+                                    break;
+                                }
+                                Ok(resp) if resp.status == 429 && attempts < 100 => {
+                                    attempts += 1;
+                                    t.retries += 1;
+                                    std::thread::sleep(Duration::from_millis(50));
+                                }
+                                Ok(resp) => {
+                                    t.errors.push(format!(
+                                        "{}/{}: HTTP {}: {}",
+                                        config.scheme,
+                                        config.trace,
+                                        resp.status,
+                                        resp.text().trim()
+                                    ));
+                                    break;
+                                }
+                                Err(e) => {
+                                    t.errors
+                                        .push(format!("{}/{}: {e}", config.scheme, config.trace));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    t
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("load client thread")).collect()
+    });
+    let wall = started.elapsed();
+
+    let mut merged = Tally::default();
+    let mut digest_by_config: HashMap<usize, String> = HashMap::new();
+    for t in tallies {
+        merged.latencies_ms.extend(t.latencies_ms);
+        merged.hits += t.hits;
+        merged.misses += t.misses;
+        merged.retries += t.retries;
+        merged.errors.extend(t.errors);
+        for (config, digest) in t.digests {
+            match digest_by_config.get(&config) {
+                Some(seen) if *seen != digest => {
+                    let c = &pool[config];
+                    merged.errors.push(format!(
+                        "{}/{}: digest drift across clients: {seen} vs {digest}",
+                        c.scheme, c.trace
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    digest_by_config.insert(config, digest);
+                }
+            }
+        }
+    }
+    merged.latencies_ms.sort_by(|a, b| a.total_cmp(b));
+
+    let mut digests: Vec<(LoadConfig, String)> =
+        digest_by_config.into_iter().map(|(i, digest)| (pool[i].clone(), digest)).collect();
+    digests.sort_by(|a, b| (&a.0.scheme, &a.0.trace).cmp(&(&b.0.scheme, &b.0.trace)));
+
+    LoadReport {
+        url: url.to_string(),
+        clients,
+        requests,
+        refs,
+        seed,
+        hits: merged.hits,
+        misses: merged.misses,
+        retries: merged.retries,
+        errors: merged.errors,
+        wall,
+        latencies_ms: merged.latencies_ms,
+        digests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_resolution_is_case_insensitive_and_total() {
+        let kind = scheme_by_name("dir1nb", 4).expect("resolves");
+        assert_eq!(kind, ProtocolKind::DirNb { pointers: 1 });
+        assert_eq!(scheme_by_name("TANG", 4).expect("resolves"), ProtocolKind::Tang);
+        let err = scheme_by_name("nonesuch", 4).expect_err("unknown");
+        assert!(err.contains("one of:"), "{err}");
+        assert!(err.contains("Dir0B"), "{err}");
+    }
+
+    #[test]
+    fn load_pool_is_the_headline_cross_product() {
+        let pool = load_pool(4);
+        assert_eq!(pool.len(), 12);
+        assert_eq!(pool[0].trace, "POPS");
+        assert!(pool.iter().any(|c| c.scheme == "Dir0B" && c.trace == "PERO"));
+    }
+
+    #[test]
+    fn percentiles_pick_from_the_sorted_sample() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 51.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn digest_extraction_reads_the_counters_object() {
+        let body = r#"{"job": {}, "counters": {"total": 5, "digest": "00ff"}, "refs": 5}"#;
+        assert_eq!(digest_of(body).as_deref(), Some("00ff"));
+        assert_eq!(digest_of("not json"), None);
+    }
+
+    #[test]
+    fn run_response_is_one_line_with_job_echo_counters_and_evaluation() {
+        let eval = Evaluation::new(
+            "Dir1NB".to_string(),
+            ProtocolKind::DirNb { pointers: 1 },
+            4,
+            EventCounters::new(),
+        );
+        let json = run_response_json(&eval, "POPS", Some(1000), 1988, "full");
+        assert!(json.ends_with('\n'));
+        assert_eq!(json.lines().count(), 1);
+        assert!(json.contains("\"scheme\": \"Dir1NB\""));
+        assert!(json.contains("\"refs\": 1000"));
+        assert!(json.contains("\"digest\":"));
+        assert!(json.contains("\"cycles_per_ref\":"));
+        let profile_scale = run_response_json(&eval, "POPS", None, 1988, "full");
+        assert!(profile_scale.contains("\"refs\": null"), "{profile_scale}");
+    }
+}

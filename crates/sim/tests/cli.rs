@@ -286,6 +286,8 @@ fn usage_lists_every_subcommand() {
         "benchcmp",
         "check",
         "profile",
+        "serve",
+        "submit",
         "gen",
         "record",
         "replay",
@@ -296,6 +298,62 @@ fn usage_lists_every_subcommand() {
     }
     assert!(err.contains("--jobs"));
     assert!(err.contains("--window") && err.contains("--spans") && err.contains("--verbose"));
+    assert!(err.contains("--serve") && err.contains("--expect-cache") && err.contains("--addr"));
+}
+
+/// The serve/submit/bench-over-HTTP flags are gated to their commands,
+/// and `submit` insists on the flags it cannot run without.
+#[test]
+fn serve_flags_are_validated() {
+    let cases: [(&[&str], &str); 8] = [
+        (&["replay", "--addr", "127.0.0.1:0"], "only apply to serve"),
+        (&["table1", "--serve", "http://x"], "only applies to submit and bench"),
+        (&["replay", "--op", "run"], "only apply to submit"),
+        (&["replay", "--clients", "4"], "only apply to bench"),
+        (&["submit", "--serve", "http://x", "--op", "teapot"], "--op must be"),
+        (&["submit", "--serve", "http://x", "--expect-cache", "warm"], "--expect-cache must be"),
+        (&["submit", "--op", "run"], "needs --serve"),
+        (&["submit", "--serve", "http://127.0.0.1:1", "--op", "run"], "needs --scheme"),
+    ];
+    for (args, expect) in cases {
+        let out = dircc().args(args).output().expect("run dircc");
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(expect), "{args:?}: expected {expect:?} in {err}");
+    }
+}
+
+/// `--json` is replay-only, needs the in-memory profile mode, and
+/// `bench --serve` rejects the local-bench tuning flags.
+#[test]
+fn replay_json_and_bench_serve_flag_gating() {
+    let cases: [(&[&str], &str); 3] = [
+        (&["gen", "--json"], "only applies to replay"),
+        (&["replay", "--json", "--in", "t.dcct"], "drop --in"),
+        (&["bench", "--serve", "http://127.0.0.1:1", "--repeat", "5"], "local replay bench"),
+    ];
+    for (args, expect) in cases {
+        let out = dircc().args(args).output().expect("run dircc");
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(expect), "{args:?}: expected {expect:?} in {err}");
+    }
+}
+
+/// `replay --json` emits one parseable response line per scheme with
+/// the canonical job echo — the serve daemon's `/run` schema.
+#[test]
+fn replay_json_prints_the_run_response_schema() {
+    let out = dircc()
+        .args(["replay", "--json", "--profile", "pops", "--refs", "5000", "--scheme", "Dir1NB"])
+        .output()
+        .expect("run dircc");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 1, "one line per scheme: {text}");
+    assert!(text.starts_with(r#"{"job": {"scheme": "Dir1NB", "trace": "POPS", "refs": 5000"#));
+    assert!(text.contains("\"digest\": \""));
+    assert!(text.contains("\"cycles_per_ref\": "));
 }
 
 #[test]
@@ -421,10 +479,16 @@ fn check_scheme_filter() {
 /// The model-check bounds flags belong to `check` alone.
 #[test]
 fn check_flags_are_rejected_elsewhere() {
-    for flag in ["--cpus", "--blocks", "--depth"] {
+    let cases = [
+        ("--cpus", "only applies to check and replay"),
+        ("--blocks", "only apply to check"),
+        ("--depth", "only apply to check"),
+    ];
+    for (flag, expect) in cases {
         let out = dircc().args(["table1", flag, "2"]).output().expect("run dircc");
         assert!(!out.status.success(), "{flag} must be rejected outside check");
-        assert!(String::from_utf8_lossy(&out.stderr).contains("only apply to check"));
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(expect), "{flag}: expected {expect:?} in {err}");
     }
 }
 
@@ -757,7 +821,7 @@ fn streaming_flag_validation() {
     let out = dircc().args(["table1", "--scheme", "mesi"]).output().expect("run dircc");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("only apply to check and replay"), "{err}");
+    assert!(err.contains("only applies to check, replay and submit"), "{err}");
 
     // replay writes nothing: --out is the wrong direction.
     let out = dircc().args(["replay", "--out", "t.dcct"]).output().expect("run dircc");
@@ -819,10 +883,15 @@ fn profile_flag_and_target_validation() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("profile needs a target"));
 
-    for args in [["table1", "--window", "100"], ["bench", "--spans", "x.json"]] {
+    let flag_cases: [([&str; 3], &str); 2] = [
+        (["table1", "--window", "100"], "only applies to profile and submit"),
+        (["bench", "--spans", "x.json"], "only applies to profile"),
+    ];
+    for (args, expect) in flag_cases {
         let out = dircc().args(args).output().expect("run dircc");
         assert!(!out.status.success(), "{args:?} must fail");
-        assert!(String::from_utf8_lossy(&out.stderr).contains("only apply to profile"));
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(expect), "{args:?}: expected {expect:?} in {err}");
     }
 
     let out = dircc().args(["table1", "extra"]).output().expect("run dircc");

@@ -45,8 +45,11 @@ diff /tmp/replay_file.txt /tmp/replay_sharded.txt
 # Serve gate: the HTTP daemon on an ephemeral port — served /run
 # responses diffed byte-for-byte against `dircc replay --json` (cache
 # miss, cache hit, sharded dyn-engine), a mixed-workload load run with
-# zero errors writing BENCH_serve.json, then a graceful /shutdown drain
-# with an orphan check. The timeout is the hard ceiling on a hang.
+# zero errors writing BENCH_serve.json, a request-ID log/span join, an
+# exact /metrics reconciliation against the scripted load (scrape kept
+# as SERVE_metrics.prom), a `dircc top --once` snapshot check, then a
+# graceful /shutdown drain with an orphan check. The timeout is the
+# hard ceiling on a hang.
 timeout 300 ./ci_serve_gate.sh
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check

@@ -34,8 +34,10 @@ pub fn escape(s: &str) -> String {
 /// per span, `ts`/`dur` in microseconds since the log's epoch).
 ///
 /// Run-scoped spans carry `scheme`/`trace`/`filter`/`refs` in `args`
-/// (plus `shard` for per-shard replay spans), so Perfetto's query and
-/// aggregation views can group by run and by shard.
+/// (plus `shard` for per-shard replay spans and `request` for
+/// daemon-served runs), so Perfetto's query and aggregation views can
+/// group by run, by shard, and by the request ID that appears in the
+/// daemon's `x-request-id` headers and log lines.
 pub fn chrome_trace(spans: &[Span]) -> String {
     let mut out = String::from("[\n");
     for (i, s) in spans.iter().enumerate() {
@@ -60,6 +62,9 @@ pub fn chrome_trace(spans: &[Span]) -> String {
             );
             if let Some(shard) = m.shard {
                 let _ = write!(out, ", \"shard\": {shard}");
+            }
+            if let Some(request) = &m.request {
+                let _ = write!(out, ", \"request\": \"{}\"", escape(request));
             }
             out.push('}');
         }
@@ -206,6 +211,7 @@ mod tests {
                 filter: "full".into(),
                 refs: 42,
                 shard: None,
+                request: Some("ab12-0001".into()),
             }),
             || (),
         );
@@ -217,6 +223,7 @@ mod tests {
                 filter: "full".into(),
                 refs: 21,
                 shard: Some(1),
+                request: None,
             }),
             || (),
         );
@@ -229,6 +236,8 @@ mod tests {
         assert!(json.contains("\"refs\": 42"));
         assert!(json.contains("\"refs\": 21, \"shard\": 1"));
         assert!(!json.contains("\"refs\": 42, \"shard\""), "unsharded spans omit the field");
+        assert!(json.contains("\"request\": \"ab12-0001\""), "request ids join spans to logs");
+        assert!(!json.contains("\"shard\": 1, \"request\""), "requestless spans omit the field");
         assert_eq!(json.matches("\"cat\": \"dircc\"").count(), 3);
         // Spans with meta once emitted an unbalanced extra `}`, which
         // broke every consumer that actually parsed the export.

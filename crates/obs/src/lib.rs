@@ -26,6 +26,11 @@
 //! * [`export`] — the structured sinks: Chrome trace-event JSON for spans
 //!   and a JSONL schema for the windowed time series (documented in
 //!   `EXPERIMENTS.md`).
+//! * [`metrics`] — lock-free runtime telemetry: atomic counters, gauges
+//!   and mergeable log-linear latency histograms in a
+//!   [`MetricsRegistry`], rendered as Prometheus text exposition (the
+//!   serve daemon's `GET /metrics`) and parseable back with
+//!   [`parse_exposition`] (`dircc top`).
 //!
 //! # Example
 //!
@@ -49,9 +54,13 @@
 //! ```
 
 pub mod export;
+pub mod metrics;
 pub mod recorder;
 pub mod span;
 
 pub use export::{chrome_trace, counters_json, escape, window_jsonl_line};
+pub use metrics::{
+    parse_exposition, samples_sum, Counter, Gauge, Histogram, MetricsRegistry, Sample,
+};
 pub use recorder::{NoopRecorder, Recorder, WindowSample, WindowedRecorder};
 pub use span::{RunMeta, Span, SpanLog, SpanTimer};

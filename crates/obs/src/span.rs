@@ -25,6 +25,10 @@ pub struct RunMeta {
     /// Which block shard of a sharded replay this phase covered
     /// (`None` for whole-run phases and unsharded replays).
     pub shard: Option<usize>,
+    /// The serve-daemon request ID that triggered this phase (`None`
+    /// outside the daemon). Joins `/spans` output against the daemon's
+    /// `x-request-id` response headers and log lines.
+    pub request: Option<String>,
 }
 
 /// One completed phase: a named interval on one thread.
@@ -160,6 +164,7 @@ mod tests {
             filter: "full".into(),
             refs: 100,
             shard: None,
+            request: None,
         }
     }
 

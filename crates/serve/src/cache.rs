@@ -13,8 +13,9 @@
 //!   nightly-only, hence the hand-rolled cell.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+use dircc_obs::Counter;
 
 /// Bounded map with least-recently-used eviction. Not thread-safe on
 /// its own — callers wrap it in a mutex.
@@ -123,25 +124,53 @@ impl Outcome {
     }
 }
 
+/// The cache's event counters. Constructed standalone by
+/// [`ResultCache::new`]; the daemon instead passes handles registered on
+/// its metrics registry, so `/metrics` reads the very same atomics the
+/// cache increments — no reconciliation drift possible.
+#[derive(Default, Clone)]
+pub struct CacheCounters {
+    /// Served from the cache without running the fill (includes
+    /// coalesced waits — the workbench ran once for them too).
+    pub hits: Counter,
+    /// This call ran the fill.
+    pub misses: Counter,
+    /// Keys displaced by LRU pressure.
+    pub evictions: Counter,
+    /// Waits on another caller's in-flight fill (also counted as hits).
+    pub coalesced: Counter,
+}
+
 /// Thread-safe single-flight LRU over [`FillResult`]s.
 pub struct ResultCache {
     inner: Mutex<Lru<Arc<Cell>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    counters: CacheCounters,
 }
 
 impl ResultCache {
     pub fn new(capacity: usize) -> Self {
-        ResultCache {
-            inner: Mutex::new(Lru::new(capacity)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        ResultCache::with_counters(capacity, CacheCounters::default())
+    }
+
+    /// A cache whose event counters are shared with the caller (the
+    /// daemon registers them as `dircc_result_cache_events_total`).
+    pub fn with_counters(capacity: usize, counters: CacheCounters) -> Self {
+        ResultCache { inner: Mutex::new(Lru::new(capacity)), counters }
     }
 
     /// (hits, misses) served so far. Coalesced waits count as hits.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+        (self.counters.hits.get(), self.counters.misses.get())
+    }
+
+    /// (hits, misses, evictions, coalesced) served so far.
+    pub fn detailed_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.counters.hits.get(),
+            self.counters.misses.get(),
+            self.counters.evictions.get(),
+            self.counters.coalesced.get(),
+        )
     }
 
     /// Returns the cached value for `key`, running `fill` at most once
@@ -160,14 +189,16 @@ impl ResultCache {
                         state: Mutex::new(CellState::Pending),
                         ready: Condvar::new(),
                     });
-                    lru.insert(key, Arc::clone(&cell));
+                    if lru.insert(key, Arc::clone(&cell)).is_some() {
+                        self.counters.evictions.inc();
+                    }
                     (cell, true)
                 }
             }
         };
 
         if filler {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.counters.misses.inc();
             // If `fill` panics the guard records an error so waiters
             // wake instead of blocking forever, and evicts the key so
             // the poisoned cell is not served to later callers.
@@ -205,10 +236,13 @@ impl ResultCache {
             CellState::Done(_) => Outcome::Hit,
             CellState::Pending => Outcome::Coalesced,
         };
+        if outcome == Outcome::Coalesced {
+            self.counters.coalesced.inc();
+        }
         while matches!(*state, CellState::Pending) {
             state = cell.ready.wait(state).expect("cell wait");
         }
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.counters.hits.inc();
         match &*state {
             CellState::Done(result) => (result.clone(), outcome),
             CellState::Pending => unreachable!("loop exits only on Done"),
@@ -219,7 +253,7 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn lru_evicts_in_recency_order_at_tiny_capacity() {
@@ -299,6 +333,37 @@ mod tests {
         let (hits, misses) = cache.stats();
         assert_eq!(misses, 1);
         assert_eq!(hits, 7);
+    }
+
+    #[test]
+    fn detailed_stats_count_lru_evictions() {
+        let cache = ResultCache::new(2);
+        let _ = cache.get_or_fill("a", || Ok("1".to_string()));
+        let _ = cache.get_or_fill("b", || Ok("2".to_string()));
+        let _ = cache.get_or_fill("c", || Ok("3".to_string()));
+        assert_eq!(cache.detailed_stats(), (0, 3, 1, 0));
+    }
+
+    #[test]
+    fn waiting_on_an_inflight_fill_counts_as_coalesced() {
+        let cache = Arc::new(ResultCache::new(4));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let c2 = Arc::clone(&cache);
+        let filler = std::thread::spawn(move || {
+            c2.get_or_fill("k", || {
+                tx.send(()).unwrap();
+                // Hold the cell Pending long enough for the main
+                // thread's lookup to land on it.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                Ok("v".to_string())
+            })
+        });
+        rx.recv().unwrap();
+        let (result, o) = cache.get_or_fill("k", || unreachable!("fill is in flight"));
+        assert_eq!(result.unwrap(), "v");
+        assert_eq!(o, Outcome::Coalesced);
+        filler.join().unwrap().0.unwrap();
+        assert_eq!(cache.detailed_stats(), (1, 1, 0, 1));
     }
 
     #[test]

@@ -49,6 +49,18 @@ pub fn request(
     path: &str,
     body: Option<&[u8]>,
 ) -> std::io::Result<Response> {
+    request_with_headers(base_url, method, path, &[], body)
+}
+
+/// [`request`] with extra request headers (e.g. a caller-chosen
+/// `x-request-id` to correlate against server logs and spans).
+pub fn request_with_headers(
+    base_url: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&[u8]>,
+) -> std::io::Result<Response> {
     let stream = TcpStream::connect(host_of(base_url))?;
     stream.set_read_timeout(Some(Duration::from_secs(60)))?;
     stream.set_write_timeout(Some(Duration::from_secs(60)))?;
@@ -60,6 +72,9 @@ pub fn request(
     write!(wire, "{method} {path} HTTP/1.1\r\n")?;
     write!(wire, "Host: {}\r\n", host_of(base_url))?;
     write!(wire, "Connection: close\r\n")?;
+    for (name, value) in headers {
+        write!(wire, "{name}: {value}\r\n")?;
+    }
     if let Some(body) = body {
         write!(wire, "Content-Length: {}\r\n", body.len())?;
         write!(wire, "Content-Type: application/json\r\n")?;

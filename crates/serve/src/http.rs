@@ -204,15 +204,27 @@ pub fn reason(status: u16) -> &'static str {
 }
 
 /// Writes one complete `Connection: close` response with a
-/// `Content-Length` body.
+/// `Content-Length` body and `application/json` content type.
 pub fn write_response(
     w: &mut dyn Write,
     status: u16,
     extra_headers: &[(&str, &str)],
     body: &[u8],
 ) -> std::io::Result<()> {
+    write_response_typed(w, status, extra_headers, "application/json", body)
+}
+
+/// [`write_response`] with an explicit content type (`/metrics` serves
+/// Prometheus text, everything else JSON).
+pub fn write_response_typed(
+    w: &mut dyn Write,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
     write!(w, "HTTP/1.1 {status} {}\r\n", reason(status))?;
-    write!(w, "Content-Type: application/json\r\n")?;
+    write!(w, "Content-Type: {content_type}\r\n")?;
     write!(w, "Content-Length: {}\r\n", body.len())?;
     write!(w, "Connection: close\r\n")?;
     for (name, value) in extra_headers {
@@ -452,6 +464,16 @@ mod tests {
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn typed_responses_carry_their_content_type() {
+        let mut out = Vec::new();
+        write_response_typed(&mut out, 200, &[], "text/plain; version=0.0.4", b"x 1\n")
+            .expect("write");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.ends_with("\r\n\r\nx 1\n"));
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! The daemon's metric families, pre-registered on a shared
+//! [`MetricsRegistry`].
+//!
+//! Per-route series are pre-created for the known route table (plus an
+//! `other` catch-all), so `/metrics` cardinality is bounded no matter
+//! what paths clients probe. Error counters carry a `status` label; the
+//! server only ever emits a small fixed set of statuses, so that label
+//! is bounded too. Latencies are recorded in microseconds.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dircc_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Routes that get their own metric series; anything else lands on
+/// [`OTHER_ROUTE`].
+pub const ROUTES: &[&str] =
+    &["/run", "/series", "/health", "/healthz", "/metrics", "/spans", "/shutdown"];
+/// Catch-all route label for unknown paths (bounds cardinality).
+pub const OTHER_ROUTE: &str = "other";
+
+/// Normalizes a request path to a bounded route label.
+pub fn route_label(path: &str) -> &'static str {
+    ROUTES.iter().copied().find(|r| *r == path).unwrap_or(OTHER_ROUTE)
+}
+
+/// Every instrument the server updates, with cheap cloned handles.
+pub struct ServerMetrics {
+    registry: Arc<MetricsRegistry>,
+    requests: Vec<(&'static str, Counter)>,
+    latency: Vec<(&'static str, Histogram)>,
+    /// Connections refused before routing, by status (429/503).
+    pub refused_429: Counter,
+    pub refused_503: Counter,
+    /// Accepted-but-unrouted connections now waiting in the queue.
+    pub queue_depth: Gauge,
+    /// Connections a worker is actively serving.
+    pub inflight: Gauge,
+    /// Seconds since the daemon started (refreshed on scrape).
+    pub uptime: Gauge,
+    pub cache_hits: Counter,
+    pub cache_misses: Counter,
+    pub cache_evictions: Counter,
+    /// Requests that waited on another request's in-flight fill.
+    pub singleflight_coalesced: Counter,
+}
+
+impl ServerMetrics {
+    pub fn new(registry: Arc<MetricsRegistry>) -> ServerMetrics {
+        let requests = ROUTES
+            .iter()
+            .chain(std::iter::once(&OTHER_ROUTE))
+            .map(|&r| {
+                (
+                    r,
+                    registry.counter(
+                        "dircc_http_requests_total",
+                        "Requests that reached the router, by route.",
+                        &[("route", r)],
+                    ),
+                )
+            })
+            .collect();
+        let latency = ROUTES
+            .iter()
+            .chain(std::iter::once(&OTHER_ROUTE))
+            .map(|&r| {
+                (
+                    r,
+                    registry.histogram(
+                        "dircc_http_request_duration_us",
+                        "Request wall time from read to response, microseconds.",
+                        &[("route", r)],
+                    ),
+                )
+            })
+            .collect();
+        let refused = |status: &str| {
+            registry.counter(
+                "dircc_http_refused_total",
+                "Connections answered before routing (backpressure or drain), by status.",
+                &[("status", status)],
+            )
+        };
+        let cache = |event: &str| {
+            registry.counter(
+                "dircc_result_cache_events_total",
+                "Result-cache events: hit, miss, eviction, coalesced (single-flight dedup).",
+                &[("event", event)],
+            )
+        };
+        ServerMetrics {
+            requests,
+            latency,
+            refused_429: refused("429"),
+            refused_503: refused("503"),
+            queue_depth: registry.gauge(
+                "dircc_queue_depth",
+                "Accepted connections waiting for a worker.",
+                &[],
+            ),
+            inflight: registry.gauge(
+                "dircc_inflight_requests",
+                "Connections currently being served by a worker.",
+                &[],
+            ),
+            uptime: registry.gauge(
+                "dircc_uptime_seconds",
+                "Seconds since the daemon started (refreshed on scrape).",
+                &[],
+            ),
+            cache_hits: cache("hit"),
+            cache_misses: cache("miss"),
+            cache_evictions: cache("eviction"),
+            singleflight_coalesced: cache("coalesced"),
+            registry,
+        }
+    }
+
+    /// The registry behind these handles (what `/metrics` renders).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Counts a request the moment it reaches the router — *before* the
+    /// response is written, so a scrape issued right after a response
+    /// lands always sees that request counted (the CI gate reconciles
+    /// `dircc_http_requests_total` exactly against its submitted load).
+    pub fn mark_request(&self, path: &str) {
+        let route = route_label(path);
+        if let Some((_, c)) = self.requests.iter().find(|(r, _)| *r == route) {
+            c.inc();
+        }
+    }
+
+    /// Records a finished request: the per-route latency histogram,
+    /// plus the error counter for 4xx/5xx statuses.
+    pub fn observe_request(&self, path: &str, status: u16, wall: Duration) {
+        let route = route_label(path);
+        if let Some((_, h)) = self.latency.iter().find(|(r, _)| *r == route) {
+            h.observe(wall.as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+        if status >= 400 {
+            self.error(route, status);
+        }
+    }
+
+    /// Per-route, per-status error counter (statuses are the server's
+    /// own bounded set, so this cannot explode cardinality).
+    fn error(&self, route: &'static str, status: u16) {
+        self.registry
+            .counter(
+                "dircc_http_errors_total",
+                "Error responses (status >= 400) from the router, by route and status.",
+                &[("route", route), ("status", &status.to_string())],
+            )
+            .inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dircc_obs::{parse_exposition, samples_sum};
+
+    #[test]
+    fn unknown_paths_collapse_to_other() {
+        assert_eq!(route_label("/run"), "/run");
+        assert_eq!(route_label("/nope"), OTHER_ROUTE);
+        assert_eq!(route_label("/run/extra"), OTHER_ROUTE);
+    }
+
+    #[test]
+    fn observed_requests_land_in_the_right_series() {
+        let m = ServerMetrics::new(Arc::new(MetricsRegistry::new()));
+        for (path, status, us) in [("/run", 200, 1500), ("/run", 200, 2500), ("/weird", 404, 10)] {
+            m.mark_request(path);
+            m.observe_request(path, status, Duration::from_micros(us));
+        }
+        let samples = parse_exposition(&m.registry().render()).expect("parses");
+        assert_eq!(samples_sum(&samples, "dircc_http_requests_total", &[("route", "/run")]), 2.0);
+        assert_eq!(samples_sum(&samples, "dircc_http_requests_total", &[("route", "other")]), 1.0);
+        assert_eq!(
+            samples_sum(
+                &samples,
+                "dircc_http_errors_total",
+                &[("route", "other"), ("status", "404")]
+            ),
+            1.0
+        );
+        assert_eq!(
+            samples_sum(&samples, "dircc_http_request_duration_us_count", &[("route", "/run")]),
+            2.0
+        );
+        // 200s leave the error families untouched.
+        assert_eq!(samples_sum(&samples, "dircc_http_errors_total", &[("route", "/run")]), 0.0);
+    }
+}

@@ -27,7 +27,7 @@ impl StubHandler {
 }
 
 impl JobHandler for StubHandler {
-    fn run(&self, job: &JobSpec) -> Result<String, HandlerError> {
+    fn run(&self, job: &JobSpec, _request_id: &str) -> Result<String, HandlerError> {
         self.runs.fetch_add(1, Ordering::SeqCst);
         if let Some(gate) = &self.gate {
             gate.wait();
@@ -38,7 +38,7 @@ impl JobHandler for StubHandler {
         Ok(format!("{{\"echo\": \"{}\"}}\n", job.canonical()))
     }
 
-    fn series(&self, job: &JobSpec) -> Result<Vec<String>, HandlerError> {
+    fn series(&self, job: &JobSpec, _request_id: &str) -> Result<Vec<String>, HandlerError> {
         Ok((0..3).map(|i| format!("{{\"window\": {i}, \"trace\": \"{}\"}}\n", job.trace)).collect())
     }
 
@@ -199,6 +199,137 @@ fn healthz_and_spans_respond() {
     let spans = client::request(&url, "GET", "/spans", None).expect("spans");
     assert_eq!(spans.status, 200);
     assert!(spans.text().contains("traceEvents"), "{}", spans.text());
+
+    shutdown(&url);
+    join.join().expect("server thread");
+}
+
+#[test]
+fn health_reports_real_daemon_state() {
+    let (url, _, join) = start(quiet(), StubHandler::new());
+
+    // Two jobs first so the counters have something to show.
+    client::request(&url, "POST", "/run", Some(JOB)).expect("miss");
+    client::request(&url, "POST", "/run", Some(JOB)).expect("hit");
+
+    // Final accounting for a request happens just after its response is
+    // written, so poll briefly until every earlier request has settled
+    // (then this /health is the only one in flight).
+    let mut health = client::request(&url, "GET", "/health", None).expect("health");
+    let settled = |r: &client::Response| {
+        let v = dircc_serve::json::parse(&r.body).expect("health is JSON");
+        let obj = v.as_obj().expect("object");
+        let get = |k: &str| obj.get(k).and_then(dircc_serve::Json::as_u64).expect(k);
+        get("completed") == get("requests") - 1 && get("inflight") == 1
+    };
+    for _ in 0..100 {
+        if settled(&health) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        health = client::request(&url, "GET", "/health", None).expect("health");
+    }
+    assert_eq!(health.status, 200);
+    assert!(settled(&health), "{}", health.text());
+    let v = dircc_serve::json::parse(&health.body).expect("health is JSON");
+    let obj = v.as_obj().expect("object");
+    let get = |k: &str| obj.get(k).and_then(dircc_serve::Json::as_u64);
+    assert_eq!(obj.get("status").and_then(dircc_serve::Json::as_str), Some("ok"));
+    // The two /run requests plus this /health, at minimum.
+    assert!(get("requests").unwrap() >= 3, "{}", health.text());
+    assert_eq!(get("cache_hits"), Some(1));
+    assert_eq!(get("cache_misses"), Some(1));
+    assert_eq!(get("cache_evictions"), Some(0));
+    assert_eq!(get("workers"), Some(4));
+    assert_eq!(get("queued"), Some(0));
+    // The /health request itself is the one in flight.
+    assert_eq!(get("inflight"), Some(1), "{}", health.text());
+    assert!(get("uptime_s").is_some());
+
+    shutdown(&url);
+    join.join().expect("server thread");
+}
+
+#[test]
+fn every_response_carries_a_request_id() {
+    let (url, _, join) = start(quiet(), StubHandler::new());
+
+    let run = client::request(&url, "POST", "/run", Some(JOB)).expect("run");
+    let id = run.header("x-request-id").expect("id on /run").to_string();
+    assert!(id.contains('-') && id.len() >= 9, "generated id looks wrong: {id:?}");
+
+    let missing = client::request(&url, "GET", "/nope", None).expect("404");
+    let other = missing.header("x-request-id").expect("id on 404").to_string();
+    assert_ne!(id, other, "each connection gets a fresh id");
+
+    // A sane client-supplied id is echoed back verbatim.
+    let echoed = client::request_with_headers(
+        &url,
+        "GET",
+        "/health",
+        &[("x-request-id", "my-trace-42")],
+        None,
+    )
+    .expect("health");
+    assert_eq!(echoed.header("x-request-id"), Some("my-trace-42"));
+
+    // An unsafe one (whitespace) is replaced by a generated id.
+    let replaced = client::request_with_headers(
+        &url,
+        "GET",
+        "/health",
+        &[("x-request-id", "has space")],
+        None,
+    )
+    .expect("health");
+    let got = replaced.header("x-request-id").expect("id still present");
+    assert_ne!(got, "has space");
+
+    shutdown(&url);
+    join.join().expect("server thread");
+}
+
+#[test]
+fn metrics_expose_reconciled_counters() {
+    let (url, _, join) = start(quiet(), StubHandler::new());
+
+    client::request(&url, "POST", "/run", Some(JOB)).expect("miss");
+    client::request(&url, "POST", "/run", Some(JOB)).expect("hit");
+    client::request(&url, "GET", "/health", None).expect("health");
+
+    // Latency histograms settle just after the response is written;
+    // poll until both /run observations landed.
+    let mut scrape = client::request(&url, "GET", "/metrics", None).expect("metrics");
+    for _ in 0..100 {
+        let s = dircc_obs::parse_exposition(&scrape.text()).expect("valid exposition");
+        if dircc_obs::samples_sum(&s, "dircc_http_request_duration_us_count", &[("route", "/run")])
+            == 2.0
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        scrape = client::request(&url, "GET", "/metrics", None).expect("metrics");
+    }
+    assert_eq!(scrape.status, 200);
+    assert_eq!(scrape.header("content-type"), Some("text/plain; version=0.0.4; charset=utf-8"));
+    let samples = dircc_obs::parse_exposition(&scrape.text()).expect("valid exposition");
+    let sum = |name: &str, labels: &[(&str, &str)]| dircc_obs::samples_sum(&samples, name, labels);
+    assert_eq!(sum("dircc_http_requests_total", &[("route", "/run")]), 2.0);
+    assert_eq!(sum("dircc_http_requests_total", &[("route", "/health")]), 1.0);
+    assert_eq!(sum("dircc_result_cache_events_total", &[("event", "hit")]), 1.0);
+    assert_eq!(sum("dircc_result_cache_events_total", &[("event", "miss")]), 1.0);
+    assert_eq!(sum("dircc_http_errors_total", &[]), 0.0);
+    // Latency histograms count what the route counters count.
+    assert_eq!(sum("dircc_http_request_duration_us_count", &[("route", "/run")]), 2.0);
+    assert!(sum("dircc_http_request_duration_us_sum", &[("route", "/run")]) > 0.0);
+
+    // A later scrape sees the earlier one(s) accounted.
+    let again = client::request(&url, "GET", "/metrics", None).expect("metrics again");
+    let samples = dircc_obs::parse_exposition(&again.text()).expect("valid exposition");
+    assert!(
+        dircc_obs::samples_sum(&samples, "dircc_http_requests_total", &[("route", "/metrics")])
+            >= 1.0
+    );
 
     shutdown(&url);
     join.join().expect("server thread");

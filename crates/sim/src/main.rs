@@ -17,8 +17,9 @@
 //! dircc check [--smoke] [--cpus N] [--blocks M] [--depth D] [--scheme S]
 //! dircc profile <experiment> [--window K] [--out FILE] [--spans FILE]
 //! dircc serve [--addr HOST:PORT] [--workers N] [--cache-entries N] [--queue N]
-//! dircc submit --serve URL --scheme S [--profile P] [--op run|series|health|spans|shutdown]
+//! dircc submit --serve URL --scheme S [--profile P] [--op run|series|health|metrics|spans|shutdown]
 //! dircc bench --serve URL [--clients N] [--requests M]   # HTTP load generator
+//! dircc top --serve URL [--interval S] [--once]   # live /metrics dashboard
 //! ```
 //!
 //! `dircc check` exhaustively explores every protocol's state space up to
@@ -54,14 +55,17 @@
 use dircc_bus::{CostConfig, CostModel};
 use dircc_check::{check_protocol, CheckConfig};
 use dircc_core::ProtocolKind;
-use dircc_obs::{chrome_trace, window_jsonl_line, RunMeta};
+use dircc_obs::{
+    chrome_trace, parse_exposition, samples_sum, window_jsonl_line, MetricsRegistry, RunMeta,
+    Sample,
+};
 use dircc_serve::{client, JobHandler, ServeConfig, Server};
 use dircc_sim::experiments::{extensions, figures, network, studies, system, tables};
 use dircc_sim::{
-    default_jobs, filter_from_label, filter_label, load_generate, percentile, profile_by_name,
-    report, run_chunked, run_indexed, run_response_json, run_sharded, run_sharded_spilled,
-    shard_stream, spill_sharded, Evaluation, ReplayEngine, RunConfig, RunResult, TraceFilter,
-    Workbench, WorkbenchHandler,
+    default_jobs, filter_from_label, filter_label, load_generate, profile_by_name, report,
+    run_chunked, run_indexed, run_response_json, run_sharded, run_sharded_spilled, shard_stream,
+    spill_sharded, Evaluation, ReplayEngine, RunConfig, RunResult, TraceFilter, Workbench,
+    WorkbenchHandler,
 };
 use dircc_trace::chunk::{DEFAULT_CHUNK_RECORDS, MAX_CHUNK_RECORDS};
 use dircc_trace::codec::BinaryWriter;
@@ -72,6 +76,7 @@ use dircc_trace::store::TraceStore;
 use dircc_trace::{open_trace, BlockInterner, ChunkedWriter, Records, TraceRecord};
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 /// What a subcommand does with `--in`/`--out`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +124,8 @@ enum Kind {
     Serve,
     /// One-shot HTTP client for a running `dircc serve` daemon.
     Submit,
+    /// Polling `/metrics` terminal dashboard for a running daemon.
+    Top,
 }
 
 struct CommandSpec {
@@ -160,6 +167,7 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec { name: "profile", kind: Kind::Profile, io: Io::Writes, in_all: false },
     CommandSpec { name: "serve", kind: Kind::Serve, io: Io::None, in_all: false },
     CommandSpec { name: "submit", kind: Kind::Submit, io: Io::None, in_all: false },
+    CommandSpec { name: "top", kind: Kind::Top, io: Io::None, in_all: false },
     CommandSpec { name: "gen", kind: Kind::Gen, io: Io::Writes, in_all: false },
     CommandSpec { name: "record", kind: Kind::Record, io: Io::Writes, in_all: false },
     CommandSpec { name: "replay", kind: Kind::Replay, io: Io::Reads, in_all: false },
@@ -205,6 +213,9 @@ struct Args {
     requests: Option<usize>,
     filter: Option<String>,
     expect_cache: Option<String>,
+    log_json: bool,
+    once: bool,
+    interval: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -243,6 +254,9 @@ fn parse_args() -> Result<Args, String> {
         requests: None,
         filter: None,
         expect_cache: None,
+        log_json: false,
+        once: false,
+        interval: None,
     };
     while let Some(flag) = args.next() {
         let mut value =
@@ -340,9 +354,12 @@ fn parse_args() -> Result<Args, String> {
             "--serve" => parsed.serve_url = Some(value("--serve")?),
             "--op" => {
                 let op = value("--op")?;
-                if !matches!(op.as_str(), "run" | "series" | "health" | "spans" | "shutdown") {
+                if !matches!(
+                    op.as_str(),
+                    "run" | "series" | "health" | "metrics" | "spans" | "shutdown"
+                ) {
                     return Err(format!(
-                        "--op must be run, series, health, spans or shutdown, not {op}"
+                        "--op must be run, series, health, metrics, spans or shutdown, not {op}"
                     ));
                 }
                 parsed.op = Some(op);
@@ -374,6 +391,16 @@ fn parse_args() -> Result<Args, String> {
                     return Err(format!("--expect-cache must be hit or miss, not {want}"));
                 }
                 parsed.expect_cache = Some(want);
+            }
+            "--log-json" => parsed.log_json = true,
+            "--once" => parsed.once = true,
+            "--interval" => {
+                let s: f64 =
+                    value("--interval")?.parse().map_err(|e| format!("--interval: {e}"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err("--interval must be a positive number of seconds".to_string());
+                }
+                parsed.interval = Some(s);
             }
             "--in" => parsed.input = Some(value("--in")?),
             other if !other.starts_with('-') && parsed.target.is_none() => {
@@ -447,16 +474,20 @@ fn validate_io(args: &Args) -> Result<(), String> {
     if (args.addr.is_some()
         || args.workers.is_some()
         || args.cache_entries.is_some()
-        || args.queue.is_some())
+        || args.queue.is_some()
+        || args.log_json)
         && spec.name != "serve"
     {
         return Err(format!(
-            "--addr/--workers/--cache-entries/--queue only apply to serve, not {}",
+            "--addr/--workers/--cache-entries/--queue/--log-json only apply to serve, not {}",
             spec.name
         ));
     }
-    if args.serve_url.is_some() && !matches!(spec.name, "submit" | "bench") {
-        return Err(format!("--serve only applies to submit and bench, not {}", spec.name));
+    if args.serve_url.is_some() && !matches!(spec.name, "submit" | "bench" | "top") {
+        return Err(format!("--serve only applies to submit, bench and top, not {}", spec.name));
+    }
+    if (args.once || args.interval.is_some()) && spec.name != "top" {
+        return Err(format!("--once/--interval only apply to top, not {}", spec.name));
     }
     if (args.op.is_some() || args.expect_cache.is_some() || args.filter.is_some())
         && spec.name != "submit"
@@ -516,8 +547,9 @@ fn usage() -> String {
          [--verbose] [--window K] [--spans FILE] [--cpus N] [--blocks M] [--depth D] \
          [--scheme S] [--chunk N] [--verify] [--repeat N] [--engine dyn|mono] [--json] \
          [--addr HOST:PORT] [--workers N] [--cache-entries N] [--queue N] [--serve URL] \
-         [--op run|series|health|spans|shutdown] [--filter full|no-spins] \
-         [--expect-cache hit|miss] [--clients N] [--requests M]"
+         [--op run|series|health|metrics|spans|shutdown] [--filter full|no-spins] \
+         [--expect-cache hit|miss] [--clients N] [--requests M] [--log-json] \
+         [--interval S] [--once]"
         .to_string()];
     let mut line = String::from("commands:");
     for c in COMMANDS {
@@ -1091,11 +1123,20 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         workers: args.workers.unwrap_or_else(default_jobs),
         cache_entries: args.cache_entries.unwrap_or(64),
         queue_depth: args.queue.unwrap_or(64),
+        log_json: args.log_json,
         ..ServeConfig::default()
     };
-    let handler = std::sync::Arc::new(WorkbenchHandler::new());
-    let server = Server::bind(&addr, config, handler.clone() as std::sync::Arc<dyn JobHandler>)
-        .map_err(|e| format!("bind {addr}: {e}"))?;
+    // One registry shared by the HTTP layer and the workbench handler,
+    // so `/metrics` exposes both on a single page.
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    let handler = std::sync::Arc::new(WorkbenchHandler::with_registry(&registry));
+    let server = Server::bind_with_registry(
+        &addr,
+        config,
+        handler.clone() as std::sync::Arc<dyn JobHandler>,
+        registry,
+    )
+    .map_err(|e| format!("bind {addr}: {e}"))?;
     println!("dircc serve: listening on http://{}", server.local_addr());
     use std::io::Write as _;
     std::io::stdout().flush().ok();
@@ -1109,6 +1150,16 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         handler.executed_runs()
     );
     Ok(())
+}
+
+/// A client-side request ID: `tag-<pid>-<subsec nanos>`, all printable
+/// ASCII, well under the daemon's 64-byte sanity cap.
+fn mint_request_id(tag: &str) -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    format!("{tag}-{:08x}-{nanos:08x}", std::process::id())
 }
 
 /// The `/run`/`/series` job body a `dircc submit` builds from its flags.
@@ -1151,17 +1202,27 @@ fn submit_cmd(args: &Args) -> Result<(), String> {
         .as_ref()
         .ok_or("submit needs --serve URL (e.g. --serve http://127.0.0.1:4888)")?;
     let op = args.op.as_deref().unwrap_or("run");
+    // Mint a client-side request ID and send it along; the daemon echoes
+    // it on the response, stamps it into its logs and (for `/run`) into
+    // the span meta, so scripts can join all three. Printed to stderr so
+    // stdout stays verbatim response body.
+    let request_id = mint_request_id("submit");
+    eprintln!("dircc submit: request-id {request_id}");
+    let headers = [("x-request-id", request_id.as_str())];
     let resp = match op {
-        "health" => client::request(url, "GET", "/healthz", None),
-        "spans" => client::request(url, "GET", "/spans", None),
-        "shutdown" => client::request(url, "POST", "/shutdown", Some(b"{}")),
+        "health" => client::request_with_headers(url, "GET", "/health", &headers, None),
+        "metrics" => client::request_with_headers(url, "GET", "/metrics", &headers, None),
+        "spans" => client::request_with_headers(url, "GET", "/spans", &headers, None),
+        "shutdown" => client::request_with_headers(url, "POST", "/shutdown", &headers, Some(b"{}")),
         "run" | "series" => {
             let body = submit_job_json(args)?;
             let path = if op == "run" { "/run" } else { "/series" };
-            client::request(url, "POST", path, Some(body.as_bytes()))
+            client::request_with_headers(url, "POST", path, &headers, Some(body.as_bytes()))
         }
         other => {
-            return Err(format!("--op must be run, series, health, spans or shutdown, not {other}"))
+            return Err(format!(
+                "--op must be run, series, health, metrics, spans or shutdown, not {other}"
+            ))
         }
     }
     .map_err(|e| format!("{url}: {e}"))?;
@@ -1195,10 +1256,16 @@ fn bench_serve(args: &Args) -> Result<(), String> {
     let refs = args.refs.unwrap_or(20_000);
     let report = load_generate(&url, clients, requests, refs, args.seed);
 
-    let p = |q: f64| percentile(&report.latencies_ms, q);
-    let (p50, p90, p99) = (p(50.0), p(90.0), p(99.0));
-    let max = report.latencies_ms.last().copied().unwrap_or(0.0);
-    let completed = report.latencies_ms.len();
+    // Quantiles come from the same log-bucketed histogram the daemon
+    // uses for `/metrics` (merged across client threads), so the client
+    // and server sides of a bench agree on percentile math.
+    let (p50, p90, p99) = (
+        report.latency_quantile_ms(0.50),
+        report.latency_quantile_ms(0.90),
+        report.latency_quantile_ms(0.99),
+    );
+    let max = report.latency_max_ms();
+    let completed = report.completed();
 
     use std::fmt::Write as _;
     let mut json = String::from("{\n");
@@ -1263,6 +1330,179 @@ fn bench_serve(args: &Args) -> Result<(), String> {
         return Err(format!("bench --serve: {} failed request(s)", report.errors.len()));
     }
     Ok(())
+}
+
+/// One `/metrics` scrape distilled to the numbers the dashboard shows.
+struct TopSnapshot {
+    at: Instant,
+    requests: f64,
+    errors: f64,
+    refused: f64,
+    queue: f64,
+    inflight: f64,
+    uptime: f64,
+    hits: f64,
+    misses: f64,
+    evictions: f64,
+    coalesced: f64,
+    runs: f64,
+    refs: f64,
+    /// Cumulative `(le µs, count)` buckets of the `/run` latency
+    /// histogram, ascending; quantiles between two snapshots come from
+    /// the bucket-count deltas.
+    run_buckets: Vec<(f64, f64)>,
+}
+
+impl TopSnapshot {
+    fn take(samples: &[Sample]) -> TopSnapshot {
+        let sum = |name: &str| samples_sum(samples, name, &[]);
+        let cache = |event: &str| {
+            samples_sum(samples, "dircc_result_cache_events_total", &[("event", event)])
+        };
+        let mut run_buckets: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|s| {
+                s.name == "dircc_http_request_duration_us_bucket"
+                    && s.label("route") == Some("/run")
+            })
+            .map(|s| {
+                let le = match s.label("le") {
+                    Some("+Inf") => f64::INFINITY,
+                    Some(v) => v.parse().unwrap_or(f64::INFINITY),
+                    None => f64::INFINITY,
+                };
+                (le, s.value)
+            })
+            .collect();
+        run_buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        TopSnapshot {
+            at: Instant::now(),
+            requests: sum("dircc_http_requests_total"),
+            errors: sum("dircc_http_errors_total"),
+            refused: sum("dircc_http_refused_total"),
+            queue: sum("dircc_queue_depth"),
+            inflight: sum("dircc_inflight_requests"),
+            uptime: sum("dircc_uptime_seconds"),
+            hits: cache("hit"),
+            misses: cache("miss"),
+            evictions: cache("eviction"),
+            coalesced: cache("coalesced"),
+            runs: sum("dircc_runs_executed_total"),
+            refs: sum("dircc_refs_replayed_total"),
+            run_buckets,
+        }
+    }
+
+    /// The q-th quantile (µs) of `/run` latencies observed since `prev`
+    /// (pass an all-zero baseline for since-start quantiles). `None`
+    /// when no request completed in the interval.
+    fn run_quantile_since(&self, prev: Option<&TopSnapshot>, q: f64) -> Option<f64> {
+        let prev_at = |le: f64| {
+            prev.and_then(|p| p.run_buckets.iter().find(|(l, _)| *l == le)).map_or(0.0, |(_, n)| *n)
+        };
+        // Cumulative minus cumulative is the delta distribution's
+        // cumulative counts, so one ascending walk finds the rank.
+        let total = self.run_buckets.last().map(|&(_, n)| n - prev_at(f64::INFINITY))?;
+        if total <= 0.0 {
+            return None;
+        }
+        let rank = (q * total).ceil().max(1.0);
+        self.run_buckets
+            .iter()
+            .find(|&&(le, n)| le.is_finite() && n - prev_at(le) >= rank)
+            .map(|&(le, _)| le)
+    }
+}
+
+/// Fetches and parses one `/metrics` page.
+fn scrape_metrics(url: &str) -> Result<Vec<Sample>, String> {
+    let resp = client::request(url, "GET", "/metrics", None).map_err(|e| format!("{url}: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("{url}: /metrics: HTTP {}", resp.status));
+    }
+    parse_exposition(&resp.text()).map_err(|e| format!("{url}: /metrics: {e}"))
+}
+
+/// `dircc top --serve URL`: a polling terminal dashboard over a running
+/// daemon's `/metrics`. Every `--interval` seconds (default 2) it
+/// scrapes, diffs against the previous scrape and prints one line:
+/// request throughput, `/run` latency quantiles from the histogram
+/// bucket deltas, queue depth, in-flight count, interval cache hit
+/// rate and a throughput sparkline. `--once` instead prints a single
+/// machine-readable `key value` snapshot (absolute totals,
+/// since-start quantiles) and exits — what the CI gate consumes.
+fn top_cmd(args: &Args) -> Result<(), String> {
+    let url = args
+        .serve_url
+        .as_ref()
+        .ok_or("top needs --serve URL (e.g. --serve http://127.0.0.1:4888)")?;
+    let samples = scrape_metrics(url)?;
+    let first = TopSnapshot::take(&samples);
+    if args.once {
+        let q = |q: f64| first.run_quantile_since(None, q).map_or(0.0, |us| us / 1e3);
+        println!("uptime_s {:.0}", first.uptime);
+        println!("requests_total {:.0}", first.requests);
+        println!("errors_total {:.0}", first.errors);
+        println!("refused_total {:.0}", first.refused);
+        println!("queue_depth {:.0}", first.queue);
+        println!("inflight {:.0}", first.inflight);
+        println!("cache_hits {:.0}", first.hits);
+        println!("cache_misses {:.0}", first.misses);
+        println!("cache_evictions {:.0}", first.evictions);
+        println!("coalesced {:.0}", first.coalesced);
+        println!("runs_executed {:.0}", first.runs);
+        println!("refs_replayed {:.0}", first.refs);
+        println!("run_p50_ms {:.3}", q(0.50));
+        println!("run_p90_ms {:.3}", q(0.90));
+        println!("run_p99_ms {:.3}", q(0.99));
+        return Ok(());
+    }
+    let interval = Duration::from_secs_f64(args.interval.unwrap_or(2.0));
+    println!(
+        "dircc top: {url} every {:.1}s — rps, /run p50/p90/p99 (ms), queue, inflight, \
+         hit% over each interval; ctrl-c to quit",
+        interval.as_secs_f64()
+    );
+    let mut prev = first;
+    let mut history: Vec<f64> = Vec::new();
+    loop {
+        std::thread::sleep(interval);
+        let samples = match scrape_metrics(url) {
+            Ok(s) => s,
+            Err(e) => {
+                // A drained daemon closes its listener; that is the
+                // normal end of a watch session, not a failure.
+                println!("dircc top: daemon unreachable ({e}); exiting");
+                return Ok(());
+            }
+        };
+        let cur = TopSnapshot::take(&samples);
+        let dt = cur.at.duration_since(prev.at).as_secs_f64().max(1e-9);
+        let rps = (cur.requests - prev.requests).max(0.0) / dt;
+        history.push(rps);
+        if history.len() > 32 {
+            history.remove(0);
+        }
+        let peak = history.iter().cloned().fold(0.0f64, f64::max);
+        let q = |q: f64| cur.run_quantile_since(Some(&prev), q).map_or(0.0, |us| us / 1e3);
+        let hits_d = (cur.hits - prev.hits).max(0.0);
+        let misses_d = (cur.misses - prev.misses).max(0.0);
+        let hit_pct =
+            if hits_d + misses_d > 0.0 { 100.0 * hits_d / (hits_d + misses_d) } else { 0.0 };
+        println!(
+            "up {:>5.0}s  rps {rps:>7.1}  p50 {:>7.2}  p90 {:>7.2}  p99 {:>7.2}  \
+             q {:>3.0}  infl {:>3.0}  hit% {hit_pct:>5.1}  err {:>3.0}  {}",
+            cur.uptime,
+            q(0.50),
+            q(0.90),
+            q(0.99),
+            cur.queue,
+            cur.inflight,
+            cur.errors,
+            report::sparkline(&history, peak.max(1.0)),
+        );
+        prev = cur;
+    }
 }
 
 /// `dircc check`: bounded exhaustive model check of every scheme (or a
@@ -1526,6 +1766,7 @@ fn profile(args: &Args) -> Result<(), String> {
                 filter: label.to_string(),
                 refs: s.refs,
                 shard: None,
+                request: None,
             };
             // Price each window's delta under the paper's pipelined model
             // (the fifth phase, `price`, in the span profile).
@@ -1763,6 +2004,7 @@ fn main() -> ExitCode {
         Kind::Profile => profile(&args),
         Kind::Serve => serve_cmd(&args),
         Kind::Submit => submit_cmd(&args),
+        Kind::Top => top_cmd(&args),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -10,13 +10,14 @@
 //! replay of the same config — the CI serve gate diffs exactly that.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dircc_bus::{CostConfig, CostModel};
 use dircc_core::{EventCounters, ProtocolKind};
-use dircc_obs::{chrome_trace, counters_json, window_jsonl_line, Span};
+use dircc_obs::{
+    chrome_trace, counters_json, window_jsonl_line, Counter, Histogram, MetricsRegistry, Span,
+};
 use dircc_serve::{client, HandlerError, JobEngine, JobSpec, Lru};
 use dircc_trace::gen::Profile;
 use dircc_trace::store::TraceStore;
@@ -93,7 +94,14 @@ const STORE_CACHE_ENTRIES: usize = 8;
 pub struct WorkbenchHandler {
     stores: Mutex<Lru<Arc<TraceStore>>>,
     spans: Mutex<Vec<Span>>,
-    executed: AtomicU64,
+    /// Handler-side telemetry. Standalone counters under
+    /// [`WorkbenchHandler::new`]; registered on the daemon's registry
+    /// (and thus on `/metrics`) under
+    /// [`WorkbenchHandler::with_registry`].
+    runs_executed: Counter,
+    refs_replayed: Counter,
+    store_hits: Counter,
+    store_misses: Counter,
 }
 
 impl Default for WorkbenchHandler {
@@ -107,7 +115,39 @@ impl WorkbenchHandler {
         WorkbenchHandler {
             stores: Mutex::new(Lru::new(STORE_CACHE_ENTRIES)),
             spans: Mutex::new(Vec::new()),
-            executed: AtomicU64::new(0),
+            runs_executed: Counter::new(),
+            refs_replayed: Counter::new(),
+            store_hits: Counter::new(),
+            store_misses: Counter::new(),
+        }
+    }
+
+    /// A handler whose workbench counters live on `registry`, so the
+    /// daemon's `/metrics` page covers the simulation side too.
+    pub fn with_registry(registry: &MetricsRegistry) -> Self {
+        WorkbenchHandler {
+            stores: Mutex::new(Lru::new(STORE_CACHE_ENTRIES)),
+            spans: Mutex::new(Vec::new()),
+            runs_executed: registry.counter(
+                "dircc_runs_executed_total",
+                "Workbench replays executed (result-cache hits never reach the workbench).",
+                &[],
+            ),
+            refs_replayed: registry.counter(
+                "dircc_refs_replayed_total",
+                "Trace references replayed across all workbench runs.",
+                &[],
+            ),
+            store_hits: registry.counter(
+                "dircc_trace_store_hits_total",
+                "Generated-trace store hits (reused (trace, refs, seed) record sets).",
+                &[],
+            ),
+            store_misses: registry.counter(
+                "dircc_trace_store_misses_total",
+                "Generated-trace store misses (fresh trace generation).",
+                &[],
+            ),
         }
     }
 
@@ -115,7 +155,7 @@ impl WorkbenchHandler {
     /// daemon's result cache never reach the workbench, so this is the
     /// number the dedup tests pin).
     pub fn executed_runs(&self) -> u64 {
-        self.executed.load(Ordering::SeqCst)
+        self.runs_executed.get()
     }
 
     /// The shared generated trace for (trace, refs, seed) — one store
@@ -134,8 +174,10 @@ impl WorkbenchHandler {
         );
         let mut stores = self.stores.lock().expect("store cache");
         if let Some(store) = stores.get(&key) {
+            self.store_hits.inc();
             return Ok(Arc::clone(store));
         }
+        self.store_misses.inc();
         let store = Arc::new(TraceStore::new(vec![profile], job.seed));
         stores.insert(&key, Arc::clone(&store));
         Ok(store)
@@ -143,8 +185,15 @@ impl WorkbenchHandler {
 
     /// Resolves the job's scheme/filter/engine and runs it on a fresh
     /// workbench over the shared store, returning everything a
-    /// response needs.
-    fn execute(&self, job: &JobSpec, window: Option<u64>) -> Result<Executed, HandlerError> {
+    /// response needs. Spans from the run are stamped with
+    /// `request_id`, so `/spans` exports join against response headers
+    /// and log lines.
+    fn execute(
+        &self,
+        job: &JobSpec,
+        window: Option<u64>,
+        request_id: &str,
+    ) -> Result<Executed, HandlerError> {
         let store = self.store_for(job)?;
         let n_caches = usize::from(store.profiles()[0].cpus);
         let kind = scheme_by_name(&job.scheme, n_caches).map_err(HandlerError::bad_request)?;
@@ -163,8 +212,15 @@ impl WorkbenchHandler {
         let counters = EventCounters::clone(&wb.counters(kind, 0, filter));
         let trace_name = store.profiles()[0].name.to_string();
         let scheme_name = dircc_core::build(kind, n_caches).name().to_string();
-        self.executed.fetch_add(wb.executed_runs() as u64, Ordering::SeqCst);
-        self.spans.lock().expect("span log").extend(wb.span_log().spans());
+        self.runs_executed.add(wb.executed_runs() as u64);
+        self.refs_replayed.add(counters.total());
+        let mut spans = wb.span_log().spans();
+        for span in &mut spans {
+            if let Some(meta) = &mut span.meta {
+                meta.request = Some(request_id.to_string());
+            }
+        }
+        self.spans.lock().expect("span log").extend(spans);
         Ok(Executed { wb, kind, filter, counters, scheme_name, trace_name, n_caches })
     }
 }
@@ -180,19 +236,19 @@ struct Executed {
 }
 
 impl dircc_serve::JobHandler for WorkbenchHandler {
-    fn run(&self, job: &JobSpec) -> Result<String, HandlerError> {
-        let ex = self.execute(job, None)?;
+    fn run(&self, job: &JobSpec, request_id: &str) -> Result<String, HandlerError> {
+        let ex = self.execute(job, None, request_id)?;
         let eval =
             Evaluation::new(ex.scheme_name.clone(), ex.kind, ex.n_caches, ex.counters.clone());
         Ok(run_response_json(&eval, &ex.trace_name, job.refs, job.seed, &job.filter))
     }
 
-    fn series(&self, job: &JobSpec) -> Result<Vec<String>, HandlerError> {
+    fn series(&self, job: &JobSpec, request_id: &str) -> Result<Vec<String>, HandlerError> {
         let window = match job.window {
             Some(w) => w,
             None => self.default_window_refs(job)?,
         };
-        let ex = self.execute(job, Some(window))?;
+        let ex = self.execute(job, Some(window), request_id)?;
         let series = ex.wb.time_series();
         let s = series
             .iter()
@@ -245,7 +301,11 @@ pub struct LoadConfig {
     pub trace: String,
 }
 
-/// What `load_generate` measured.
+/// What `load_generate` measured. Latencies are accumulated in the
+/// shared [`Histogram`] (microsecond observations, per-thread then
+/// merged) — the same instrument the daemon's own `/metrics` exposes,
+/// so bench-side and server-side percentiles use one definition of
+/// quantile (bucket upper bound, ≤ 1/16 relative overestimate).
 pub struct LoadReport {
     pub url: String,
     pub clients: usize,
@@ -258,24 +318,41 @@ pub struct LoadReport {
     /// Failed requests, with their error text (empty on a clean run).
     pub errors: Vec<String>,
     pub wall: Duration,
-    /// Per-request latencies in milliseconds, sorted ascending.
-    pub latencies_ms: Vec<f64>,
+    /// Merged per-request latency histogram, in microseconds.
+    pub latency_us: Histogram,
     /// Each config exercised, with the counter digest its responses
     /// carried (every response for one config must agree).
     pub digests: Vec<(LoadConfig, String)>,
 }
 
 impl LoadReport {
+    /// Successful requests measured.
+    pub fn completed(&self) -> u64 {
+        self.latency_us.count()
+    }
+
     /// Requests per second over the whole run.
     pub fn throughput_rps(&self) -> f64 {
         if self.wall.is_zero() {
             return 0.0;
         }
-        (self.latencies_ms.len() as f64) / self.wall.as_secs_f64()
+        (self.completed() as f64) / self.wall.as_secs_f64()
+    }
+
+    /// The q-quantile (0..=1) latency in milliseconds, from the
+    /// histogram.
+    pub fn latency_quantile_ms(&self, q: f64) -> f64 {
+        self.latency_us.quantile(q) as f64 / 1e3
+    }
+
+    /// The slowest observed request in milliseconds (exact).
+    pub fn latency_max_ms(&self) -> f64 {
+        self.latency_us.max() as f64 / 1e3
     }
 }
 
-/// The p-th percentile (0..=100) of an ascending-sorted sample.
+/// The p-th percentile (0..=100) of an ascending-sorted sample — the
+/// exact reference the histogram-vs-sorted pin test compares against.
 pub fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
@@ -326,14 +403,26 @@ pub fn load_generate(
     let pool = load_pool(4);
     let clients = clients.max(1);
 
-    #[derive(Default)]
     struct Tally {
-        latencies_ms: Vec<f64>,
+        latency_us: Histogram,
         hits: u64,
         misses: u64,
         retries: u64,
         errors: Vec<String>,
         digests: HashMap<usize, String>,
+    }
+
+    impl Default for Tally {
+        fn default() -> Self {
+            Tally {
+                latency_us: Histogram::new(),
+                hits: 0,
+                misses: 0,
+                retries: 0,
+                errors: Vec::new(),
+                digests: HashMap::new(),
+            }
+        }
     }
 
     let started = Instant::now();
@@ -355,7 +444,9 @@ pub fn load_generate(
                             let t0 = Instant::now();
                             match client::request(url, "POST", "/run", Some(body.as_bytes())) {
                                 Ok(resp) if resp.status == 200 => {
-                                    t.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                                    t.latency_us.observe(
+                                        t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                                    );
                                     match resp.header("x-cache") {
                                         Some("hit") => t.hits += 1,
                                         _ => t.misses += 1,
@@ -413,7 +504,7 @@ pub fn load_generate(
     let mut merged = Tally::default();
     let mut digest_by_config: HashMap<usize, String> = HashMap::new();
     for t in tallies {
-        merged.latencies_ms.extend(t.latencies_ms);
+        merged.latency_us.merge(&t.latency_us);
         merged.hits += t.hits;
         merged.misses += t.misses;
         merged.retries += t.retries;
@@ -434,7 +525,6 @@ pub fn load_generate(
             }
         }
     }
-    merged.latencies_ms.sort_by(|a, b| a.total_cmp(b));
 
     let mut digests: Vec<(LoadConfig, String)> =
         digest_by_config.into_iter().map(|(i, digest)| (pool[i].clone(), digest)).collect();
@@ -451,7 +541,7 @@ pub fn load_generate(
         retries: merged.retries,
         errors: merged.errors,
         wall,
-        latencies_ms: merged.latencies_ms,
+        latency_us: merged.latency_us,
         digests,
     }
 }
@@ -485,6 +575,38 @@ mod tests {
         assert_eq!(percentile(&sorted, 99.0), 99.0);
         assert_eq!(percentile(&sorted, 100.0), 100.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_exact_percentiles_within_bound() {
+        // The satellite pin: bench --serve switched from sorting raw
+        // samples to the shared log-linear histogram. The histogram
+        // quantile returns its bucket's upper bound, so against the
+        // exact sorted percentile it may only *over*state, by at most
+        // one sub-bucket width (1/16 relative) plus rank-convention
+        // noise between adjacent order statistics.
+        let mut sorted: Vec<f64> = Vec::new();
+        let h = Histogram::new();
+        let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = x >> 40; // spread over [0, 2^24)
+            h.observe(v);
+            sorted.push(v as f64);
+        }
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.5, 0.9, 0.99] {
+            let exact = percentile(&sorted, q * 100.0);
+            let est = h.quantile(q) as f64;
+            assert!(est >= exact * 0.999, "q={q}: histogram {est} understates exact {exact}");
+            assert!(
+                est <= exact * (1.0 + 1.0 / 16.0) + 1.0,
+                "q={q}: histogram {est} overstates exact {exact} beyond the 1/16 bound"
+            );
+        }
+        // count/sum/max are exact, not approximations.
+        assert_eq!(h.count(), 5000);
+        assert_eq!(h.max() as f64, *sorted.last().unwrap());
     }
 
     #[test]

@@ -355,6 +355,7 @@ impl Workbench {
                 filter: filter_label(filter).to_string(),
                 refs,
                 shard: None,
+                request: None,
             };
             // Phase spans wrap the store calls even when they hit warm
             // memos (duration ~0 then), so every executed run contributes

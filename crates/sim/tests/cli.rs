@@ -288,6 +288,7 @@ fn usage_lists_every_subcommand() {
         "profile",
         "serve",
         "submit",
+        "top",
         "gen",
         "record",
         "replay",
@@ -305,11 +306,14 @@ fn usage_lists_every_subcommand() {
 /// and `submit` insists on the flags it cannot run without.
 #[test]
 fn serve_flags_are_validated() {
-    let cases: [(&[&str], &str); 8] = [
+    let cases: [(&[&str], &str); 11] = [
         (&["replay", "--addr", "127.0.0.1:0"], "only apply to serve"),
-        (&["table1", "--serve", "http://x"], "only applies to submit and bench"),
+        (&["table1", "--serve", "http://x"], "only applies to submit, bench and top"),
         (&["replay", "--op", "run"], "only apply to submit"),
         (&["replay", "--clients", "4"], "only apply to bench"),
+        (&["replay", "--log-json"], "only apply to serve"),
+        (&["serve", "--once"], "only apply to top"),
+        (&["top", "--serve", "http://x", "--interval", "0"], "--interval must be"),
         (&["submit", "--serve", "http://x", "--op", "teapot"], "--op must be"),
         (&["submit", "--serve", "http://x", "--expect-cache", "warm"], "--expect-cache must be"),
         (&["submit", "--op", "run"], "needs --serve"),

@@ -61,7 +61,7 @@ fn digest_of(body: &str) -> String {
 #[test]
 fn served_digest_matches_a_direct_run_indexed_replay() {
     let handler = WorkbenchHandler::new();
-    let body = handler.run(&job("Dir1NB", "POPS", 4000)).expect("run");
+    let body = handler.run(&job("Dir1NB", "POPS", 4000), "test-req-1").expect("run");
 
     let profile = profile_by_name("pops").expect("pops").with_total_refs(4000);
     let cpus = usize::from(profile.cpus);
@@ -82,10 +82,14 @@ fn served_digest_matches_a_direct_run_indexed_replay() {
 #[test]
 fn served_body_is_invariant_across_shards_and_engine() {
     let handler = WorkbenchHandler::new();
-    let base = handler.run(&job("Wti", "THOR", 3000)).expect("run");
+    let base = handler.run(&job("Wti", "THOR", 3000), "test-req-2").expect("run");
     for (shards, engine) in [(4, JobEngine::Mono), (1, JobEngine::Dyn), (2, JobEngine::Dyn)] {
         let spec = JobSpec { shards, engine, ..job("Wti", "THOR", 3000) };
-        assert_eq!(handler.run(&spec).expect("run"), base, "{shards} shard(s) {engine:?}");
+        assert_eq!(
+            handler.run(&spec, "test-req-2").expect("run"),
+            base,
+            "{shards} shard(s) {engine:?}"
+        );
     }
 }
 
@@ -144,7 +148,7 @@ fn concurrent_identical_jobs_execute_the_workbench_once() {
 fn series_windows_tile_the_requested_trace() {
     let handler = WorkbenchHandler::new();
     let spec = JobSpec { window: Some(1000), ..job("Tang", "THOR", 4000) };
-    let lines = handler.series(&spec).expect("series");
+    let lines = handler.series(&spec, "test-req-3").expect("series");
     assert_eq!(lines.len(), 4, "4000 refs / 1000-ref windows");
     let mut refs = 0;
     for (i, line) in lines.iter().enumerate() {
@@ -159,17 +163,22 @@ fn series_windows_tile_the_requested_trace() {
 }
 
 /// `/spans` is strictly valid JSON (the chrome-trace export once
-/// emitted an unbalanced brace for runs with metadata).
+/// emitted an unbalanced brace for runs with metadata), and carries the
+/// request ID that triggered each run — the log/span join key.
 #[test]
 fn spans_export_parses_as_json_after_runs() {
     let handler = WorkbenchHandler::new();
-    handler.run(&job("Dir1NB", "POPS", 2000)).expect("run");
+    handler.run(&job("Dir1NB", "POPS", 2000), "span-join-id").expect("run");
     let spans = handler.spans();
     let v = json::parse(spans.as_bytes()).expect("chrome trace parses");
     match v {
         Json::Arr(events) => assert!(!events.is_empty(), "runs leave spans"),
         other => panic!("expected a JSON array, got {other:?}"),
     }
+    assert!(
+        spans.contains("span-join-id"),
+        "span meta must carry the request id for log joins: {spans}"
+    );
 }
 
 /// Unknown schemes and traces come back as 400s with the offending
@@ -177,9 +186,10 @@ fn spans_export_parses_as_json_after_runs() {
 #[test]
 fn handler_rejects_unknown_schemes_and_traces() {
     let handler = WorkbenchHandler::new();
-    let err = handler.run(&job("no-such-scheme", "POPS", 1000)).expect_err("bad scheme");
+    let err =
+        handler.run(&job("no-such-scheme", "POPS", 1000), "test-req-4").expect_err("bad scheme");
     assert_eq!(err.status, 400);
     assert!(err.message.contains("no-such-scheme"), "{}", err.message);
-    let err = handler.run(&job("Wti", "no-such-trace", 1000)).expect_err("bad trace");
+    let err = handler.run(&job("Wti", "no-such-trace", 1000), "test-req-4").expect_err("bad trace");
     assert_eq!(err.status, 400);
 }
